@@ -1,0 +1,51 @@
+//! Microbenchmarks of the distance functions on window-length inputs
+//! (the unit of work every index operation and every figure is built from).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssr_bench::{protein_windows, song_windows, traj_windows};
+use ssr_distance::{DiscreteFrechet, Dtw, Erp, Euclidean, Hamming, Levenshtein, SequenceDistance};
+use ssr_sequence::Element;
+
+fn sum_pairwise<E: Element, D: SequenceDistance<E>>(d: &D, windows: &[Vec<E>]) -> f64 {
+    let mut acc = 0.0;
+    for pair in windows.chunks(2) {
+        acc += d.distance(&pair[0], &pair[pair.len() - 1]);
+    }
+    acc
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let proteins = protein_windows(64, 1);
+    let songs = song_windows(64, 2);
+    let trajs = traj_windows(64, 3);
+
+    let mut group = c.benchmark_group("distance_window20");
+    group.sample_size(40);
+
+    group.bench_function(BenchmarkId::new("levenshtein", "proteins"), |b| {
+        b.iter(|| sum_pairwise(&Levenshtein::new(), &proteins))
+    });
+    group.bench_function(BenchmarkId::new("hamming", "proteins"), |b| {
+        b.iter(|| sum_pairwise(&Hamming::new(), &proteins))
+    });
+    group.bench_function(BenchmarkId::new("dfd", "songs"), |b| {
+        b.iter(|| sum_pairwise(&DiscreteFrechet::new(), &songs))
+    });
+    group.bench_function(BenchmarkId::new("erp", "songs"), |b| {
+        b.iter(|| sum_pairwise(&Erp::new(), &songs))
+    });
+    group.bench_function(BenchmarkId::new("dtw", "songs"), |b| {
+        b.iter(|| sum_pairwise(&Dtw::new(), &songs))
+    });
+    group.bench_function(BenchmarkId::new("erp", "traj"), |b| {
+        b.iter(|| sum_pairwise(&Erp::new(), &trajs))
+    });
+    group.bench_function(BenchmarkId::new("euclidean", "traj"), |b| {
+        b.iter(|| sum_pairwise(&Euclidean::new(), &trajs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! End-to-end framework benchmarks: database construction and the three query
+//! types on the synthetic PROTEINS workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ssr_core::{FrameworkConfig, IndexBackend, SubsequenceDatabase};
+use ssr_datagen::{generate_proteins, plant_query, ProteinConfig, QueryConfig, SymbolMutator};
+use ssr_distance::Levenshtein;
+
+fn bench_framework(c: &mut Criterion) {
+    let lambda = 40;
+    let proteins = generate_proteins(&ProteinConfig::sized_for_windows(800, lambda / 2, 7));
+    let planted = plant_query(
+        &proteins,
+        &SymbolMutator,
+        &QueryConfig {
+            planted_len: 60,
+            context_len: 15,
+            perturbation_rate: 0.05,
+            seed: 99,
+        },
+    )
+    .expect("plantable query");
+
+    let mut group = c.benchmark_group("framework_proteins_800_windows");
+    group.sample_size(10);
+
+    group.bench_function("build_reference_net_database", |b| {
+        b.iter(|| {
+            SubsequenceDatabase::builder(
+                FrameworkConfig::new(lambda).with_max_shift(2),
+                Levenshtein::new(),
+            )
+            .add_dataset(&proteins)
+            .build()
+            .unwrap()
+            .window_count()
+        })
+    });
+
+    for backend in [IndexBackend::ReferenceNet, IndexBackend::LinearScan] {
+        let db = SubsequenceDatabase::builder(
+            FrameworkConfig::new(lambda)
+                .with_max_shift(2)
+                .with_backend(backend),
+            Levenshtein::new(),
+        )
+        .add_dataset(&proteins)
+        .build()
+        .unwrap();
+        group.bench_function(format!("type2_longest_{backend}"), |b| {
+            b.iter(|| db.query_type2(&planted.query, 6.0).result.is_some())
+        });
+        group.bench_function(format!("type3_nearest_{backend}"), |b| {
+            b.iter(|| db.query_type3(&planted.query, 10.0, 2.0).result.is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_framework);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Index construction cost (the offline step 2 of the framework), feeding the
+//! space-overhead discussion of Figures 5–7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssr_bench::{build_index, protein_windows, song_windows, IndexChoice};
+use ssr_distance::{DiscreteFrechet, Levenshtein};
+
+fn bench_index_build(c: &mut Criterion) {
+    let proteins = protein_windows(600, 1);
+    let songs = song_windows(600, 2);
+
+    let mut group = c.benchmark_group("index_build_600_windows");
+    group.sample_size(10);
+
+    for choice in [
+        IndexChoice::ReferenceNet,
+        IndexChoice::ReferenceNetCapped(5),
+        IndexChoice::CoverTree,
+        IndexChoice::MaxVariance(5),
+    ] {
+        group.bench_function(BenchmarkId::new("proteins_levenshtein", choice.label()), |b| {
+            b.iter(|| build_index(choice, &proteins, Levenshtein::new()).len())
+        });
+        group.bench_function(BenchmarkId::new("songs_dfd", choice.label()), |b| {
+            b.iter(|| build_index(choice, &songs, DiscreteFrechet::new()).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Range-query cost per index structure and radius — the wall-clock companion
+//! to the pruning-ratio measurements of Figures 8–11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ssr_bench::{build_index, protein_windows, song_windows, IndexChoice, QuerySet};
+use ssr_distance::{DiscreteFrechet, Levenshtein};
+
+fn bench_range_queries(c: &mut Criterion) {
+    let mut protein_all = protein_windows(1_200, 1);
+    let protein_pool = protein_all.split_off(1_000);
+    let mut song_all = song_windows(1_200, 2);
+    let song_pool = song_all.split_off(1_000);
+
+    let protein_queries = QuerySet::from_pool(&protein_pool, 5);
+    let song_queries = QuerySet::from_pool(&song_pool, 5);
+
+    let mut group = c.benchmark_group("range_query_1000_windows");
+    group.sample_size(20);
+
+    for choice in [
+        IndexChoice::ReferenceNet,
+        IndexChoice::CoverTree,
+        IndexChoice::MaxVariance(5),
+        IndexChoice::Linear,
+    ] {
+        let protein_index = build_index(choice, &protein_all, Levenshtein::new());
+        for radius in [2.0, 4.0] {
+            group.bench_function(
+                BenchmarkId::new(
+                    format!("proteins_lev_r{radius}"),
+                    choice.label(),
+                ),
+                |b| {
+                    b.iter(|| {
+                        let mut hits = 0usize;
+                        for q in &protein_queries.queries {
+                            hits += protein_index.range_query_count(q, radius);
+                        }
+                        hits
+                    })
+                },
+            );
+        }
+        let song_index = build_index(choice, &song_all, DiscreteFrechet::new());
+        group.bench_function(
+            BenchmarkId::new("songs_dfd_r2", choice.label()),
+            |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for q in &song_queries.queries {
+                        hits += song_index.range_query_count(q, 2.0);
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_queries);
+criterion_main!(benches);

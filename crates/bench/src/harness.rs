@@ -1,0 +1,306 @@
+//! Index construction, query workloads and pruning-ratio measurement.
+
+use ssr_distance::{CallCounter, SequenceDistance};
+use ssr_index::{
+    CountingMetric, CoverTree, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
+    ReferenceNetConfig, SequenceMetricAdapter, SpaceStats,
+};
+use ssr_sequence::Element;
+
+/// Which index an experiment exercises, in the paper's nomenclature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexChoice {
+    /// Reference Net with unconstrained parents ("RN").
+    ReferenceNet,
+    /// Reference Net with `nummax` parents ("RN-nummax", e.g. RN-5 / DFD-5).
+    ReferenceNetCapped(usize),
+    /// Cover Tree ("CT").
+    CoverTree,
+    /// Maximum-Variance reference-based indexing with `k` pivots ("MV-k").
+    MaxVariance(usize),
+    /// Naive linear scan.
+    Linear,
+}
+
+impl IndexChoice {
+    /// Label used in the printed tables.
+    pub fn label(&self) -> String {
+        match self {
+            IndexChoice::ReferenceNet => "RN".to_string(),
+            IndexChoice::ReferenceNetCapped(n) => format!("RN-{n}"),
+            IndexChoice::CoverTree => "CT".to_string(),
+            IndexChoice::MaxVariance(k) => format!("MV-{k}"),
+            IndexChoice::Linear => "naive".to_string(),
+        }
+    }
+}
+
+type Metric<D> = CountingMetric<SequenceMetricAdapter<D>>;
+
+/// A built index together with the counter observing its metric, hiding the
+/// concrete index type behind one enum so experiments can sweep choices.
+pub enum IndexHandle<E: Element + Send + Sync, D: SequenceDistance<E>> {
+    /// Reference Net variant.
+    ReferenceNet(ReferenceNet<Vec<E>, Metric<D>>, CallCounter),
+    /// Cover Tree variant.
+    CoverTree(CoverTree<Vec<E>, Metric<D>>, CallCounter),
+    /// MV-k variant.
+    MaxVariance(MvReferenceIndex<Vec<E>, Metric<D>>, CallCounter),
+    /// Linear scan variant.
+    Linear(LinearScan<Vec<E>, Metric<D>>, CallCounter),
+}
+
+impl<E: Element + Send + Sync, D: SequenceDistance<E>> IndexHandle<E, D> {
+    /// Counter observing every distance evaluation of the index's metric.
+    pub fn counter(&self) -> &CallCounter {
+        match self {
+            IndexHandle::ReferenceNet(_, c)
+            | IndexHandle::CoverTree(_, c)
+            | IndexHandle::MaxVariance(_, c)
+            | IndexHandle::Linear(_, c) => c,
+        }
+    }
+
+    /// Number of indexed windows.
+    pub fn len(&self) -> usize {
+        match self {
+            IndexHandle::ReferenceNet(idx, _) => idx.len(),
+            IndexHandle::CoverTree(idx, _) => idx.len(),
+            IndexHandle::MaxVariance(idx, _) => idx.len(),
+            IndexHandle::Linear(idx, _) => idx.len(),
+        }
+    }
+
+    /// Whether the index holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Space statistics of the index.
+    pub fn space_stats(&self) -> SpaceStats {
+        match self {
+            IndexHandle::ReferenceNet(idx, _) => idx.space_stats(),
+            IndexHandle::CoverTree(idx, _) => idx.space_stats(),
+            IndexHandle::MaxVariance(idx, _) => idx.space_stats(),
+            IndexHandle::Linear(idx, _) => idx.space_stats(),
+        }
+    }
+
+    /// Runs a range query, returning the number of results found.
+    pub fn range_query_count(&self, query: &Vec<E>, radius: f64) -> usize {
+        match self {
+            IndexHandle::ReferenceNet(idx, _) => idx.range_query(query, radius).len(),
+            IndexHandle::CoverTree(idx, _) => idx.range_query(query, radius).len(),
+            IndexHandle::MaxVariance(idx, _) => idx.range_query(query, radius).len(),
+            IndexHandle::Linear(idx, _) => idx.range_query(query, radius).len(),
+        }
+    }
+}
+
+/// Builds the chosen index over `windows` under `distance` (with `ǫ' = 1`, as
+/// in all the paper's experiments).
+pub fn build_index<E, D>(
+    choice: IndexChoice,
+    windows: &[Vec<E>],
+    distance: D,
+) -> IndexHandle<E, D>
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    let counter = CallCounter::new();
+    let metric = CountingMetric::new(SequenceMetricAdapter::new(distance), counter.clone());
+    match choice {
+        IndexChoice::ReferenceNet => {
+            let mut idx = ReferenceNet::new(metric);
+            idx.extend(windows.iter().cloned());
+            IndexHandle::ReferenceNet(idx, counter)
+        }
+        IndexChoice::ReferenceNetCapped(nummax) => {
+            let config = ReferenceNetConfig::with_epsilon_prime(1.0).with_max_parents(nummax);
+            let mut idx = ReferenceNet::with_config(metric, config);
+            idx.extend(windows.iter().cloned());
+            IndexHandle::ReferenceNet(idx, counter)
+        }
+        IndexChoice::CoverTree => {
+            let mut idx = CoverTree::new(metric);
+            idx.extend(windows.iter().cloned());
+            IndexHandle::CoverTree(idx, counter)
+        }
+        IndexChoice::MaxVariance(k) => {
+            let mut idx = MvReferenceIndex::new(metric, k);
+            idx.extend(windows.iter().cloned());
+            IndexHandle::MaxVariance(idx, counter)
+        }
+        IndexChoice::Linear => {
+            let mut idx = LinearScan::new(metric);
+            idx.extend(windows.iter().cloned());
+            IndexHandle::Linear(idx, counter)
+        }
+    }
+}
+
+/// A set of query windows used for the range-query experiments of
+/// Figures 8–11: windows drawn from an independently generated dataset of the
+/// same kind, so they resemble the database without being stored in it.
+pub struct QuerySet<E> {
+    /// The query windows.
+    pub queries: Vec<Vec<E>>,
+}
+
+impl<E: Clone> QuerySet<E> {
+    /// Takes every `stride`-th window of an independently generated pool,
+    /// up to `count` queries.
+    pub fn from_pool(pool: &[Vec<E>], count: usize) -> Self {
+        let stride = (pool.len() / count.max(1)).max(1);
+        QuerySet {
+            queries: pool.iter().step_by(stride).take(count).cloned().collect(),
+        }
+    }
+}
+
+/// Measures the fraction of distance computations an index performs, relative
+/// to a naive scan, averaged over the query set at the given radius. Also
+/// returns the average number of results per query so that experiments can
+/// correlate pruning with selectivity (as Figure 10 does).
+pub fn pruning_ratio<E, D>(
+    handle: &IndexHandle<E, D>,
+    queries: &QuerySet<E>,
+    radius: f64,
+) -> (f64, f64)
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    let n = handle.len() as f64;
+    if n == 0.0 || queries.queries.is_empty() {
+        return (0.0, 0.0);
+    }
+    let counter = handle.counter().clone();
+    counter.reset();
+    let mut total_results = 0usize;
+    for q in &queries.queries {
+        total_results += handle.range_query_count(q, radius);
+    }
+    let calls = counter.reset() as f64;
+    let per_query = calls / queries.queries.len() as f64;
+    (
+        per_query / n,
+        total_results as f64 / queries.queries.len() as f64,
+    )
+}
+
+/// Samples the pairwise distance distribution of `windows` (up to
+/// `max_pairs` pairs, deterministically strided) and returns a histogram with
+/// `buckets` equal-width buckets over `[0, max_value]` as fractions of the
+/// sampled pairs.
+pub fn distance_histogram<E, D>(
+    windows: &[Vec<E>],
+    distance: &D,
+    max_value: f64,
+    buckets: usize,
+    max_pairs: usize,
+) -> Vec<f64>
+where
+    E: Element,
+    D: SequenceDistance<E>,
+{
+    assert!(buckets > 0 && max_value > 0.0);
+    let n = windows.len();
+    let mut counts = vec![0usize; buckets];
+    let mut total = 0usize;
+    if n < 2 {
+        return vec![0.0; buckets];
+    }
+    // Deterministic pair sampling: stride through the strict upper triangle.
+    let total_pairs = n * (n - 1) / 2;
+    let stride = (total_pairs / max_pairs.max(1)).max(1);
+    let mut pair_index = 0usize;
+    'outer: for i in 0..n {
+        for j in (i + 1)..n {
+            if pair_index.is_multiple_of(stride) {
+                let d = distance.distance(&windows[i], &windows[j]);
+                let bucket = ((d / max_value) * buckets as f64).floor() as usize;
+                counts[bucket.min(buckets - 1)] += 1;
+                total += 1;
+                if total >= max_pairs {
+                    break 'outer;
+                }
+            }
+            pair_index += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / total.max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::protein_windows;
+    use ssr_distance::Levenshtein;
+
+    #[test]
+    fn all_index_choices_build_and_answer() {
+        let windows = protein_windows(200, 1);
+        let pool = protein_windows(50, 99);
+        let queries = QuerySet::from_pool(&pool, 5);
+        for choice in [
+            IndexChoice::ReferenceNet,
+            IndexChoice::ReferenceNetCapped(3),
+            IndexChoice::CoverTree,
+            IndexChoice::MaxVariance(5),
+            IndexChoice::Linear,
+        ] {
+            let handle = build_index(choice, &windows, Levenshtein::new());
+            assert_eq!(handle.len(), windows.len(), "{}", choice.label());
+            let (ratio, _) = pruning_ratio(&handle, &queries, 4.0);
+            assert!((0.0..=1.01).contains(&ratio), "{} ratio {ratio}", choice.label());
+        }
+    }
+
+    #[test]
+    fn linear_scan_ratio_is_one() {
+        let windows = protein_windows(100, 2);
+        let queries = QuerySet::from_pool(&windows, 3);
+        let handle = build_index(IndexChoice::Linear, &windows, Levenshtein::new());
+        let (ratio, _) = pruning_ratio(&handle, &queries, 2.0);
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexes_agree_on_result_counts() {
+        let windows = protein_windows(300, 3);
+        let pool = protein_windows(40, 77);
+        let queries = QuerySet::from_pool(&pool, 4);
+        let rn = build_index(IndexChoice::ReferenceNet, &windows, Levenshtein::new());
+        let ct = build_index(IndexChoice::CoverTree, &windows, Levenshtein::new());
+        let naive = build_index(IndexChoice::Linear, &windows, Levenshtein::new());
+        for q in &queries.queries {
+            for radius in [1.0, 4.0, 10.0] {
+                let expected = naive.range_query_count(q, radius);
+                assert_eq!(rn.range_query_count(q, radius), expected);
+                assert_eq!(ct.range_query_count(q, radius), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_one_and_respects_bounds() {
+        let windows = protein_windows(100, 4);
+        let hist = distance_histogram(&windows, &Levenshtein::new(), 20.0, 10, 500);
+        let sum: f64 = hist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(hist.len(), 10);
+    }
+
+    #[test]
+    fn query_set_from_pool_limits_count() {
+        let pool = protein_windows(60, 5);
+        let qs = QuerySet::from_pool(&pool, 10);
+        assert!(qs.queries.len() <= 10);
+        assert!(!qs.queries.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # ssr-bench
+//!
+//! Shared harness code for the benchmark suite and the `figures` binary that
+//! regenerates every figure of the paper's evaluation (Section 8).
+//!
+//! The binary is driven entirely by synthetic stand-ins for the paper's
+//! PROTEINS / SONGS / TRAJ datasets (see `ssr-datagen` and DESIGN.md for the
+//! substitution rationale); absolute numbers therefore differ from the paper,
+//! but the quantities reported — index node counts, parents per window,
+//! estimated megabytes, and the percentage of distance computations relative
+//! to a naive linear scan — are machine-independent and directly comparable
+//! in *shape*.
+
+pub mod datasets;
+pub mod harness;
+pub mod report;
+
+pub use datasets::{protein_windows, song_windows, traj_windows, Scale};
+pub use harness::{
+    build_index, distance_histogram, pruning_ratio, IndexChoice, IndexHandle, QuerySet,
+};
+pub use report::{format_row, print_header, print_table, Table};

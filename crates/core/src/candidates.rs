@@ -1,0 +1,265 @@
+//! Candidate generation: from (query segment, database window) matches to
+//! chained candidate regions.
+//!
+//! Step 4 of the framework yields pairs coupling a query segment with a
+//! database window within distance `ε`. Step 5 first *chains* such pairs:
+//! if `⟨x_i, q_j⟩` and `⟨x_{i+1}, q_{j+1}⟩` are both in the result — i.e. two
+//! consecutive database windows matched query segments that are themselves
+//! consecutive (up to the temporal shift `λ0`) — they can be concatenated.
+//! A maximal chain of `k` windows indicates a candidate similar-subsequence
+//! region whose verified matches can be at most `(k + 2)·λ/2` long, and the
+//! paper's Type II / III queries verify candidates longest-chain-first.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use ssr_sequence::{SequenceId, WindowId};
+
+/// A single (query segment, database window) match produced by step 4.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SegmentMatch {
+    /// The matched database window.
+    pub window: WindowId,
+    /// The sequence the window belongs to.
+    pub sequence: SequenceId,
+    /// Index of the window within its sequence.
+    pub window_index: usize,
+    /// Offset of the window within its sequence.
+    pub db_start: usize,
+    /// Offset of the matched query segment within the query.
+    pub query_start: usize,
+    /// Length of the matched query segment.
+    pub query_len: usize,
+    /// Distance between the segment and the window (`≤ ε`).
+    pub distance: f64,
+}
+
+impl SegmentMatch {
+    /// End offset (exclusive) of the query segment.
+    pub fn query_end(&self) -> usize {
+        self.query_start + self.query_len
+    }
+}
+
+/// A chained candidate region: consecutive matched windows of one database
+/// sequence together with the query span their matched segments cover.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Candidate {
+    /// The database sequence.
+    pub sequence: SequenceId,
+    /// Inclusive range of consecutive matched window indices.
+    pub window_range: (usize, usize),
+    /// Half-open element range of the database sequence covered by the
+    /// chained windows.
+    pub db_range: Range<usize>,
+    /// Half-open element range of the query covered by the chained segments.
+    pub query_range: Range<usize>,
+    /// Number of windows in the chain (`k`).
+    pub chain_len: usize,
+    /// Sum of the segment–window distances along the chain (used to order
+    /// equally long chains: tighter chains are verified first).
+    pub total_distance: f64,
+}
+
+/// Builds chained candidates from segment matches.
+///
+/// Two matches are chainable when they are on the same sequence, their window
+/// indices are consecutive, and the second query segment starts within `λ0`
+/// of where the first one ends. The function returns one candidate per match
+/// describing the best (longest, then tightest) chain *ending* at that match,
+/// keeping only chains that are not a strict prefix of a longer chain, sorted
+/// by decreasing chain length and increasing total distance.
+pub fn build_candidates(
+    matches: &[SegmentMatch],
+    window_len: usize,
+    max_shift: usize,
+) -> Vec<Candidate> {
+    assert!(window_len > 0, "window length must be positive");
+    if matches.is_empty() {
+        return Vec::new();
+    }
+    // Group matches per sequence and sort by (window_index, query_start).
+    let mut per_sequence: HashMap<SequenceId, Vec<usize>> = HashMap::new();
+    for (i, m) in matches.iter().enumerate() {
+        per_sequence.entry(m.sequence).or_default().push(i);
+    }
+
+    let mut candidates = Vec::new();
+    for (_, mut idxs) in per_sequence {
+        idxs.sort_by_key(|&i| (matches[i].window_index, matches[i].query_start));
+        // Longest-chain DP over the matches of this sequence.
+        let n = idxs.len();
+        let mut chain_len = vec![1usize; n];
+        let mut chain_dist = vec![0.0f64; n];
+        let mut chain_start = vec![0usize; n]; // position in idxs where the chain starts
+        for (pos, &mi) in idxs.iter().enumerate() {
+            chain_dist[pos] = matches[mi].distance;
+            chain_start[pos] = pos;
+            let m = &matches[mi];
+            for (prev_pos, &pi) in idxs.iter().enumerate().take(pos) {
+                let p = &matches[pi];
+                if p.window_index + 1 != m.window_index {
+                    continue;
+                }
+                let expected = p.query_end();
+                let lo = expected.saturating_sub(max_shift);
+                let hi = expected + max_shift;
+                if m.query_start < lo || m.query_start > hi {
+                    continue;
+                }
+                let cand_len = chain_len[prev_pos] + 1;
+                let cand_dist = chain_dist[prev_pos] + m.distance;
+                if cand_len > chain_len[pos]
+                    || (cand_len == chain_len[pos] && cand_dist < chain_dist[pos])
+                {
+                    chain_len[pos] = cand_len;
+                    chain_dist[pos] = cand_dist;
+                    chain_start[pos] = chain_start[prev_pos];
+                }
+            }
+        }
+        // A match that extends into a longer chain is not reported on its own.
+        let mut extended = vec![false; n];
+        for pos in 0..n {
+            if chain_len[pos] > 1 {
+                // chain_start[pos] begins a chain that continues past itself.
+                extended[chain_start[pos]] = true;
+            }
+        }
+        for pos in 0..n {
+            let mi = idxs[pos];
+            let m = &matches[mi];
+            if chain_len[pos] == 1 && extended[pos] {
+                continue;
+            }
+            let start_match = &matches[idxs[chain_start[pos]]];
+            candidates.push(Candidate {
+                sequence: m.sequence,
+                window_range: (start_match.window_index, m.window_index),
+                db_range: start_match.db_start..m.db_start + window_len,
+                query_range: start_match.query_start.min(m.query_start)
+                    ..m.query_end().max(start_match.query_end()),
+                chain_len: chain_len[pos],
+                total_distance: chain_dist[pos],
+            });
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.chain_len
+            .cmp(&a.chain_len)
+            .then(a.total_distance.partial_cmp(&b.total_distance).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.sequence.0.cmp(&b.sequence.0))
+            .then(a.window_range.0.cmp(&b.window_range.0))
+    });
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(
+        window: usize,
+        sequence: usize,
+        window_index: usize,
+        query_start: usize,
+        query_len: usize,
+        distance: f64,
+    ) -> SegmentMatch {
+        SegmentMatch {
+            window: WindowId(window),
+            sequence: SequenceId(sequence),
+            window_index,
+            db_start: window_index * 10,
+            query_start,
+            query_len,
+            distance,
+        }
+    }
+
+    #[test]
+    fn empty_matches_give_no_candidates() {
+        assert!(build_candidates(&[], 10, 2).is_empty());
+    }
+
+    #[test]
+    fn single_match_becomes_single_window_candidate() {
+        let matches = [m(0, 0, 3, 7, 10, 1.0)];
+        let cands = build_candidates(&matches, 10, 2);
+        assert_eq!(cands.len(), 1);
+        let c = &cands[0];
+        assert_eq!(c.chain_len, 1);
+        assert_eq!(c.window_range, (3, 3));
+        assert_eq!(c.db_range, 30..40);
+        assert_eq!(c.query_range, 7..17);
+    }
+
+    #[test]
+    fn consecutive_matches_chain() {
+        // Windows 2 and 3 of sequence 0 matched query segments at 0..10 and
+        // 10..20 — they chain into a length-2 candidate.
+        let matches = [m(2, 0, 2, 0, 10, 1.0), m(3, 0, 3, 10, 10, 2.0)];
+        let cands = build_candidates(&matches, 10, 2);
+        assert_eq!(cands[0].chain_len, 2);
+        assert_eq!(cands[0].window_range, (2, 3));
+        assert_eq!(cands[0].db_range, 20..40);
+        assert_eq!(cands[0].query_range, 0..20);
+        assert!((cands[0].total_distance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_tolerance_respects_lambda0() {
+        // Second segment starts 3 positions late; only allowed if max_shift >= 3.
+        let matches = [m(0, 0, 0, 0, 10, 0.5), m(1, 0, 1, 13, 10, 0.5)];
+        let strict = build_candidates(&matches, 10, 2);
+        assert!(strict.iter().all(|c| c.chain_len == 1));
+        let lenient = build_candidates(&matches, 10, 3);
+        assert_eq!(lenient[0].chain_len, 2);
+    }
+
+    #[test]
+    fn non_consecutive_windows_do_not_chain() {
+        let matches = [m(0, 0, 0, 0, 10, 0.5), m(2, 0, 2, 10, 10, 0.5)];
+        let cands = build_candidates(&matches, 10, 2);
+        assert!(cands.iter().all(|c| c.chain_len == 1));
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn chains_do_not_cross_sequences() {
+        let matches = [m(0, 0, 0, 0, 10, 0.5), m(5, 1, 1, 10, 10, 0.5)];
+        let cands = build_candidates(&matches, 10, 2);
+        assert!(cands.iter().all(|c| c.chain_len == 1));
+    }
+
+    #[test]
+    fn long_chains_come_first_and_prefixes_are_subsumed() {
+        let matches = [
+            m(0, 0, 0, 0, 10, 1.0),
+            m(1, 0, 1, 10, 10, 1.0),
+            m(2, 0, 2, 20, 10, 1.0),
+            m(9, 1, 4, 0, 10, 0.1),
+        ];
+        let cands = build_candidates(&matches, 10, 2);
+        assert_eq!(cands[0].chain_len, 3);
+        assert_eq!(cands[0].sequence, SequenceId(0));
+        assert_eq!(cands[0].db_range, 0..30);
+        // The length-1 prefix of the chain (window 0) must not be reported,
+        // but windows 1 and 2 still appear as chain ends of length 2 and 3,
+        // plus the unrelated sequence-1 match.
+        assert!(cands
+            .iter()
+            .all(|c| !(c.chain_len == 1 && c.sequence == SequenceId(0) && c.window_range == (0, 0))));
+        assert!(cands
+            .iter()
+            .any(|c| c.sequence == SequenceId(1) && c.chain_len == 1));
+    }
+
+    #[test]
+    fn ties_are_broken_by_total_distance() {
+        let matches = [m(0, 0, 0, 0, 10, 5.0), m(1, 1, 0, 0, 10, 1.0)];
+        let cands = build_candidates(&matches, 10, 2);
+        assert_eq!(cands[0].sequence, SequenceId(1));
+        assert_eq!(cands[1].sequence, SequenceId(0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Framework configuration.
+
+use std::fmt;
+
+use ssr_distance::SequenceDistance;
+use ssr_sequence::{Element, SegmentSpec};
+
+/// Which metric index backs step 4 (the window range queries).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
+pub enum IndexBackend {
+    /// The paper's Reference Net (default).
+    #[default]
+    ReferenceNet,
+    /// Cover Tree baseline.
+    CoverTree,
+    /// Reference-based indexing with Maximum-Variance pivots ("MV-k").
+    MvReference {
+        /// Number of pivots.
+        references: usize,
+    },
+    /// Naive linear scan (no index).
+    LinearScan,
+}
+
+
+impl fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexBackend::ReferenceNet => write!(f, "reference-net"),
+            IndexBackend::CoverTree => write!(f, "cover-tree"),
+            IndexBackend::MvReference { references } => write!(f, "mv-{references}"),
+            IndexBackend::LinearScan => write!(f, "linear-scan"),
+        }
+    }
+}
+
+/// Errors raised by configuration validation or database construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameworkError {
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// The chosen distance cannot be used with the chosen index.
+    UnsupportedDistance(String),
+    /// The database holds no window (all sequences shorter than `λ/2`).
+    EmptyDatabase,
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FrameworkError::UnsupportedDistance(msg) => write!(f, "unsupported distance: {msg}"),
+            FrameworkError::EmptyDatabase => {
+                write!(f, "no window could be extracted from the database sequences")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+/// Parameters of the subsequence-matching framework.
+///
+/// * `lambda` (`λ`) — minimum length of a reported similar subsequence;
+/// * `max_shift` (`λ0`) — maximum temporal shift, i.e. maximum allowed
+///   difference between the lengths of the two subsequences of a reported
+///   pair;
+/// * `epsilon_prime` (`ǫ'`) — base radius of the Reference Net levels;
+/// * `max_parents` (`nummax`) — optional cap on Reference Net parents;
+/// * `backend` — which metric index to use for step 4;
+/// * `max_results` / `max_verifications` — resource caps for step 5.
+#[derive(Clone, Debug)]
+pub struct FrameworkConfig {
+    /// Minimum subsequence length `λ`.
+    pub lambda: usize,
+    /// Maximum temporal shift `λ0`.
+    pub max_shift: usize,
+    /// Reference Net base radius `ǫ'`.
+    pub epsilon_prime: f64,
+    /// Optional Reference Net parent cap `nummax`.
+    pub max_parents: Option<usize>,
+    /// Index backend for the window range queries.
+    pub backend: IndexBackend,
+    /// Maximum number of matches returned by a Type I query.
+    pub max_results: usize,
+    /// Maximum number of verification distance computations per query
+    /// (step 5); the search reports the best result found within the budget.
+    pub max_verifications: usize,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            lambda: 40,
+            max_shift: 2,
+            epsilon_prime: 1.0,
+            max_parents: None,
+            backend: IndexBackend::ReferenceNet,
+            max_results: 1000,
+            max_verifications: 200_000,
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// Creates a configuration with the given minimum subsequence length `λ`
+    /// and defaults for everything else.
+    pub fn new(lambda: usize) -> Self {
+        FrameworkConfig {
+            lambda,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the maximum temporal shift `λ0`.
+    pub fn with_max_shift(mut self, max_shift: usize) -> Self {
+        self.max_shift = max_shift;
+        self
+    }
+
+    /// Sets the index backend.
+    pub fn with_backend(mut self, backend: IndexBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the Reference Net base radius `ǫ'`.
+    pub fn with_epsilon_prime(mut self, epsilon_prime: f64) -> Self {
+        self.epsilon_prime = epsilon_prime;
+        self
+    }
+
+    /// Caps the number of Reference Net parents per window (`nummax`).
+    pub fn with_max_parents(mut self, max_parents: usize) -> Self {
+        self.max_parents = Some(max_parents);
+        self
+    }
+
+    /// Window length `l = λ/2` used for dataset segmentation (step 1).
+    ///
+    /// Lemma 2 requires `l ≤ λ/2` for the filtering to be complete; using
+    /// exactly `λ/2` maximises the window length and therefore minimises the
+    /// number of windows, which is what the paper does.
+    pub fn window_len(&self) -> usize {
+        self.lambda / 2
+    }
+
+    /// Segment specification for query segmentation (step 3).
+    pub fn segment_spec(&self) -> SegmentSpec {
+        SegmentSpec::new(self.window_len(), self.max_shift)
+    }
+
+    /// Validates the numeric parameters.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        if self.lambda < 2 {
+            return Err(FrameworkError::InvalidConfig(
+                "lambda must be at least 2 so that windows of length lambda/2 are non-empty".into(),
+            ));
+        }
+        if self.window_len() == 0 {
+            return Err(FrameworkError::InvalidConfig(
+                "lambda/2 must be at least 1".into(),
+            ));
+        }
+        if self.max_shift >= self.window_len() {
+            return Err(FrameworkError::InvalidConfig(format!(
+                "max_shift (lambda0 = {}) must be smaller than the window length (lambda/2 = {})",
+                self.max_shift,
+                self.window_len()
+            )));
+        }
+        if self.epsilon_prime <= 0.0 || !self.epsilon_prime.is_finite() {
+            return Err(FrameworkError::InvalidConfig(
+                "epsilon_prime must be positive and finite".into(),
+            ));
+        }
+        if let Some(p) = self.max_parents {
+            if p == 0 {
+                return Err(FrameworkError::InvalidConfig(
+                    "max_parents must be at least 1 when set".into(),
+                ));
+            }
+        }
+        if self.max_results == 0 || self.max_verifications == 0 {
+            return Err(FrameworkError::InvalidConfig(
+                "max_results and max_verifications must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks that `distance` can be used with the configured backend.
+    ///
+    /// Metric indexes require a metric distance (Section 3.3); the filtering
+    /// itself additionally requires consistency (Section 5). A non-consistent
+    /// distance is rejected outright because the candidate shortlist would be
+    /// incomplete; a non-metric but consistent distance (DTW) is accepted only
+    /// with the [`IndexBackend::LinearScan`] backend.
+    pub fn validate_distance<E, D>(&self, distance: &D) -> Result<(), FrameworkError>
+    where
+        E: Element,
+        D: SequenceDistance<E> + ?Sized,
+    {
+        let props = distance.properties();
+        if !props.consistent {
+            return Err(FrameworkError::UnsupportedDistance(format!(
+                "{} is not consistent; the window filtering of Lemma 3 would miss matches",
+                distance.name()
+            )));
+        }
+        if !props.metric && self.backend != IndexBackend::LinearScan {
+            return Err(FrameworkError::UnsupportedDistance(format!(
+                "{} is not a metric; use IndexBackend::LinearScan (triangle-inequality pruning \
+                 would be unsound)",
+                distance.name()
+            )));
+        }
+        if props.requires_equal_lengths && self.max_shift > 0 {
+            return Err(FrameworkError::UnsupportedDistance(format!(
+                "{} requires equal lengths; set max_shift (lambda0) to 0",
+                distance.name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_distance::{Dtw, Euclidean, Levenshtein};
+    use ssr_sequence::Symbol;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = FrameworkConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.window_len(), 20);
+        assert_eq!(cfg.segment_spec().min_len(), 18);
+        assert_eq!(cfg.segment_spec().max_len(), 22);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let cfg = FrameworkConfig::new(20)
+            .with_max_shift(3)
+            .with_backend(IndexBackend::CoverTree)
+            .with_epsilon_prime(0.5)
+            .with_max_parents(5);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.lambda, 20);
+        assert_eq!(cfg.max_shift, 3);
+        assert_eq!(cfg.backend, IndexBackend::CoverTree);
+        assert_eq!(cfg.max_parents, Some(5));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(FrameworkConfig::new(1).validate().is_err());
+        assert!(FrameworkConfig::new(20)
+            .with_max_shift(10)
+            .validate()
+            .is_err());
+        assert!(FrameworkConfig::new(20)
+            .with_epsilon_prime(0.0)
+            .validate()
+            .is_err());
+        let mut cfg = FrameworkConfig::new(20);
+        cfg.max_parents = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg = FrameworkConfig::new(20);
+        cfg.max_results = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn distance_validation_enforces_paper_requirements() {
+        let cfg = FrameworkConfig::new(20);
+        assert!(cfg
+            .validate_distance::<Symbol, _>(&Levenshtein::new())
+            .is_ok());
+        // DTW is consistent but not metric: only allowed with a linear scan.
+        assert!(cfg.validate_distance::<Symbol, _>(&Dtw::new()).is_err());
+        let scan_cfg = cfg.clone().with_backend(IndexBackend::LinearScan);
+        assert!(scan_cfg.validate_distance::<Symbol, _>(&Dtw::new()).is_ok());
+        // Euclidean requires equal lengths: incompatible with a non-zero shift.
+        assert!(cfg.validate_distance::<Symbol, _>(&Euclidean::new()).is_err());
+        let mut no_shift = FrameworkConfig::new(20);
+        no_shift.max_shift = 0;
+        assert!(no_shift
+            .validate_distance::<Symbol, _>(&Euclidean::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn backend_display() {
+        assert_eq!(IndexBackend::ReferenceNet.to_string(), "reference-net");
+        assert_eq!(
+            IndexBackend::MvReference { references: 50 }.to_string(),
+            "mv-50"
+        );
+        assert_eq!(IndexBackend::default(), IndexBackend::ReferenceNet);
+    }
+}

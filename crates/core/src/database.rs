@@ -1,0 +1,351 @@
+//! The indexed subsequence database (steps 1 and 2 of the framework).
+
+use std::sync::Arc;
+
+use ssr_distance::{CallCounter, SequenceDistance};
+use ssr_index::{
+    CountingMetric, CoverTree, ItemId, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
+    ReferenceNetConfig, SequenceMetricAdapter, SpaceStats,
+};
+use ssr_sequence::{
+    partition_windows_dataset, Element, Sequence, SequenceDataset, SequenceId, WindowId,
+    WindowStore,
+};
+
+use crate::candidates::SegmentMatch;
+use crate::config::{FrameworkConfig, FrameworkError, IndexBackend};
+
+/// The metric the window index operates with: the user's sequence distance,
+/// adapted to `Vec<E>` items and counted.
+type WindowMetric<D> = CountingMetric<SequenceMetricAdapter<Arc<D>>>;
+
+enum WindowIndex<E: Element, D: SequenceDistance<E>> {
+    ReferenceNet(ReferenceNet<Vec<E>, WindowMetric<D>>),
+    CoverTree(CoverTree<Vec<E>, WindowMetric<D>>),
+    MvReference(MvReferenceIndex<Vec<E>, WindowMetric<D>>),
+    LinearScan(LinearScan<Vec<E>, WindowMetric<D>>),
+}
+
+impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
+    fn range_query(&self, query: &Vec<E>, radius: f64) -> Vec<ItemId> {
+        match self {
+            WindowIndex::ReferenceNet(idx) => idx.range_query(query, radius),
+            WindowIndex::CoverTree(idx) => idx.range_query(query, radius),
+            WindowIndex::MvReference(idx) => idx.range_query(query, radius),
+            WindowIndex::LinearScan(idx) => idx.range_query(query, radius),
+        }
+    }
+
+    fn space_stats(&self) -> SpaceStats {
+        match self {
+            WindowIndex::ReferenceNet(idx) => idx.space_stats(),
+            WindowIndex::CoverTree(idx) => idx.space_stats(),
+            WindowIndex::MvReference(idx) => idx.space_stats(),
+            WindowIndex::LinearScan(idx) => idx.space_stats(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WindowIndex::ReferenceNet(idx) => idx.len(),
+            WindowIndex::CoverTree(idx) => idx.len(),
+            WindowIndex::MvReference(idx) => idx.len(),
+            WindowIndex::LinearScan(idx) => idx.len(),
+        }
+    }
+}
+
+/// Builder for a [`SubsequenceDatabase`].
+pub struct DatabaseBuilder<E: Element, D: SequenceDistance<E>> {
+    config: FrameworkConfig,
+    distance: Arc<D>,
+    dataset: SequenceDataset<E>,
+}
+
+impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
+    /// Starts a builder with the given configuration and distance.
+    pub fn new(config: FrameworkConfig, distance: D) -> Self {
+        DatabaseBuilder {
+            config,
+            distance: Arc::new(distance),
+            dataset: SequenceDataset::new(),
+        }
+    }
+
+    /// Adds one sequence to the database.
+    pub fn add_sequence(mut self, sequence: Sequence<E>) -> Self {
+        self.dataset.push(sequence);
+        self
+    }
+
+    /// Adds every sequence of a dataset to the database.
+    pub fn add_dataset(mut self, dataset: &SequenceDataset<E>) -> Self {
+        for (_, s) in dataset.iter() {
+            self.dataset.push(s.clone());
+        }
+        self
+    }
+
+    /// Validates the configuration, partitions the sequences into windows of
+    /// length `λ/2` and builds the chosen metric index over them.
+    pub fn build(self) -> Result<SubsequenceDatabase<E, D>, FrameworkError> {
+        self.config.validate()?;
+        self.config.validate_distance::<E, _>(self.distance.as_ref())?;
+        let windows = partition_windows_dataset(&self.dataset, self.config.window_len());
+        if windows.is_empty() {
+            return Err(FrameworkError::EmptyDatabase);
+        }
+        let counter = CallCounter::new();
+        let metric = CountingMetric::new(
+            SequenceMetricAdapter::new(Arc::clone(&self.distance)),
+            counter.clone(),
+        );
+        let window_data: Vec<Vec<E>> = windows.iter().map(|(_, w)| w.data.clone()).collect();
+        let index = match self.config.backend {
+            IndexBackend::ReferenceNet => {
+                let mut rn_config =
+                    ReferenceNetConfig::with_epsilon_prime(self.config.epsilon_prime);
+                if let Some(p) = self.config.max_parents {
+                    rn_config = rn_config.with_max_parents(p);
+                }
+                let mut idx = ReferenceNet::with_config(metric, rn_config);
+                idx.extend(window_data);
+                WindowIndex::ReferenceNet(idx)
+            }
+            IndexBackend::CoverTree => {
+                let mut idx = CoverTree::with_epsilon_prime(metric, self.config.epsilon_prime);
+                idx.extend(window_data);
+                WindowIndex::CoverTree(idx)
+            }
+            IndexBackend::MvReference { references } => {
+                let mut idx = MvReferenceIndex::new(metric, references);
+                idx.extend(window_data);
+                WindowIndex::MvReference(idx)
+            }
+            IndexBackend::LinearScan => {
+                let mut idx = LinearScan::new(metric);
+                idx.extend(window_data);
+                WindowIndex::LinearScan(idx)
+            }
+        };
+        // Remember how much the build cost, then reset the shared counter so
+        // that subsequent reads reflect query-time work only.
+        let build_distance_calls = counter.reset();
+        Ok(SubsequenceDatabase {
+            index,
+            counter,
+            build_distance_calls,
+            config: self.config,
+            distance: self.distance,
+            dataset: self.dataset,
+            windows,
+        })
+    }
+}
+
+/// A database of sequences prepared for subsequence retrieval: the sequences,
+/// their fixed-length windows and a metric index over the windows.
+pub struct SubsequenceDatabase<E: Element, D: SequenceDistance<E>> {
+    config: FrameworkConfig,
+    distance: Arc<D>,
+    dataset: SequenceDataset<E>,
+    windows: WindowStore<E>,
+    index: WindowIndex<E, D>,
+    counter: CallCounter,
+    build_distance_calls: u64,
+}
+
+impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D> {
+    /// Starts a [`DatabaseBuilder`].
+    pub fn builder(config: FrameworkConfig, distance: D) -> DatabaseBuilder<E, D> {
+        DatabaseBuilder::new(config, distance)
+    }
+
+    /// The framework configuration.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// The distance measure in use.
+    pub fn distance(&self) -> &D {
+        &self.distance
+    }
+
+    /// The stored sequences.
+    pub fn dataset(&self) -> &SequenceDataset<E> {
+        &self.dataset
+    }
+
+    /// The window store (provenance of every indexed window).
+    pub fn windows(&self) -> &WindowStore<E> {
+        &self.windows
+    }
+
+    /// Number of indexed windows.
+    pub fn window_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Space accounting of the underlying index (Figures 5–7).
+    pub fn index_space_stats(&self) -> SpaceStats {
+        self.index.space_stats()
+    }
+
+    /// Number of distance evaluations spent building the index.
+    pub fn build_distance_calls(&self) -> u64 {
+        self.build_distance_calls
+    }
+
+    /// Shared counter of query-time distance evaluations made by the index.
+    pub fn query_distance_counter(&self) -> &CallCounter {
+        &self.counter
+    }
+
+    /// Step 4: matches every query segment (step 3) against the indexed
+    /// windows within radius `epsilon`, returning the matched pairs.
+    pub fn matching_segments(
+        &self,
+        query: &Sequence<E>,
+        epsilon: f64,
+    ) -> (Vec<SegmentMatch>, u64) {
+        let spec = self.config.segment_spec();
+        let segments = ssr_sequence::extract_segments(query, spec);
+        let before = self.counter.get();
+        let mut matches = Vec::new();
+        for segment in &segments {
+            for id in self.index.range_query(&segment.data, epsilon) {
+                let window_id = WindowId(id.0);
+                let window = self
+                    .windows
+                    .get(window_id)
+                    .expect("index ids correspond to window ids");
+                let distance = self.distance.distance(&segment.data, &window.data);
+                matches.push(SegmentMatch {
+                    window: window_id,
+                    sequence: window.sequence,
+                    window_index: window.window_index,
+                    db_start: window.start,
+                    query_start: segment.start,
+                    query_len: segment.len(),
+                    distance,
+                });
+            }
+        }
+        let index_calls = self.counter.get() - before;
+        (matches, index_calls)
+    }
+
+    /// Looks up a stored sequence.
+    pub fn sequence(&self, id: SequenceId) -> Option<&Sequence<E>> {
+        self.dataset.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_distance::{Dtw, Levenshtein};
+    use ssr_sequence::Symbol;
+
+    fn seq(text: &str) -> Sequence<Symbol> {
+        Sequence::new(text.chars().map(Symbol::from_char).collect())
+    }
+
+    fn small_config() -> FrameworkConfig {
+        FrameworkConfig::new(8).with_max_shift(1)
+    }
+
+    #[test]
+    fn build_partitions_and_indexes_windows() {
+        let db = SubsequenceDatabase::builder(small_config(), Levenshtein::new())
+            .add_sequence(seq("ACDEFGHIKLMNPQRSTVWY"))
+            .add_sequence(seq("ACDEFGHI"))
+            .build()
+            .unwrap();
+        // 20/4 + 8/4 = 5 + 2 windows of length lambda/2 = 4.
+        assert_eq!(db.window_count(), 7);
+        assert_eq!(db.windows().window_len(), 4);
+        assert!(db.build_distance_calls() > 0);
+        assert_eq!(db.query_distance_counter().get(), 0);
+    }
+
+    #[test]
+    fn all_backends_build_and_answer_segment_queries() {
+        for backend in [
+            IndexBackend::ReferenceNet,
+            IndexBackend::CoverTree,
+            IndexBackend::MvReference { references: 3 },
+            IndexBackend::LinearScan,
+        ] {
+            let db = SubsequenceDatabase::builder(
+                small_config().with_backend(backend),
+                Levenshtein::new(),
+            )
+            .add_sequence(seq("ACDEFGHIKLMNPQRSTVWYACDEFGHI"))
+            .build()
+            .unwrap();
+            let (matches, calls) = db.matching_segments(&seq("ACDEFGHI"), 1.0);
+            assert!(
+                !matches.is_empty(),
+                "backend {backend} found no matching windows"
+            );
+            assert!(matches.iter().all(|m| m.distance <= 1.0));
+            if backend == IndexBackend::LinearScan {
+                assert!(calls > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_is_rejected() {
+        let result = SubsequenceDatabase::builder(small_config(), Levenshtein::new())
+            .add_sequence(seq("ACk"))
+            .build();
+        assert!(matches!(result, Err(FrameworkError::EmptyDatabase)));
+    }
+
+    #[test]
+    fn non_metric_distance_requires_linear_scan() {
+        let err = SubsequenceDatabase::<Symbol, _>::builder(small_config(), Dtw::new())
+            .add_sequence(seq("ACDEFGHIKLMNPQRSTVWY"))
+            .build();
+        assert!(matches!(err, Err(FrameworkError::UnsupportedDistance(_))));
+
+        let ok = SubsequenceDatabase::<Symbol, _>::builder(
+            small_config().with_backend(IndexBackend::LinearScan),
+            Dtw::new(),
+        )
+        .add_sequence(seq("ACDEFGHIKLMNPQRSTVWY"))
+        .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn matching_segments_reports_provenance() {
+        let db = SubsequenceDatabase::builder(small_config(), Levenshtein::new())
+            .add_sequence(seq("AAAACCCCGGGGTTTT"))
+            .build()
+            .unwrap();
+        let (matches, _) = db.matching_segments(&seq("CCCC"), 0.0);
+        assert!(!matches.is_empty());
+        for m in &matches {
+            assert_eq!(m.sequence, SequenceId(0));
+            let window = db.windows().get(m.window).unwrap();
+            assert_eq!(window.start, m.db_start);
+            assert_eq!(m.distance, 0.0);
+        }
+        // The exact-match window is the second one (elements 4..8).
+        assert!(matches.iter().any(|m| m.db_start == 4));
+    }
+
+    #[test]
+    fn index_space_stats_are_populated() {
+        let db = SubsequenceDatabase::builder(small_config(), Levenshtein::new())
+            .add_sequence(seq("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY"))
+            .build()
+            .unwrap();
+        let stats = db.index_space_stats();
+        assert_eq!(stats.items, db.window_count());
+        assert!(stats.entries >= stats.items - 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Expansion of chained candidates into concrete subsequence pairs.
+//!
+//! Section 7 of the paper bounds where the endpoints of a verified similar
+//! subsequence pair can lie relative to a matched (segment, window) pair: the
+//! query subsequence may start up to `λ/2 + λ0` before the matched segment and
+//! end up to `λ/2 + λ0` after it, and the database subsequence may extend by
+//! up to `λ/2` on each side of the matched windows. [`enumerate_pairs`]
+//! produces the resulting `(query range, database range)` combinations in
+//! decreasing order of query-subsequence length, so that a Type II search can
+//! stop at the first verified pair.
+
+use std::ops::Range;
+
+use crate::candidates::Candidate;
+use crate::config::FrameworkConfig;
+
+/// Clamped expansion limits of a candidate within its query and database
+/// sequences.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExpansionLimits {
+    /// Allowed query start offsets (inclusive range of half-open range starts).
+    pub query_start: Range<usize>,
+    /// Allowed query end offsets.
+    pub query_end: Range<usize>,
+    /// Allowed database start offsets.
+    pub db_start: Range<usize>,
+    /// Allowed database end offsets.
+    pub db_end: Range<usize>,
+}
+
+impl ExpansionLimits {
+    /// Computes the expansion limits for `candidate` under `config`, given the
+    /// lengths of the query and of the candidate's database sequence.
+    pub fn new(
+        candidate: &Candidate,
+        config: &FrameworkConfig,
+        query_len: usize,
+        db_seq_len: usize,
+    ) -> Self {
+        let l = config.window_len();
+        let shift = config.max_shift;
+        let q = &candidate.query_range;
+        let x = &candidate.db_range;
+        let query_start = q.start.saturating_sub(l + shift)..q.start + 1;
+        let query_end = q.end..(q.end + l + shift + 1).min(query_len + 1);
+        let db_start = x.start.saturating_sub(l)..x.start + 1;
+        let db_end = x.end..(x.end + l + 1).min(db_seq_len + 1);
+        ExpansionLimits {
+            query_start,
+            query_end,
+            db_start,
+            db_end,
+        }
+    }
+}
+
+/// Enumerates candidate `(query range, database range)` pairs for
+/// verification, ordered by decreasing query-subsequence length.
+///
+/// Only pairs satisfying the framework's constraints are produced:
+/// `|SQ| ≥ λ`, `|SX| ≥ λ` and `||SQ| − |SX|| ≤ λ0`.
+pub fn enumerate_pairs(
+    candidate: &Candidate,
+    config: &FrameworkConfig,
+    query_len: usize,
+    db_seq_len: usize,
+) -> Vec<(Range<usize>, Range<usize>)> {
+    let limits = ExpansionLimits::new(candidate, config, query_len, db_seq_len);
+    let lambda = config.lambda;
+    let shift = config.max_shift as i64;
+
+    let mut pairs: Vec<(Range<usize>, Range<usize>)> = Vec::new();
+    for qs in limits.query_start.clone() {
+        for qe in limits.query_end.clone() {
+            if qe <= qs || qe > query_len {
+                continue;
+            }
+            let q_len = qe - qs;
+            if q_len < lambda {
+                continue;
+            }
+            for xs in limits.db_start.clone() {
+                for xe in limits.db_end.clone() {
+                    if xe <= xs || xe > db_seq_len {
+                        continue;
+                    }
+                    let x_len = xe - xs;
+                    if x_len < lambda {
+                        continue;
+                    }
+                    if (q_len as i64 - x_len as i64).abs() > shift {
+                        continue;
+                    }
+                    pairs.push((qs..qe, xs..xe));
+                }
+            }
+        }
+    }
+    pairs.sort_by(|a, b| {
+        let qa = a.0.end - a.0.start;
+        let qb = b.0.end - b.0.start;
+        qb.cmp(&qa).then_with(|| {
+            let xa = a.1.end - a.1.start;
+            let xb = b.1.end - b.1.start;
+            xb.cmp(&xa)
+        })
+    });
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_sequence::SequenceId;
+
+    fn candidate(db_range: Range<usize>, query_range: Range<usize>, chain_len: usize) -> Candidate {
+        Candidate {
+            sequence: SequenceId(0),
+            window_range: (0, chain_len - 1),
+            db_range,
+            query_range,
+            chain_len,
+            total_distance: 0.0,
+        }
+    }
+
+    fn config(lambda: usize, shift: usize) -> FrameworkConfig {
+        FrameworkConfig::new(lambda).with_max_shift(shift)
+    }
+
+    #[test]
+    fn limits_are_clamped_to_sequence_bounds() {
+        let cfg = config(8, 1);
+        let cand = candidate(0..8, 0..4, 2);
+        let limits = ExpansionLimits::new(&cand, &cfg, 10, 12);
+        assert_eq!(limits.query_start, 0..1);
+        assert!(limits.query_end.end <= 11);
+        assert_eq!(limits.db_start, 0..1);
+        assert!(limits.db_end.end <= 13);
+    }
+
+    #[test]
+    fn pairs_respect_length_constraints() {
+        let cfg = config(8, 1);
+        let cand = candidate(4..12, 3..11, 2);
+        let pairs = enumerate_pairs(&cand, &cfg, 20, 30);
+        assert!(!pairs.is_empty());
+        for (q, x) in &pairs {
+            assert!(q.end - q.start >= 8);
+            assert!(x.end - x.start >= 8);
+            let diff = (q.end - q.start) as i64 - (x.end - x.start) as i64;
+            assert!(diff.abs() <= 1);
+            assert!(q.end <= 20);
+            assert!(x.end <= 30);
+        }
+    }
+
+    #[test]
+    fn pairs_are_sorted_by_decreasing_query_length() {
+        let cfg = config(8, 2);
+        let cand = candidate(4..12, 3..11, 2);
+        let pairs = enumerate_pairs(&cand, &cfg, 25, 40);
+        let lengths: Vec<usize> = pairs.iter().map(|(q, _)| q.end - q.start).collect();
+        for w in lengths.windows(2) {
+            assert!(w[0] >= w[1], "not sorted: {lengths:?}");
+        }
+    }
+
+    #[test]
+    fn short_sequences_yield_no_pairs_below_lambda() {
+        let cfg = config(16, 1);
+        let cand = candidate(0..8, 0..8, 1);
+        // The query is only 10 long: no subsequence of length >= 16 exists.
+        let pairs = enumerate_pairs(&cand, &cfg, 10, 100);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn expansion_covers_the_planted_region() {
+        // A chain covering db 10..30 and query 5..25 must allow recovering a
+        // pair extending a few elements on either side.
+        let cfg = config(16, 2);
+        let cand = candidate(10..30, 5..25, 2);
+        let pairs = enumerate_pairs(&cand, &cfg, 40, 60);
+        assert!(pairs
+            .iter()
+            .any(|(q, x)| *q == (3..27) && *x == (8..32)),
+            "expected expanded pair to be enumerated");
+    }
+}

@@ -1,0 +1,41 @@
+//! # ssr-core
+//!
+//! The subsequence-matching framework of Zhu, Kollios and Athitsos
+//! (VLDB 2012), built on the substrates in `ssr-sequence`, `ssr-distance` and
+//! `ssr-index`.
+//!
+//! The framework runs in five steps (Section 7 of the paper):
+//!
+//! 1. **Dataset segmentation** — every database sequence is partitioned into
+//!    fixed windows of length `l = λ/2` ([`ssr_sequence::partition_windows`]).
+//! 2. **Index construction** — the windows are inserted into a metric index
+//!    (by default the Reference Net; Cover Tree, MV reference-based indexing
+//!    and a linear scan are available for comparison).
+//! 3. **Query segmentation** — all query segments with lengths in
+//!    `[λ/2 − λ0, λ/2 + λ0]` are extracted.
+//! 4. **Range query** — each segment is matched against the indexed windows
+//!    within radius `ε`.
+//! 5. **Candidate generation and retrieval** — matched (segment, window) pairs
+//!    are chained, expanded into candidate subsequence pairs and verified with
+//!    the actual distance, answering one of three query types:
+//!    *Type I* (all similar pairs), *Type II* (longest similar subsequence) and
+//!    *Type III* (nearest pair).
+//!
+//! The distance plugged in must be **consistent** for the filtering to be
+//! complete (Lemma 3) and **metric** for the index to be usable; the builder
+//! enforces the latter and warns about the former via
+//! [`FrameworkConfig::validate_distance`].
+
+pub mod brute;
+pub mod candidates;
+pub mod config;
+pub mod database;
+pub mod expand;
+pub mod query;
+
+pub use brute::{all_similar_pairs, longest_similar_pair, nearest_pair, BruteConstraints};
+pub use candidates::{build_candidates, Candidate, SegmentMatch};
+pub use config::{FrameworkConfig, FrameworkError, IndexBackend};
+pub use database::{DatabaseBuilder, SubsequenceDatabase};
+pub use expand::{enumerate_pairs, ExpansionLimits};
+pub use query::{QueryOutcome, QueryStats, SubsequenceMatch};

@@ -1,0 +1,434 @@
+//! Query execution: Type I (range), Type II (longest) and Type III (nearest).
+
+use std::ops::Range;
+
+use ssr_distance::SequenceDistance;
+use ssr_sequence::{Element, Sequence, SequenceId};
+
+use crate::candidates::build_candidates;
+use crate::database::SubsequenceDatabase;
+use crate::expand::enumerate_pairs;
+
+/// A verified pair of similar subsequences.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SubsequenceMatch {
+    /// The database sequence containing the matched subsequence.
+    pub sequence: SequenceId,
+    /// Half-open element range of the database subsequence `SX`.
+    pub db_range: Range<usize>,
+    /// Half-open element range of the query subsequence `SQ`.
+    pub query_range: Range<usize>,
+    /// Verified distance `δ(SQ, SX)`.
+    pub distance: f64,
+}
+
+impl SubsequenceMatch {
+    /// Length of the database subsequence.
+    pub fn db_len(&self) -> usize {
+        self.db_range.end - self.db_range.start
+    }
+
+    /// Length of the query subsequence.
+    pub fn query_len(&self) -> usize {
+        self.query_range.end - self.query_range.start
+    }
+}
+
+/// Accounting of the work a query performed, mirroring the quantities the
+/// paper's evaluation reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct QueryStats {
+    /// Number of query segments extracted (step 3).
+    pub segments: usize,
+    /// Distance evaluations performed inside the index (step 4).
+    pub index_distance_calls: u64,
+    /// Number of (segment, window) pairs returned by the range queries.
+    pub segment_matches: usize,
+    /// Number of distinct windows matched by at least one segment.
+    pub unique_windows: usize,
+    /// Number of windows that are part of a chain of length at least two.
+    pub consecutive_windows: usize,
+    /// Number of chained candidates generated (step 5).
+    pub candidates: usize,
+    /// Distance evaluations spent verifying candidate subsequence pairs.
+    pub verification_calls: u64,
+    /// Whether the verification budget (`max_verifications`) was exhausted.
+    pub budget_exhausted: bool,
+}
+
+/// The result of a query together with its work accounting.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QueryOutcome<R> {
+    /// The query's result.
+    pub result: R,
+    /// Work performed to produce it.
+    pub stats: QueryStats,
+}
+
+impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D> {
+    /// **Type I — range query.** Returns all pairs of similar subsequences:
+    /// `|SX| ≥ λ`, `|SQ| ≥ λ`, `||SX| − |SQ|| ≤ λ0` and `δ(SQ, SX) ≤ ε`.
+    ///
+    /// As the paper notes, consistency implies that a single long match
+    /// induces very many overlapping result pairs, so the result is capped at
+    /// `max_results` (longest query subsequences first) and verification stops
+    /// once `max_verifications` distance evaluations have been spent.
+    pub fn query_type1(
+        &self,
+        query: &Sequence<E>,
+        epsilon: f64,
+    ) -> QueryOutcome<Vec<SubsequenceMatch>> {
+        let (candidates, mut stats) = self.prepare_candidates(query, epsilon);
+        let mut results = Vec::new();
+        let mut budget = self.config().max_verifications as u64;
+        'outer: for candidate in &candidates {
+            let seq_len = match self.sequence(candidate.sequence) {
+                Some(s) => s.len(),
+                None => continue,
+            };
+            let pairs = enumerate_pairs(candidate, self.config(), query.len(), seq_len);
+            for (q_range, x_range) in pairs {
+                if budget == 0 {
+                    stats.budget_exhausted = true;
+                    break 'outer;
+                }
+                budget -= 1;
+                stats.verification_calls += 1;
+                let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                if d <= epsilon {
+                    let m = SubsequenceMatch {
+                        sequence: candidate.sequence,
+                        db_range: x_range.clone(),
+                        query_range: q_range.clone(),
+                        distance: d,
+                    };
+                    if !results.contains(&m) {
+                        results.push(m);
+                        if results.len() >= self.config().max_results {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        results.sort_by(|a: &SubsequenceMatch, b: &SubsequenceMatch| {
+            b.query_len()
+                .cmp(&a.query_len())
+                .then(a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        QueryOutcome {
+            result: results,
+            stats,
+        }
+    }
+
+    /// **Type II — longest similar subsequence.** Maximises `|SQ|` subject to
+    /// the same constraints as Type I.
+    ///
+    /// Candidates are verified longest-chain first and, within a candidate,
+    /// longest query subsequence first, so the first verified pair of a given
+    /// length is returned as soon as no longer pair remains unexplored.
+    pub fn query_type2(
+        &self,
+        query: &Sequence<E>,
+        epsilon: f64,
+    ) -> QueryOutcome<Option<SubsequenceMatch>> {
+        let (candidates, mut stats) = self.prepare_candidates(query, epsilon);
+        let mut best: Option<SubsequenceMatch> = None;
+        let mut budget = self.config().max_verifications as u64;
+        for candidate in &candidates {
+            // A chain of k windows can support matches of length at most
+            // (k + 2) * lambda / 2; skip candidates that cannot beat the best.
+            if let Some(ref b) = best {
+                let upper = (candidate.chain_len + 2) * self.config().window_len()
+                    + self.config().max_shift;
+                if upper <= b.query_len() {
+                    continue;
+                }
+            }
+            let seq_len = match self.sequence(candidate.sequence) {
+                Some(s) => s.len(),
+                None => continue,
+            };
+            let pairs = enumerate_pairs(candidate, self.config(), query.len(), seq_len);
+            for (q_range, x_range) in pairs {
+                if let Some(ref b) = best {
+                    if q_range.end - q_range.start <= b.query_len() {
+                        // Pairs are sorted by decreasing |SQ|; nothing better
+                        // remains within this candidate.
+                        break;
+                    }
+                }
+                if budget == 0 {
+                    stats.budget_exhausted = true;
+                    break;
+                }
+                budget -= 1;
+                stats.verification_calls += 1;
+                let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                if d <= epsilon {
+                    best = Some(SubsequenceMatch {
+                        sequence: candidate.sequence,
+                        db_range: x_range,
+                        query_range: q_range,
+                        distance: d,
+                    });
+                }
+            }
+            if stats.budget_exhausted {
+                break;
+            }
+        }
+        QueryOutcome {
+            result: best,
+            stats,
+        }
+    }
+
+    /// **Type III — nearest pair.** Minimises `δ(SQ, SX)` subject to
+    /// `|SX| ≥ λ`, `|SQ| ≥ λ` and `||SX| − |SQ|| ≤ λ0`.
+    ///
+    /// Implemented as the paper describes: a binary search over `ε` finds the
+    /// smallest radius at which step 4 produces any matching segment pair,
+    /// then verification is attempted at that radius, growing `ε` by
+    /// `epsilon_increment` until a pair verifies.
+    pub fn query_type3(
+        &self,
+        query: &Sequence<E>,
+        epsilon_max: f64,
+        epsilon_increment: f64,
+    ) -> QueryOutcome<Option<SubsequenceMatch>> {
+        assert!(epsilon_increment > 0.0, "epsilon_increment must be positive");
+        let mut total_stats = QueryStats::default();
+
+        // Binary search for the smallest epsilon with a non-empty shortlist.
+        let mut lo = 0.0f64;
+        let mut hi = epsilon_max;
+        let (matches_at_max, calls) = self.matching_segments(query, epsilon_max);
+        total_stats.index_distance_calls += calls;
+        if matches_at_max.is_empty() {
+            return QueryOutcome {
+                result: None,
+                stats: total_stats,
+            };
+        }
+        for _ in 0..20 {
+            if hi - lo <= epsilon_increment / 2.0 {
+                break;
+            }
+            let mid = (lo + hi) / 2.0;
+            let (matches, calls) = self.matching_segments(query, mid);
+            total_stats.index_distance_calls += calls;
+            if matches.is_empty() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+
+        // Grow epsilon from the smallest feasible radius until verification
+        // succeeds; return the best (smallest-distance) verified pair found at
+        // the first successful radius.
+        let mut epsilon = hi;
+        loop {
+            let outcome = self.query_type1(query, epsilon);
+            total_stats.segments = outcome.stats.segments;
+            total_stats.index_distance_calls += outcome.stats.index_distance_calls;
+            total_stats.segment_matches = outcome.stats.segment_matches;
+            total_stats.unique_windows = outcome.stats.unique_windows;
+            total_stats.consecutive_windows = outcome.stats.consecutive_windows;
+            total_stats.candidates = outcome.stats.candidates;
+            total_stats.verification_calls += outcome.stats.verification_calls;
+            total_stats.budget_exhausted |= outcome.stats.budget_exhausted;
+            if let Some(best) = outcome
+                .result
+                .into_iter()
+                .min_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                return QueryOutcome {
+                    result: Some(best),
+                    stats: total_stats,
+                };
+            }
+            if epsilon >= epsilon_max {
+                return QueryOutcome {
+                    result: None,
+                    stats: total_stats,
+                };
+            }
+            epsilon = (epsilon + epsilon_increment).min(epsilon_max);
+        }
+    }
+
+    /// Steps 3–5a shared by all query types: extract segments, run range
+    /// queries, assemble chained candidates and fill in the statistics.
+    fn prepare_candidates(
+        &self,
+        query: &Sequence<E>,
+        epsilon: f64,
+    ) -> (Vec<crate::candidates::Candidate>, QueryStats) {
+        let spec = self.config().segment_spec();
+        let (matches, index_calls) = self.matching_segments(query, epsilon);
+        let mut unique_windows: Vec<usize> = matches.iter().map(|m| m.window.0).collect();
+        unique_windows.sort_unstable();
+        unique_windows.dedup();
+        let candidates = build_candidates(&matches, self.config().window_len(), self.config().max_shift);
+        let consecutive_windows: usize = candidates
+            .iter()
+            .filter(|c| c.chain_len >= 2)
+            .map(|c| c.chain_len)
+            .sum();
+        let stats = QueryStats {
+            segments: ssr_sequence::segment_count(query.len(), spec),
+            index_distance_calls: index_calls,
+            segment_matches: matches.len(),
+            unique_windows: unique_windows.len(),
+            consecutive_windows,
+            candidates: candidates.len(),
+            verification_calls: 0,
+            budget_exhausted: false,
+        };
+        (candidates, stats)
+    }
+
+    /// Computes the verified distance of one candidate subsequence pair.
+    fn verify(
+        &self,
+        query: &Sequence<E>,
+        sequence: SequenceId,
+        q_range: &Range<usize>,
+        x_range: &Range<usize>,
+    ) -> f64 {
+        let db_seq = self
+            .sequence(sequence)
+            .expect("candidate references a stored sequence");
+        let sq = &query.elements()[q_range.clone()];
+        let sx = &db_seq.elements()[x_range.clone()];
+        self.distance().distance(sq, sx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FrameworkConfig, IndexBackend};
+    use ssr_distance::Levenshtein;
+    use ssr_sequence::Symbol;
+
+    fn seq(text: &str) -> Sequence<Symbol> {
+        Sequence::new(text.chars().map(Symbol::from_char).collect())
+    }
+
+    /// A small database where the query's middle part occurs (slightly
+    /// mutated) inside the first sequence.
+    fn planted_db() -> SubsequenceDatabase<Symbol, Levenshtein> {
+        let config = FrameworkConfig::new(8).with_max_shift(1);
+        SubsequenceDatabase::builder(config, Levenshtein::new())
+            .add_sequence(seq("MMMMMMMMACDEFGHIKLMNPQRSTVWYMMMMMMMM"))
+            .add_sequence(seq("WWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWW"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn type2_finds_the_planted_subsequence() {
+        let db = planted_db();
+        // Query embeds ACDEFGHIKLMNPQRSTVWY (with one substitution) in noise.
+        let query = seq("YYYYACDEFGHIKLMNPQRSTVWYYYYY");
+        let outcome = db.query_type2(&query, 3.0);
+        let m = outcome.result.expect("planted match must be found");
+        assert_eq!(m.sequence, SequenceId(0));
+        assert!(m.query_len() >= 8);
+        assert!(m.distance <= 3.0);
+        // The reported database range overlaps the planted region 8..28.
+        assert!(m.db_range.start < 28 && m.db_range.end > 8);
+        assert!(outcome.stats.segments > 0);
+        assert!(outcome.stats.segment_matches > 0);
+        assert!(outcome.stats.candidates > 0);
+        assert!(outcome.stats.verification_calls > 0);
+    }
+
+    #[test]
+    fn type1_returns_multiple_overlapping_pairs() {
+        let db = planted_db();
+        let query = seq("YYYYACDEFGHIKLMNPQRSTVWYYYYY");
+        let outcome = db.query_type1(&query, 3.0);
+        assert!(!outcome.result.is_empty());
+        for m in &outcome.result {
+            assert!(m.distance <= 3.0);
+            assert!(m.query_len() >= 8);
+            assert!(m.db_len() >= 8);
+            assert!((m.query_len() as i64 - m.db_len() as i64).abs() <= 1);
+        }
+        // Longest results come first.
+        for w in outcome.result.windows(2) {
+            assert!(w[0].query_len() >= w[1].query_len());
+        }
+    }
+
+    #[test]
+    fn type2_returns_none_when_nothing_is_similar() {
+        let db = planted_db();
+        let query = seq("QQQQQQQQQQQQQQQQQQQQ");
+        let outcome = db.query_type2(&query, 1.0);
+        assert!(outcome.result.is_none());
+    }
+
+    #[test]
+    fn type3_finds_the_minimal_distance_pair() {
+        let db = planted_db();
+        let query = seq("YYYYACDEFGHIKLMNPQRSTVWYYYYY");
+        let outcome = db.query_type3(&query, 10.0, 1.0);
+        let m = outcome.result.expect("nearest pair exists");
+        assert_eq!(m.sequence, SequenceId(0));
+        // An exact copy of the planted region exists, so the nearest distance
+        // must be very small.
+        assert!(m.distance <= 1.0, "distance {}", m.distance);
+    }
+
+    #[test]
+    fn type3_returns_none_when_even_epsilon_max_fails() {
+        let db = planted_db();
+        let query = seq("QQQQQQQQQQQQQQQQQQQQ");
+        let outcome = db.query_type3(&query, 0.5, 0.25);
+        assert!(outcome.result.is_none());
+    }
+
+    #[test]
+    fn linear_scan_backend_gives_same_type2_answer_as_reference_net() {
+        let config = FrameworkConfig::new(8).with_max_shift(1);
+        let sequences = [
+            "MMMMMMMMACDEFGHIKLMNPQRSTVWYMMMMMMMM",
+            "WWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWW",
+        ];
+        let mut builders = Vec::new();
+        for backend in [IndexBackend::ReferenceNet, IndexBackend::LinearScan] {
+            let mut b = SubsequenceDatabase::builder(
+                config.clone().with_backend(backend),
+                Levenshtein::new(),
+            );
+            for s in &sequences {
+                b = b.add_sequence(seq(s));
+            }
+            builders.push(b.build().unwrap());
+        }
+        let query = seq("YYYYACDEFGHIKLMNPQRSTVWYYYYY");
+        let a = builders[0].query_type2(&query, 3.0).result.unwrap();
+        let b = builders[1].query_type2(&query, 3.0).result.unwrap();
+        assert_eq!(a.query_len(), b.query_len());
+        assert_eq!(a.sequence, b.sequence);
+    }
+
+    #[test]
+    fn verification_budget_is_honoured() {
+        let mut config = FrameworkConfig::new(8).with_max_shift(1);
+        config.max_verifications = 5;
+        let db = SubsequenceDatabase::builder(config, Levenshtein::new())
+            .add_sequence(seq("MMMMMMMMACDEFGHIKLMNPQRSTVWYMMMMMMMM"))
+            .build()
+            .unwrap();
+        let query = seq("YYYYACDEFGHIKLMNPQRSTVWYYYYY");
+        let outcome = db.query_type1(&query, 3.0);
+        assert!(outcome.stats.verification_calls <= 5);
+    }
+}

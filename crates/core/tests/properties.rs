@@ -1,0 +1,125 @@
+//! Property tests for the subsequence-matching framework.
+//!
+//! * **Soundness** — every match reported by a Type I query satisfies the
+//!   framework's constraints and its distance, recomputed from scratch, does
+//!   not exceed ε.
+//! * **Planted recovery** — if the query literally contains a copy of a
+//!   database region of length ≥ λ, a Type II query must find a match
+//!   (consistency + Lemma 3 guarantee the shortlist covers it).
+//! * **Backend agreement** — Reference Net, Cover Tree and linear scan
+//!   backends produce the same set of matched windows in step 4.
+
+use proptest::prelude::*;
+
+use ssr_core::{FrameworkConfig, IndexBackend, SubsequenceDatabase};
+use ssr_distance::{Levenshtein, SequenceDistance};
+use ssr_sequence::{Sequence, Symbol};
+
+fn sym_seq(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec(
+        (0u8..4).prop_map(|i| Symbol::from_char(b"ACGT"[i as usize] as char)),
+        16..max_len,
+    )
+}
+
+fn db(config: FrameworkConfig, texts: &[Vec<Symbol>]) -> Option<SubsequenceDatabase<Symbol, Levenshtein>> {
+    let mut builder = SubsequenceDatabase::builder(config, Levenshtein::new());
+    for t in texts {
+        builder = builder.add_sequence(Sequence::new(t.clone()));
+    }
+    builder.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn type1_results_are_sound(
+        texts in prop::collection::vec(sym_seq(60), 1..4),
+        query in sym_seq(40),
+        epsilon in 0.0f64..4.0,
+    ) {
+        let config = FrameworkConfig::new(8).with_max_shift(1);
+        let Some(database) = db(config.clone(), &texts) else { return Ok(()); };
+        let query = Sequence::new(query);
+        let outcome = database.query_type1(&query, epsilon);
+        let lev = Levenshtein::new();
+        for m in &outcome.result {
+            prop_assert!(m.query_len() >= config.lambda);
+            prop_assert!(m.db_len() >= config.lambda);
+            prop_assert!((m.query_len() as i64 - m.db_len() as i64).abs() <= config.max_shift as i64);
+            let db_seq = database.sequence(m.sequence).unwrap();
+            let recomputed = lev.distance(
+                &query.elements()[m.query_range.clone()],
+                &db_seq.elements()[m.db_range.clone()],
+            );
+            prop_assert!((recomputed - m.distance).abs() < 1e-9);
+            prop_assert!(recomputed <= epsilon + 1e-9);
+        }
+    }
+
+    #[test]
+    fn planted_copies_are_recovered_by_type2(
+        base in sym_seq(80),
+        prefix in prop::collection::vec((0u8..4).prop_map(|i| Symbol::from_char(b"ACGT"[i as usize] as char)), 0..10),
+        start_frac in 0.0f64..1.0,
+    ) {
+        let config = FrameworkConfig::new(8).with_max_shift(1);
+        prop_assume!(base.len() >= 24);
+        // Plant: the query is a prefix of noise followed by a verbatim copy of
+        // base[start .. start+16].
+        let start = ((base.len() - 16) as f64 * start_frac) as usize;
+        let planted: Vec<Symbol> = base[start..start + 16].to_vec();
+        let mut query_elements = prefix.clone();
+        query_elements.extend(planted);
+        let Some(database) = db(config, std::slice::from_ref(&base)) else { return Ok(()); };
+        let query = Sequence::new(query_elements);
+        let outcome = database.query_type2(&query, 2.0);
+        let m = outcome.result;
+        prop_assert!(m.is_some(), "planted copy of length 16 >= lambda 8 not found");
+        let m = m.unwrap();
+        prop_assert!(m.distance <= 2.0);
+        prop_assert!(m.query_len() >= 8);
+    }
+
+    #[test]
+    fn backends_agree_on_matched_windows(
+        texts in prop::collection::vec(sym_seq(60), 1..3),
+        query in sym_seq(30),
+        epsilon in 0.0f64..3.0,
+    ) {
+        let query = Sequence::new(query);
+        let mut matched_sets = Vec::new();
+        for backend in [IndexBackend::ReferenceNet, IndexBackend::CoverTree, IndexBackend::LinearScan] {
+            let config = FrameworkConfig::new(8).with_max_shift(1).with_backend(backend);
+            let Some(database) = db(config, &texts) else { return Ok(()); };
+            let (matches, _) = database.matching_segments(&query, epsilon);
+            let mut keys: Vec<(usize, usize, usize)> = matches
+                .iter()
+                .map(|m| (m.window.0, m.query_start, m.query_len))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            matched_sets.push(keys);
+        }
+        prop_assert_eq!(&matched_sets[0], &matched_sets[2], "reference net vs linear scan");
+        prop_assert_eq!(&matched_sets[1], &matched_sets[2], "cover tree vs linear scan");
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(
+        texts in prop::collection::vec(sym_seq(60), 1..3),
+        query in sym_seq(30),
+        epsilon in 0.0f64..4.0,
+    ) {
+        let config = FrameworkConfig::new(8).with_max_shift(1);
+        let Some(database) = db(config, &texts) else { return Ok(()); };
+        let query = Sequence::new(query);
+        let outcome = database.query_type1(&query, epsilon);
+        let stats = outcome.stats;
+        prop_assert!(stats.unique_windows <= database.window_count());
+        prop_assert!(stats.unique_windows <= stats.segment_matches);
+        prop_assert!(stats.candidates <= stats.segment_matches);
+        prop_assert!(stats.verification_calls <= database.config().max_verifications as u64);
+    }
+}

@@ -1,0 +1,119 @@
+//! Synthetic DNA sequences.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use ssr_sequence::{Sequence, SequenceDataset, Symbol};
+
+use crate::rng;
+
+/// Configuration of the DNA generator.
+#[derive(Clone, Debug)]
+pub struct DnaConfig {
+    /// Number of sequences.
+    pub num_sequences: usize,
+    /// Minimum sequence length.
+    pub min_len: usize,
+    /// Maximum sequence length (inclusive).
+    pub max_len: usize,
+    /// GC content in `[0, 1]` (probability of drawing G or C).
+    pub gc_content: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for DnaConfig {
+    fn default() -> Self {
+        DnaConfig {
+            num_sequences: 50,
+            min_len: 300,
+            max_len: 600,
+            gc_content: 0.42,
+            seed: 0xDEAD_BEEF,
+        }
+    }
+}
+
+/// Generates DNA sequences over `{A, C, G, T}` with the configured GC content.
+pub fn generate_dna(config: &DnaConfig) -> SequenceDataset<Symbol> {
+    assert!(config.min_len > 0 && config.min_len <= config.max_len);
+    assert!((0.0..=1.0).contains(&config.gc_content));
+    let mut rng = rng(config.seed);
+    let gc = [Symbol::from_char('G'), Symbol::from_char('C')];
+    let at = [Symbol::from_char('A'), Symbol::from_char('T')];
+    let mut dataset = SequenceDataset::new();
+    for i in 0..config.num_sequences {
+        let len = rng.gen_range(config.min_len..=config.max_len);
+        let elements: Vec<Symbol> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(config.gc_content) {
+                    *gc.choose(&mut rng).expect("non-empty")
+                } else {
+                    *at.choose(&mut rng).expect("non-empty")
+                }
+            })
+            .collect();
+        dataset.push(Sequence::with_label(elements, format!("DNA{i:05}")));
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_sequence::Alphabet;
+
+    #[test]
+    fn generates_valid_dna() {
+        let ds = generate_dna(&DnaConfig {
+            num_sequences: 10,
+            min_len: 100,
+            max_len: 120,
+            ..Default::default()
+        });
+        let alphabet = Alphabet::dna();
+        assert_eq!(ds.len(), 10);
+        for (_, s) in ds.iter() {
+            assert!(s.len() >= 100 && s.len() <= 120);
+            assert!(s.iter().all(|&e| alphabet.contains(e)));
+        }
+    }
+
+    #[test]
+    fn gc_content_is_approximately_respected() {
+        let ds = generate_dna(&DnaConfig {
+            num_sequences: 5,
+            min_len: 2000,
+            max_len: 2000,
+            gc_content: 0.7,
+            seed: 3,
+        });
+        let (mut gc, mut total) = (0usize, 0usize);
+        for (_, s) in ds.iter() {
+            for &e in s.iter() {
+                total += 1;
+                if e == Symbol::from_char('G') || e == Symbol::from_char('C') {
+                    gc += 1;
+                }
+            }
+        }
+        let ratio = gc as f64 / total as f64;
+        assert!((ratio - 0.7).abs() < 0.05, "gc ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = DnaConfig {
+            num_sequences: 3,
+            min_len: 50,
+            max_len: 60,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = generate_dna(&cfg);
+        let b = generate_dna(&cfg);
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x.elements(), y.elements());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # ssr-datagen
+//!
+//! Synthetic dataset and query generators standing in for the paper's three
+//! evaluation datasets, which are external resources we cannot ship:
+//!
+//! * **PROTEINS** (UniProt protein sequences, Levenshtein distance) →
+//!   [`proteins`]: random sequences over the 20-letter amino-acid alphabet
+//!   with planted, mutated motifs, so that most window pairs are near the
+//!   maximum edit distance (the skewed distribution of Figure 4) while motif
+//!   re-occurrences provide genuinely similar subsequences to retrieve.
+//! * **SONGS** (Million Song Dataset pitch sequences, DFD and ERP) →
+//!   [`songs`]: bounded pitch values `0..=11` produced by a biased random walk
+//!   with repeated phrases; the bounded alphabet reproduces the paper's
+//!   observation that the DFD distribution is extremely skewed (most distances
+//!   between 2 and 5) while ERP spreads out.
+//! * **TRAJ** (parking-lot video trajectories, DFD and ERP) → [`traj`]:
+//!   lane-following piecewise-linear paths with Gaussian jitter across a
+//!   simulated parking lot, giving the wider-variance distance distribution of
+//!   Figure 4 and the small parent counts of Figure 7.
+//!
+//! [`dna`] additionally generates 4-letter DNA data for the string examples,
+//! and [`queries`] derives retrieval queries by excising a subsequence from
+//! the database, mutating it, and optionally embedding it in random context —
+//! so that every generated query has a known planted answer.
+//!
+//! All generators are deterministic given a seed (ChaCha8 PRNG).
+
+pub mod dna;
+pub mod proteins;
+pub mod queries;
+pub mod songs;
+pub mod traj;
+
+pub use dna::{generate_dna, DnaConfig};
+pub use proteins::{generate_proteins, ProteinConfig};
+pub use queries::{
+    plant_query, PitchMutator, PlantedQuery, PointMutator, QueryConfig, QueryMutator, SymbolMutator,
+};
+pub use songs::{generate_songs, SongsConfig};
+pub use traj::{generate_trajectories, TrajConfig};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Creates the deterministic PRNG used by all generators.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,289 @@
+//! Query generation with planted answers.
+//!
+//! The paper's retrieval experiments issue queries whose best matches are
+//! known to exist in the database. We reproduce that by *planting*: a query is
+//! built by excising a subsequence from a database sequence, perturbing it
+//! (substitutions for strings, jitter for time series), and optionally
+//! surrounding it with random context so that only a subsequence of the query
+//! — not the whole query — matches the database.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use ssr_sequence::{Element, Pitch, Point2D, Sequence, SequenceDataset, SequenceId, Symbol};
+
+use crate::rng;
+
+/// Configuration for planted query generation.
+#[derive(Clone, Debug)]
+pub struct QueryConfig {
+    /// Length of the planted (excised) subsequence.
+    pub planted_len: usize,
+    /// Number of random context elements prepended and appended.
+    pub context_len: usize,
+    /// Fraction of planted positions to perturb.
+    pub perturbation_rate: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            planted_len: 40,
+            context_len: 20,
+            perturbation_rate: 0.05,
+            seed: 0x0BAD_5EED,
+        }
+    }
+}
+
+/// A generated query together with the provenance of its planted subsequence,
+/// so tests and experiments can verify that retrieval finds it.
+#[derive(Clone, Debug)]
+pub struct PlantedQuery<E> {
+    /// The query sequence handed to the framework.
+    pub query: Sequence<E>,
+    /// The database sequence the planted subsequence was excised from.
+    pub source: SequenceId,
+    /// Half-open range of the planted subsequence within the source sequence.
+    pub source_range: std::ops::Range<usize>,
+    /// Half-open range of the planted subsequence within the query.
+    pub query_range: std::ops::Range<usize>,
+}
+
+/// How to perturb and pad elements of a particular type when planting.
+pub trait QueryMutator<E: Element> {
+    /// Returns a perturbed copy of an element.
+    fn perturb(&self, element: &E, rng: &mut ChaCha8Rng) -> E;
+    /// Returns a random "context" element unrelated to the database.
+    fn random_element(&self, rng: &mut ChaCha8Rng) -> E;
+}
+
+/// Default mutator for protein/DNA symbols: substitution by a random
+/// amino-acid letter.
+pub struct SymbolMutator;
+
+impl QueryMutator<Symbol> for SymbolMutator {
+    fn perturb(&self, _element: &Symbol, rng: &mut ChaCha8Rng) -> Symbol {
+        self.random_element(rng)
+    }
+
+    fn random_element(&self, rng: &mut ChaCha8Rng) -> Symbol {
+        let alphabet = ssr_sequence::Alphabet::protein();
+        *alphabet
+            .symbols()
+            .choose(rng)
+            .expect("non-empty alphabet")
+    }
+}
+
+/// Default mutator for pitches: move by at most one semitone / random pitch
+/// for context.
+pub struct PitchMutator;
+
+impl QueryMutator<Pitch> for PitchMutator {
+    fn perturb(&self, element: &Pitch, rng: &mut ChaCha8Rng) -> Pitch {
+        let delta: i16 = rng.gen_range(-1..=1);
+        Pitch::clamped(element.value() + delta)
+    }
+
+    fn random_element(&self, rng: &mut ChaCha8Rng) -> Pitch {
+        Pitch(rng.gen_range(0..=11))
+    }
+}
+
+/// Default mutator for trajectory points: small Gaussian-ish jitter / far-away
+/// random points for context.
+pub struct PointMutator {
+    /// Magnitude of the jitter applied to planted points.
+    pub jitter: f64,
+    /// Bounding box half-width used for random context points.
+    pub extent: f64,
+}
+
+impl Default for PointMutator {
+    fn default() -> Self {
+        PointMutator {
+            jitter: 0.5,
+            extent: 100.0,
+        }
+    }
+}
+
+impl QueryMutator<Point2D> for PointMutator {
+    fn perturb(&self, element: &Point2D, rng: &mut ChaCha8Rng) -> Point2D {
+        Point2D::new(
+            element.x + rng.gen_range(-self.jitter..=self.jitter),
+            element.y + rng.gen_range(-self.jitter..=self.jitter),
+        )
+    }
+
+    fn random_element(&self, rng: &mut ChaCha8Rng) -> Point2D {
+        Point2D::new(
+            rng.gen_range(-self.extent..=self.extent),
+            rng.gen_range(-self.extent..=self.extent),
+        )
+    }
+}
+
+/// Builds a planted query from `dataset` using the given mutator.
+///
+/// Returns `None` when no database sequence is long enough to excise
+/// `config.planted_len` elements from.
+pub fn plant_query<E: Element, Mtr: QueryMutator<E>>(
+    dataset: &SequenceDataset<E>,
+    mutator: &Mtr,
+    config: &QueryConfig,
+) -> Option<PlantedQuery<E>> {
+    assert!(config.planted_len > 0, "planted length must be positive");
+    assert!((0.0..=1.0).contains(&config.perturbation_rate));
+    let mut rng = rng(config.seed);
+    let eligible: Vec<SequenceId> = dataset
+        .iter()
+        .filter(|(_, s)| s.len() >= config.planted_len)
+        .map(|(id, _)| id)
+        .collect();
+    let source = *eligible.choose(&mut rng)?;
+    let sequence = dataset.get(source).expect("id from iteration");
+    let start = rng.gen_range(0..=sequence.len() - config.planted_len);
+    let source_range = start..start + config.planted_len;
+    let planted: Vec<E> = sequence.elements()[source_range.clone()]
+        .iter()
+        .map(|e| {
+            if rng.gen_bool(config.perturbation_rate) {
+                mutator.perturb(e, &mut rng)
+            } else {
+                e.clone()
+            }
+        })
+        .collect();
+    let mut elements: Vec<E> = Vec::with_capacity(config.planted_len + 2 * config.context_len);
+    for _ in 0..config.context_len {
+        elements.push(mutator.random_element(&mut rng));
+    }
+    let query_start = elements.len();
+    elements.extend(planted);
+    let query_end = elements.len();
+    for _ in 0..config.context_len {
+        elements.push(mutator.random_element(&mut rng));
+    }
+    Some(PlantedQuery {
+        query: Sequence::new(elements),
+        source,
+        source_range,
+        query_range: query_start..query_end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proteins::{generate_proteins, ProteinConfig};
+    use crate::songs::{generate_songs, SongsConfig};
+    use ssr_distance::{Erp, Levenshtein, SequenceDistance};
+
+    #[test]
+    fn planted_query_has_correct_shape_and_provenance() {
+        let ds = generate_proteins(&ProteinConfig {
+            num_sequences: 5,
+            min_len: 100,
+            max_len: 150,
+            ..Default::default()
+        });
+        let config = QueryConfig {
+            planted_len: 40,
+            context_len: 10,
+            perturbation_rate: 0.1,
+            seed: 1,
+        };
+        let planted = plant_query(&ds, &SymbolMutator, &config).unwrap();
+        assert_eq!(planted.query.len(), 40 + 2 * 10);
+        assert_eq!(planted.query_range, 10..50);
+        assert_eq!(planted.source_range.len(), 40);
+        assert!(ds.get(planted.source).is_some());
+    }
+
+    #[test]
+    fn planted_region_is_close_to_its_source() {
+        let ds = generate_proteins(&ProteinConfig {
+            num_sequences: 5,
+            min_len: 100,
+            max_len: 150,
+            ..Default::default()
+        });
+        let config = QueryConfig {
+            planted_len: 40,
+            context_len: 10,
+            perturbation_rate: 0.05,
+            seed: 2,
+        };
+        let planted = plant_query(&ds, &SymbolMutator, &config).unwrap();
+        let source = ds.get(planted.source).unwrap();
+        let original = &source.elements()[planted.source_range.clone()];
+        let in_query = &planted.query.elements()[planted.query_range.clone()];
+        let d = Levenshtein::new().distance(original, in_query);
+        assert!(d <= 40.0 * 0.25, "planted region drifted too far: {d}");
+    }
+
+    #[test]
+    fn pitch_queries_stay_close_under_erp() {
+        let ds = generate_songs(&SongsConfig {
+            num_sequences: 10,
+            min_len: 80,
+            max_len: 120,
+            ..Default::default()
+        });
+        let config = QueryConfig {
+            planted_len: 30,
+            context_len: 5,
+            perturbation_rate: 0.1,
+            seed: 3,
+        };
+        let planted = plant_query(&ds, &PitchMutator, &config).unwrap();
+        let source = ds.get(planted.source).unwrap();
+        let original = &source.elements()[planted.source_range.clone()];
+        let in_query = &planted.query.elements()[planted.query_range.clone()];
+        let d = Erp::new().distance(original, in_query);
+        assert!(d <= 30.0, "ERP drift too large: {d}");
+    }
+
+    #[test]
+    fn returns_none_when_no_sequence_is_long_enough() {
+        let ds = generate_proteins(&ProteinConfig {
+            num_sequences: 3,
+            min_len: 10,
+            max_len: 15,
+            ..Default::default()
+        });
+        let config = QueryConfig {
+            planted_len: 100,
+            ..Default::default()
+        };
+        assert!(plant_query(&ds, &SymbolMutator, &config).is_none());
+    }
+
+    #[test]
+    fn zero_context_produces_exactly_the_planted_region() {
+        let ds = generate_songs(&SongsConfig {
+            num_sequences: 3,
+            min_len: 60,
+            max_len: 80,
+            ..Default::default()
+        });
+        let config = QueryConfig {
+            planted_len: 25,
+            context_len: 0,
+            perturbation_rate: 0.0,
+            seed: 4,
+        };
+        let planted = plant_query(&ds, &PitchMutator, &config).unwrap();
+        assert_eq!(planted.query.len(), 25);
+        let source = ds.get(planted.source).unwrap();
+        assert_eq!(
+            planted.query.elements(),
+            &source.elements()[planted.source_range.clone()]
+        );
+    }
+}

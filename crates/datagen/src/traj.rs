@@ -1,0 +1,198 @@
+//! Simulated parking-lot trajectories (TRAJ stand-in).
+
+use rand::Rng;
+
+use ssr_sequence::{Point2D, Sequence, SequenceDataset};
+
+use crate::rng;
+
+/// Configuration of the trajectory generator.
+#[derive(Clone, Debug)]
+pub struct TrajConfig {
+    /// Number of trajectories.
+    pub num_sequences: usize,
+    /// Minimum number of sampled points per trajectory.
+    pub min_len: usize,
+    /// Maximum number of sampled points per trajectory (inclusive).
+    pub max_len: usize,
+    /// Number of parallel lanes in the simulated parking lot.
+    pub lanes: usize,
+    /// Spacing between adjacent lanes (metres).
+    pub lane_spacing: f64,
+    /// Length of a lane (metres).
+    pub lane_length: f64,
+    /// Standard deviation of the positional jitter added to every sample.
+    pub noise_std: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrajConfig {
+    fn default() -> Self {
+        TrajConfig {
+            num_sequences: 300,
+            min_len: 60,
+            max_len: 160,
+            lanes: 8,
+            lane_spacing: 6.0,
+            lane_length: 80.0,
+            noise_std: 0.4,
+            seed: 0x7247_A9CE,
+        }
+    }
+}
+
+impl TrajConfig {
+    /// Sizes the dataset so that windowing with `window_len` produces roughly
+    /// `total_windows` windows.
+    pub fn sized_for_windows(total_windows: usize, window_len: usize, seed: u64) -> Self {
+        let mut cfg = TrajConfig {
+            seed,
+            ..Default::default()
+        };
+        let avg_len = (cfg.min_len + cfg.max_len) / 2;
+        let windows_per_seq = (avg_len / window_len).max(1);
+        cfg.num_sequences = (total_windows / windows_per_seq).max(1);
+        cfg
+    }
+}
+
+/// Generates 2-D trajectories through a simulated parking lot.
+///
+/// A vehicle (or pedestrian) enters at one end of a randomly chosen lane,
+/// drives along it with small speed variations, occasionally turns into a
+/// perpendicular aisle to switch lanes, and exits. Gaussian jitter models
+/// tracking noise of the vision system that produced the paper's TRAJ data.
+/// Trajectories that share (parts of) a lane yield similar subsequences, while
+/// trajectories in distant lanes are far apart — giving the broad distance
+/// distribution of Figure 4 and the small average parent counts of Figure 7.
+pub fn generate_trajectories(config: &TrajConfig) -> SequenceDataset<Point2D> {
+    assert!(config.min_len > 1 && config.min_len <= config.max_len);
+    assert!(config.lanes >= 1);
+    let mut rng = rng(config.seed);
+    let mut dataset = SequenceDataset::new();
+    for i in 0..config.num_sequences {
+        let len = rng.gen_range(config.min_len..=config.max_len);
+        let mut lane = rng.gen_range(0..config.lanes);
+        let mut y = lane as f64 * config.lane_spacing;
+        let forward = rng.gen_bool(0.5);
+        let mut x = if forward { 0.0 } else { config.lane_length };
+        let base_speed = rng.gen_range(0.8..1.6);
+        let mut elements = Vec::with_capacity(len);
+        let mut switching = 0usize; // samples remaining in a lane switch
+        let mut target_y = y;
+        for _ in 0..len {
+            if switching == 0 && rng.gen_bool(0.02) && config.lanes > 1 {
+                // Start a lane change towards an adjacent lane.
+                let delta: i64 = if lane == 0 {
+                    1
+                } else if lane == config.lanes - 1 {
+                    -1
+                } else if rng.gen_bool(0.5) {
+                    1
+                } else {
+                    -1
+                };
+                lane = (lane as i64 + delta) as usize;
+                target_y = lane as f64 * config.lane_spacing;
+                switching = 8;
+            }
+            if switching > 0 {
+                y += (target_y - y) / switching as f64;
+                switching -= 1;
+            }
+            let speed = base_speed * rng.gen_range(0.8..1.2);
+            x += if forward { speed } else { -speed };
+            x = x.clamp(0.0, config.lane_length);
+            let jitter_x = gaussian(&mut rng) * config.noise_std;
+            let jitter_y = gaussian(&mut rng) * config.noise_std;
+            elements.push(Point2D::new(x + jitter_x, y + jitter_y));
+        }
+        dataset.push(Sequence::with_label(elements, format!("TRAJ{i:05}")));
+    }
+    dataset
+}
+
+/// Box–Muller standard normal sample.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_sequence::{partition_windows_dataset, Element};
+
+    #[test]
+    fn trajectories_have_requested_sizes() {
+        let ds = generate_trajectories(&TrajConfig {
+            num_sequences: 15,
+            min_len: 30,
+            max_len: 50,
+            ..Default::default()
+        });
+        assert_eq!(ds.len(), 15);
+        for (_, s) in ds.iter() {
+            assert!(s.len() >= 30 && s.len() <= 50);
+        }
+    }
+
+    #[test]
+    fn points_stay_near_the_parking_lot() {
+        let cfg = TrajConfig::default();
+        let ds = generate_trajectories(&TrajConfig {
+            num_sequences: 10,
+            ..cfg.clone()
+        });
+        let max_y = (cfg.lanes - 1) as f64 * cfg.lane_spacing;
+        for (_, s) in ds.iter() {
+            for p in s.iter() {
+                assert!(p.x >= -5.0 && p.x <= cfg.lane_length + 5.0, "x={}", p.x);
+                assert!(p.y >= -5.0 && p.y <= max_y + 5.0, "y={}", p.y);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TrajConfig {
+            num_sequences: 3,
+            min_len: 20,
+            max_len: 30,
+            seed: 77,
+            ..Default::default()
+        };
+        let a = generate_trajectories(&cfg);
+        let b = generate_trajectories(&cfg);
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x.elements(), y.elements());
+        }
+    }
+
+    #[test]
+    fn consecutive_points_move_smoothly() {
+        let ds = generate_trajectories(&TrajConfig {
+            num_sequences: 5,
+            min_len: 50,
+            max_len: 50,
+            ..Default::default()
+        });
+        for (_, s) in ds.iter() {
+            for pair in s.elements().windows(2) {
+                let step = pair[0].ground_distance(&pair[1]);
+                assert!(step < 10.0, "implausible jump of {step} metres");
+            }
+        }
+    }
+
+    #[test]
+    fn sized_for_windows_hits_target_roughly() {
+        let cfg = TrajConfig::sized_for_windows(400, 20, 4);
+        let ds = generate_trajectories(&cfg);
+        let store = partition_windows_dataset(&ds, 20);
+        let n = store.len() as f64;
+        assert!(n > 200.0 && n < 900.0, "{n} windows for target 400");
+    }
+}

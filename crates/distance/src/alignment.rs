@@ -1,0 +1,173 @@
+//! Alignments (coupling sequences) produced by warping / edit distances.
+//!
+//! Section 4 of the paper expresses DTW, ERP, the Levenshtein distance and the
+//! discrete Fréchet distance as optimisation problems over alignments
+//! `C = (ω_1, …, ω_K)`, where each coupling `ω_k = (i, j)` matches element
+//! `x_i` of `X` with element `q_j` of `Q`, subject to boundary, monotonicity
+//! and continuity constraints. The consistency proof restricts the optimal
+//! alignment to the couplings that touch a subsequence `SX`, obtaining an
+//! alignment of `SX` against some subsequence `SQ` of no larger cost.
+//!
+//! [`Alignment`] records such a coupling sequence plus its cost, and
+//! [`Alignment::a_range_for_b_range`] performs the restriction used both in
+//! the consistency property tests and in result explanation tooling.
+
+use std::ops::Range;
+
+/// A single coupling between element `a_index` of the first sequence and
+/// element `b_index` of the second sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Coupling {
+    /// Index into the first (`a`) sequence.
+    pub a_index: usize,
+    /// Index into the second (`b`) sequence.
+    pub b_index: usize,
+}
+
+/// An alignment between two sequences: an ordered list of couplings and the
+/// aggregate cost of the alignment under the distance that produced it.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Alignment {
+    /// Couplings in order; both index components are non-decreasing
+    /// (monotonicity) and advance by at most one per step (continuity).
+    pub couplings: Vec<Coupling>,
+    /// Aggregate cost (sum or max of coupling costs depending on the distance).
+    pub cost: f64,
+}
+
+impl Alignment {
+    /// Creates an alignment from couplings and a cost.
+    pub fn new(couplings: Vec<Coupling>, cost: f64) -> Self {
+        Alignment { couplings, cost }
+    }
+
+    /// Number of couplings `K`.
+    pub fn len(&self) -> usize {
+        self.couplings.len()
+    }
+
+    /// Whether the alignment has no couplings (both inputs empty).
+    pub fn is_empty(&self) -> bool {
+        self.couplings.is_empty()
+    }
+
+    /// Checks the structural constraints the paper requires of an alignment
+    /// between sequences of lengths `a_len` and `b_len`: boundary conditions,
+    /// monotonicity and continuity. Returns `true` when all hold.
+    pub fn is_valid(&self, a_len: usize, b_len: usize) -> bool {
+        if a_len == 0 || b_len == 0 {
+            return self.couplings.is_empty();
+        }
+        let first = match self.couplings.first() {
+            Some(c) => c,
+            None => return false,
+        };
+        let last = self.couplings.last().expect("non-empty");
+        if first.a_index != 0 || first.b_index != 0 {
+            return false;
+        }
+        if last.a_index != a_len - 1 || last.b_index != b_len - 1 {
+            return false;
+        }
+        for w in self.couplings.windows(2) {
+            let (p, q) = (w[0], w[1]);
+            let da = q.a_index as i64 - p.a_index as i64;
+            let db = q.b_index as i64 - p.b_index as i64;
+            // Monotone, advances by at most one on each side, and advances on
+            // at least one side.
+            if !(0..=1).contains(&da) || !(0..=1).contains(&db) || (da == 0 && db == 0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Every element of `a` that is coupled to an element of `b` inside
+    /// `b_range`, expressed as the half-open range from the earliest to the
+    /// latest such element (the `SQ_{c,d}` of the consistency proof).
+    ///
+    /// Returns `None` if no coupling touches `b_range`.
+    pub fn a_range_for_b_range(&self, b_range: Range<usize>) -> Option<Range<usize>> {
+        let mut min_a = usize::MAX;
+        let mut max_a = 0usize;
+        let mut found = false;
+        for c in &self.couplings {
+            if b_range.contains(&c.b_index) {
+                found = true;
+                min_a = min_a.min(c.a_index);
+                max_a = max_a.max(c.a_index);
+            }
+        }
+        if found {
+            Some(min_a..max_a + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Couplings restricted to those whose `b` side lies in `b_range`.
+    pub fn restrict_to_b_range(&self, b_range: Range<usize>) -> Vec<Coupling> {
+        self.couplings
+            .iter()
+            .copied()
+            .filter(|c| b_range.contains(&c.b_index))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(a: usize, b: usize) -> Coupling {
+        Coupling {
+            a_index: a,
+            b_index: b,
+        }
+    }
+
+    #[test]
+    fn valid_alignment_passes_structural_checks() {
+        let al = Alignment::new(vec![c(0, 0), c(1, 0), c(2, 1), c(3, 2)], 1.5);
+        assert!(al.is_valid(4, 3));
+        assert_eq!(al.len(), 4);
+        assert!(!al.is_empty());
+    }
+
+    #[test]
+    fn empty_alignment_only_valid_for_empty_inputs() {
+        let al = Alignment::default();
+        assert!(al.is_valid(0, 0));
+        assert!(al.is_valid(0, 3));
+        assert!(!al.is_valid(2, 3));
+    }
+
+    #[test]
+    fn boundary_violations_are_detected() {
+        let al = Alignment::new(vec![c(1, 0), c(2, 1)], 0.0);
+        assert!(!al.is_valid(3, 2), "must start at (0,0)");
+        let al = Alignment::new(vec![c(0, 0), c(1, 1)], 0.0);
+        assert!(!al.is_valid(3, 2), "must end at (a_len-1, b_len-1)");
+    }
+
+    #[test]
+    fn monotonicity_and_continuity_violations_are_detected() {
+        let jump = Alignment::new(vec![c(0, 0), c(2, 1)], 0.0);
+        assert!(!jump.is_valid(3, 2), "a jumps by 2");
+        let backwards = Alignment::new(vec![c(0, 0), c(1, 1), c(0, 1)], 0.0);
+        assert!(!backwards.is_valid(2, 2), "a goes backwards");
+        let stall = Alignment::new(vec![c(0, 0), c(0, 0), c(1, 1)], 0.0);
+        assert!(!stall.is_valid(2, 2), "repeated coupling");
+    }
+
+    #[test]
+    fn restriction_projects_onto_a() {
+        // a: 0 1 2 3 4 ; b: 0 1 2
+        let al = Alignment::new(vec![c(0, 0), c(1, 0), c(2, 1), c(3, 2), c(4, 2)], 0.0);
+        assert_eq!(al.a_range_for_b_range(1..2), Some(2..3));
+        assert_eq!(al.a_range_for_b_range(0..1), Some(0..2));
+        assert_eq!(al.a_range_for_b_range(1..3), Some(2..5));
+        assert_eq!(al.a_range_for_b_range(3..4), None);
+        assert_eq!(al.restrict_to_b_range(1..3).len(), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Distance-call accounting.
+//!
+//! The paper's query-performance figures (8–11) report the **percentage of
+//! distance computations** an index performs relative to the naive linear
+//! scan. [`CallCounter`] is a cheap, cloneable counter shared between the
+//! benchmark harness and whatever component evaluates distances, and
+//! [`CountingDistance`] wraps any [`SequenceDistance`] so every evaluation is
+//! counted transparently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ssr_sequence::Element;
+
+use crate::traits::{DistanceProperties, SequenceDistance};
+
+/// A shared counter of distance evaluations.
+///
+/// Cloning the counter yields a handle to the *same* underlying count, so the
+/// harness can keep one handle while the index owns another.
+#[derive(Clone, Debug, Default)]
+pub struct CallCounter {
+    count: Arc<AtomicU64>,
+}
+
+impl CallCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        CallCounter::default()
+    }
+
+    /// Records one distance evaluation.
+    pub fn record(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` distance evaluations at once.
+    pub fn record_many(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current number of recorded evaluations.
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.count.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A [`SequenceDistance`] wrapper that counts every call through a shared
+/// [`CallCounter`].
+#[derive(Clone, Debug)]
+pub struct CountingDistance<D> {
+    inner: D,
+    counter: CallCounter,
+}
+
+impl<D> CountingDistance<D> {
+    /// Wraps `inner`, counting calls on `counter`.
+    pub fn new(inner: D, counter: CallCounter) -> Self {
+        CountingDistance { inner, counter }
+    }
+
+    /// The shared counter.
+    pub fn counter(&self) -> &CallCounter {
+        &self.counter
+    }
+
+    /// The wrapped distance.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<E: Element, D: SequenceDistance<E>> SequenceDistance<E> for CountingDistance<D> {
+    fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        self.counter.record();
+        self.inner.distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> DistanceProperties {
+        self.inner.properties()
+    }
+
+    fn max_distance(&self, len: usize) -> Option<f64> {
+        self.inner.max_distance(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Levenshtein;
+    use ssr_sequence::Symbol;
+
+    fn sym(text: &str) -> Vec<Symbol> {
+        text.chars().map(Symbol::from_char).collect()
+    }
+
+    #[test]
+    fn counter_is_shared_across_clones() {
+        let c = CallCounter::new();
+        let c2 = c.clone();
+        c.record();
+        c2.record_many(3);
+        assert_eq!(c.get(), 4);
+        assert_eq!(c2.get(), 4);
+        assert_eq!(c.reset(), 4);
+        assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn counting_distance_counts_and_delegates() {
+        let counter = CallCounter::new();
+        let d = CountingDistance::new(Levenshtein::new(), counter.clone());
+        let a = sym("KITTEN");
+        let b = sym("SITTING");
+        assert_eq!(d.distance(&a, &b), 3.0);
+        assert_eq!(d.distance(&a, &a), 0.0);
+        assert_eq!(counter.get(), 2);
+        assert_eq!(SequenceDistance::<Symbol>::name(&d), "Levenshtein");
+        assert!(SequenceDistance::<Symbol>::is_metric(&d));
+        assert_eq!(SequenceDistance::<Symbol>::max_distance(&d, 7), Some(7.0));
+    }
+
+    #[test]
+    fn counter_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CallCounter>();
+        assert_send_sync::<CountingDistance<Levenshtein>>();
+    }
+}

@@ -1,0 +1,212 @@
+//! Dynamic Time Warping (DTW).
+
+use ssr_sequence::Element;
+
+use crate::alignment::{Alignment, Coupling};
+use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+
+/// Dynamic Time Warping: the minimum, over all warping paths, of the sum of
+/// ground distances of coupled elements.
+///
+/// DTW tolerates arbitrary temporal misalignment and is **consistent**
+/// (Section 4 of the paper) but it is **not a metric**: it violates the
+/// triangle inequality, so it cannot be used with the Reference Net or any
+/// other metric index. The framework's filtering step (which requires only
+/// consistency) still applies to DTW when paired with a linear scan; this
+/// implementation exists both for that configuration and as a reference point
+/// in the distance benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dtw;
+
+impl Dtw {
+    /// Creates the DTW distance.
+    pub fn new() -> Self {
+        Dtw
+    }
+}
+
+impl<E: Element> SequenceDistance<E> for Dtw {
+    fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
+        }
+        let m = b.len();
+        let mut prev = vec![f64::INFINITY; m + 1];
+        let mut curr = vec![f64::INFINITY; m + 1];
+        prev[0] = 0.0;
+        for ai in a.iter() {
+            curr[0] = f64::INFINITY;
+            for (j, bj) in b.iter().enumerate() {
+                let cost = ai.ground_distance(bj);
+                let best_prev = prev[j].min(prev[j + 1]).min(curr[j]);
+                curr[j + 1] = cost + best_prev;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+
+    fn properties(&self) -> DistanceProperties {
+        DistanceProperties {
+            metric: false,
+            consistent: true,
+            allows_time_shift: true,
+            requires_equal_lengths: false,
+        }
+    }
+
+    fn max_distance(&self, len: usize) -> Option<f64> {
+        // A warping path between sequences of length <= len has at most
+        // 2*len - 1 couplings, each costing at most the ground bound.
+        E::max_ground_distance().map(|g| g * (2 * len).saturating_sub(1) as f64)
+    }
+}
+
+impl<E: Element> AlignmentDistance<E> for Dtw {
+    fn alignment(&self, a: &[E], b: &[E]) -> Alignment {
+        if a.is_empty() || b.is_empty() {
+            let cost = if a.is_empty() && b.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            return Alignment::new(Vec::new(), cost);
+        }
+        let n = a.len();
+        let m = b.len();
+        let mut dp = vec![f64::INFINITY; (n + 1) * (m + 1)];
+        let idx = |i: usize, j: usize| i * (m + 1) + j;
+        dp[idx(0, 0)] = 0.0;
+        for i in 1..=n {
+            for j in 1..=m {
+                let cost = a[i - 1].ground_distance(&b[j - 1]);
+                let best = dp[idx(i - 1, j - 1)]
+                    .min(dp[idx(i - 1, j)])
+                    .min(dp[idx(i, j - 1)]);
+                dp[idx(i, j)] = cost + best;
+            }
+        }
+        let mut couplings = Vec::with_capacity(n + m);
+        let mut i = n;
+        let mut j = m;
+        while i >= 1 && j >= 1 {
+            couplings.push(Coupling {
+                a_index: i - 1,
+                b_index: j - 1,
+            });
+            if i == 1 && j == 1 {
+                break;
+            }
+            let diag = if i > 1 && j > 1 {
+                dp[idx(i - 1, j - 1)]
+            } else {
+                f64::INFINITY
+            };
+            let up = if i > 1 { dp[idx(i - 1, j)] } else { f64::INFINITY };
+            let left = if j > 1 { dp[idx(i, j - 1)] } else { f64::INFINITY };
+            if diag <= up && diag <= left {
+                i -= 1;
+                j -= 1;
+            } else if up <= left {
+                i -= 1;
+            } else {
+                j -= 1;
+            }
+        }
+        couplings.reverse();
+        Alignment::new(couplings, dp[idx(n, m)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_sequence::Pitch;
+
+    fn pitches(values: &[i16]) -> Vec<Pitch> {
+        values.iter().map(|&v| Pitch(v)).collect()
+    }
+
+    #[test]
+    fn paper_example_repeated_values_have_zero_distance() {
+        // "sequence 111222333 according to DTW has a distance of 0 to 123"
+        let d = Dtw::new();
+        let long = pitches(&[1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        let short = pitches(&[1, 2, 3]);
+        assert_eq!(d.distance(&long, &short), 0.0);
+    }
+
+    #[test]
+    fn simple_scalar_case() {
+        let d = Dtw::new();
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 4.0];
+        assert_eq!(SequenceDistance::<f64>::distance(&d, &a, &b), 1.0);
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let d = Dtw::new();
+        let a = pitches(&[0, 4, 7, 4, 0]);
+        assert_eq!(d.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        let d = Dtw::new();
+        let empty: Vec<f64> = vec![];
+        assert_eq!(d.distance(&empty, &empty), 0.0);
+        assert!(d.distance(&empty, &[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn dtw_is_not_a_metric_triangle_violation_exists() {
+        // Known counterexample: DTW violates the triangle inequality because a
+        // short "bridge" sequence can warp cheaply onto both extremes.
+        let d = Dtw::new();
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [0.0, 2.0];
+        let c = [2.0, 2.0, 2.0, 2.0];
+        let dab = SequenceDistance::<f64>::distance(&d, &a, &b);
+        let dbc = SequenceDistance::<f64>::distance(&d, &b, &c);
+        let dac = SequenceDistance::<f64>::distance(&d, &a, &c);
+        assert!(
+            dac > dab + dbc,
+            "expected violation, got d(a,c)={dac} <= {dab}+{dbc}"
+        );
+        assert!(!SequenceDistance::<f64>::is_metric(&d));
+    }
+
+    #[test]
+    fn alignment_cost_matches_distance_and_is_valid() {
+        let d = Dtw::new();
+        let a = pitches(&[1, 3, 4, 9, 8, 2, 1, 5, 7, 3]);
+        let b = pitches(&[2, 5, 4, 7, 8, 3, 1, 4, 2]);
+        let al = d.alignment(&a, &b);
+        assert!((al.cost - d.distance(&a, &b)).abs() < 1e-9);
+        assert!(al.is_valid(a.len(), b.len()));
+    }
+
+    #[test]
+    fn consistency_holds_empirically_via_alignment_projection() {
+        let d = Dtw::new();
+        let a = pitches(&[0, 2, 4, 5, 7, 9, 11, 9, 7, 5, 4, 2]);
+        let b = pitches(&[0, 1, 4, 6, 7, 9, 10, 9, 8, 5, 3, 2, 0]);
+        let full = d.distance(&a, &b);
+        let al = d.alignment(&a, &b);
+        for start in 0..b.len() {
+            for end in (start + 1)..=b.len() {
+                let a_range = al.a_range_for_b_range(start..end).unwrap();
+                let sub = d.distance(&a[a_range], &b[start..end]);
+                assert!(sub <= full + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Discrete Fréchet distance (Eiter & Mannila, 1994).
+
+use ssr_sequence::Element;
+
+use crate::alignment::{Alignment, Coupling};
+use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+
+/// The discrete Fréchet distance: the minimum, over all couplings (warping
+/// paths), of the **maximum** ground distance of any coupled pair.
+///
+/// Intuitively the "dog-leash" distance restricted to the vertices of two
+/// polygonal curves. It is a metric, it is consistent (the maximum over a
+/// subset of couplings cannot exceed the maximum over all of them), and it
+/// tolerates temporal misalignment — which is why the paper pairs it with ERP
+/// for the SONGS and TRAJ experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiscreteFrechet;
+
+impl DiscreteFrechet {
+    /// Creates the discrete Fréchet distance.
+    pub fn new() -> Self {
+        DiscreteFrechet
+    }
+}
+
+impl<E: Element> SequenceDistance<E> for DiscreteFrechet {
+    fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return f64::INFINITY;
+        }
+        let m = b.len();
+        let mut prev = vec![f64::INFINITY; m];
+        let mut curr = vec![f64::INFINITY; m];
+        for (i, ai) in a.iter().enumerate() {
+            for (j, bj) in b.iter().enumerate() {
+                let cost = ai.ground_distance(bj);
+                let reach = if i == 0 && j == 0 {
+                    cost
+                } else {
+                    let mut best = f64::INFINITY;
+                    if i > 0 {
+                        best = best.min(prev[j]);
+                    }
+                    if j > 0 {
+                        best = best.min(curr[j - 1]);
+                    }
+                    if i > 0 && j > 0 {
+                        best = best.min(prev[j - 1]);
+                    }
+                    best.max(cost)
+                };
+                curr[j] = reach;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m - 1]
+    }
+
+    fn name(&self) -> &'static str {
+        "DiscreteFrechet"
+    }
+
+    fn properties(&self) -> DistanceProperties {
+        DistanceProperties {
+            metric: true,
+            consistent: true,
+            allows_time_shift: true,
+            requires_equal_lengths: false,
+        }
+    }
+
+    fn max_distance(&self, _len: usize) -> Option<f64> {
+        // The maximum coupling cost is bounded by the ground-distance bound
+        // irrespective of sequence length.
+        E::max_ground_distance()
+    }
+}
+
+impl<E: Element> AlignmentDistance<E> for DiscreteFrechet {
+    fn alignment(&self, a: &[E], b: &[E]) -> Alignment {
+        if a.is_empty() || b.is_empty() {
+            let cost = if a.is_empty() && b.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            return Alignment::new(Vec::new(), cost);
+        }
+        let n = a.len();
+        let m = b.len();
+        let mut dp = vec![f64::INFINITY; n * m];
+        let idx = |i: usize, j: usize| i * m + j;
+        for i in 0..n {
+            for j in 0..m {
+                let cost = a[i].ground_distance(&b[j]);
+                dp[idx(i, j)] = if i == 0 && j == 0 {
+                    cost
+                } else {
+                    let mut best = f64::INFINITY;
+                    if i > 0 {
+                        best = best.min(dp[idx(i - 1, j)]);
+                    }
+                    if j > 0 {
+                        best = best.min(dp[idx(i, j - 1)]);
+                    }
+                    if i > 0 && j > 0 {
+                        best = best.min(dp[idx(i - 1, j - 1)]);
+                    }
+                    best.max(cost)
+                };
+            }
+        }
+        // Greedy traceback: from (n-1, m-1) repeatedly move to the predecessor
+        // with the smallest reach value.
+        let mut couplings = Vec::with_capacity(n + m);
+        let mut i = n - 1;
+        let mut j = m - 1;
+        loop {
+            couplings.push(Coupling {
+                a_index: i,
+                b_index: j,
+            });
+            if i == 0 && j == 0 {
+                break;
+            }
+            let diag = if i > 0 && j > 0 {
+                dp[idx(i - 1, j - 1)]
+            } else {
+                f64::INFINITY
+            };
+            let up = if i > 0 { dp[idx(i - 1, j)] } else { f64::INFINITY };
+            let left = if j > 0 { dp[idx(i, j - 1)] } else { f64::INFINITY };
+            if diag <= up && diag <= left {
+                i -= 1;
+                j -= 1;
+            } else if up <= left {
+                i -= 1;
+            } else {
+                j -= 1;
+            }
+        }
+        couplings.reverse();
+        Alignment::new(couplings, dp[idx(n - 1, m - 1)])
+    }
+
+    fn aggregates_by_sum(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_sequence::{Pitch, Point2D};
+
+    fn pitches(values: &[i16]) -> Vec<Pitch> {
+        values.iter().map(|&v| Pitch(v)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let d = DiscreteFrechet::new();
+        let a = pitches(&[0, 4, 7, 11]);
+        assert_eq!(d.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn repeated_elements_do_not_increase_distance() {
+        let d = DiscreteFrechet::new();
+        let long = pitches(&[1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        let short = pitches(&[1, 2, 3]);
+        assert_eq!(d.distance(&long, &short), 0.0);
+    }
+
+    #[test]
+    fn distance_is_the_bottleneck_coupling_cost() {
+        let d = DiscreteFrechet::new();
+        // b's middle element (5.0) must couple with something; the closest
+        // element of a is 2.0, so the bottleneck cost is 3.0.
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 5.0, 2.0];
+        assert_eq!(SequenceDistance::<f64>::distance(&d, &a, &b), 3.0);
+    }
+
+    #[test]
+    fn trajectory_example() {
+        let d = DiscreteFrechet::new();
+        let a = [
+            Point2D::new(0.0, 0.0),
+            Point2D::new(1.0, 0.0),
+            Point2D::new(2.0, 0.0),
+        ];
+        let b = [
+            Point2D::new(0.0, 1.0),
+            Point2D::new(1.0, 1.0),
+            Point2D::new(2.0, 1.0),
+        ];
+        assert!((d.distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_handling() {
+        let d = DiscreteFrechet::new();
+        let empty: Vec<f64> = vec![];
+        assert_eq!(d.distance(&empty, &empty), 0.0);
+        assert!(d.distance(&empty, &[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn symmetry_and_triangle_inequality_spot_checks() {
+        let d = DiscreteFrechet::new();
+        let seqs = [
+            pitches(&[0, 2, 4]),
+            pitches(&[1, 1, 1, 1]),
+            pitches(&[11, 0]),
+            pitches(&[5]),
+        ];
+        for x in &seqs {
+            for y in &seqs {
+                assert_eq!(d.distance(x, y), d.distance(y, x));
+                for z in &seqs {
+                    assert!(d.distance(x, z) <= d.distance(x, y) + d.distance(y, z) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_by_max_ground_distance() {
+        let d = DiscreteFrechet::new();
+        let a = pitches(&[0, 0, 0]);
+        let b = pitches(&[11, 11]);
+        assert_eq!(d.distance(&a, &b), 11.0);
+        assert_eq!(SequenceDistance::<Pitch>::max_distance(&d, 100), Some(11.0));
+    }
+
+    #[test]
+    fn alignment_cost_matches_distance_and_is_valid() {
+        let d = DiscreteFrechet::new();
+        let a = pitches(&[1, 3, 4, 9, 8, 2, 1, 5]);
+        let b = pitches(&[2, 5, 4, 7, 8, 3, 1]);
+        let al = d.alignment(&a, &b);
+        assert!((al.cost - d.distance(&a, &b)).abs() < 1e-9);
+        assert!(al.is_valid(a.len(), b.len()));
+        assert!(!AlignmentDistance::<Pitch>::aggregates_by_sum(&d));
+    }
+
+    #[test]
+    fn consistency_holds_empirically_via_alignment_projection() {
+        let d = DiscreteFrechet::new();
+        let a = pitches(&[0, 2, 4, 5, 7, 9, 11, 9, 7, 5, 4, 2]);
+        let b = pitches(&[0, 1, 4, 6, 7, 9, 10, 9, 8, 5, 3, 2, 0]);
+        let full = d.distance(&a, &b);
+        let al = d.alignment(&a, &b);
+        for start in 0..b.len() {
+            for end in (start + 1)..=b.len() {
+                let a_range = al.a_range_for_b_range(start..end).unwrap();
+                let sub = d.distance(&a[a_range], &b[start..end]);
+                assert!(sub <= full + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Levenshtein (edit) distance with unit costs.
+
+use ssr_sequence::Element;
+
+use crate::alignment::{Alignment, Coupling};
+use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+
+/// The Levenshtein distance: the minimum number of single-element insertions,
+/// deletions and substitutions needed to transform one sequence into another.
+///
+/// This is the distance the paper uses for the PROTEINS experiments
+/// (Figures 4, 5, 8 and 12). It is metric and consistent, and tolerates gaps,
+/// which makes it suitable for the framework on string data (Section 5).
+///
+/// The implementation is the standard `O(|a|·|b|)` dynamic program with two
+/// rolling rows for [`SequenceDistance::distance`], and a full matrix with
+/// traceback for [`AlignmentDistance::alignment`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Levenshtein;
+
+impl Levenshtein {
+    /// Creates the unit-cost Levenshtein distance.
+    pub fn new() -> Self {
+        Levenshtein
+    }
+}
+
+impl<E: Element> SequenceDistance<E> for Levenshtein {
+    fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        if a.is_empty() {
+            return b.len() as f64;
+        }
+        if b.is_empty() {
+            return a.len() as f64;
+        }
+        // Rolling single row of the (|a|+1) x (|b|+1) DP matrix.
+        let mut prev: Vec<u32> = (0..=b.len() as u32).collect();
+        let mut curr: Vec<u32> = vec![0; b.len() + 1];
+        for (i, ai) in a.iter().enumerate() {
+            curr[0] = (i + 1) as u32;
+            for (j, bj) in b.iter().enumerate() {
+                let sub_cost = if ai == bj { 0 } else { 1 };
+                curr[j + 1] = (prev[j] + sub_cost)
+                    .min(prev[j + 1] + 1)
+                    .min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        f64::from(prev[b.len()])
+    }
+
+    fn name(&self) -> &'static str {
+        "Levenshtein"
+    }
+
+    fn properties(&self) -> DistanceProperties {
+        DistanceProperties {
+            metric: true,
+            consistent: true,
+            allows_time_shift: true,
+            requires_equal_lengths: false,
+        }
+    }
+
+    fn max_distance(&self, len: usize) -> Option<f64> {
+        // At most max(|a|, |b|) edits are ever needed.
+        Some(len as f64)
+    }
+}
+
+impl<E: Element> AlignmentDistance<E> for Levenshtein {
+    fn alignment(&self, a: &[E], b: &[E]) -> Alignment {
+        if a.is_empty() || b.is_empty() {
+            return Alignment::new(Vec::new(), a.len().max(b.len()) as f64);
+        }
+        let n = a.len();
+        let m = b.len();
+        let mut dp = vec![0u32; (n + 1) * (m + 1)];
+        let idx = |i: usize, j: usize| i * (m + 1) + j;
+        for i in 0..=n {
+            dp[idx(i, 0)] = i as u32;
+        }
+        for j in 0..=m {
+            dp[idx(0, j)] = j as u32;
+        }
+        for i in 1..=n {
+            for j in 1..=m {
+                let sub_cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+                dp[idx(i, j)] = (dp[idx(i - 1, j - 1)] + sub_cost)
+                    .min(dp[idx(i - 1, j)] + 1)
+                    .min(dp[idx(i, j - 1)] + 1);
+            }
+        }
+        // Traceback into a coupling sequence following the paper's model:
+        // insertions / deletions repeat an element of the other sequence.
+        let mut couplings = Vec::with_capacity(n + m);
+        let mut i = n;
+        let mut j = m;
+        while i > 0 || j > 0 {
+            if i > 0 && j > 0 {
+                let sub_cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+                if dp[idx(i, j)] == dp[idx(i - 1, j - 1)] + sub_cost {
+                    couplings.push(Coupling {
+                        a_index: i - 1,
+                        b_index: j - 1,
+                    });
+                    i -= 1;
+                    j -= 1;
+                    continue;
+                }
+            }
+            if i > 0 && dp[idx(i, j)] == dp[idx(i - 1, j)] + 1 {
+                couplings.push(Coupling {
+                    a_index: i - 1,
+                    b_index: j.saturating_sub(1),
+                });
+                i -= 1;
+            } else {
+                couplings.push(Coupling {
+                    a_index: i.saturating_sub(1),
+                    b_index: j - 1,
+                });
+                j -= 1;
+            }
+        }
+        couplings.reverse();
+        Alignment::new(couplings, f64::from(dp[idx(n, m)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_sequence::Symbol;
+
+    fn sym(text: &str) -> Vec<Symbol> {
+        text.chars().map(Symbol::from_char).collect()
+    }
+
+    fn lev(a: &str, b: &str) -> f64 {
+        Levenshtein::new().distance(&sym(a), &sym(b))
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(lev("KITTEN", "SITTING"), 3.0);
+        assert_eq!(lev("FLAW", "LAWN"), 2.0);
+        assert_eq!(lev("GATTACA", "GATTACA"), 0.0);
+        assert_eq!(lev("", "ACGT"), 4.0);
+        assert_eq!(lev("ACGT", ""), 4.0);
+        assert_eq!(lev("", ""), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(lev("ACGGT", "AGT"), lev("AGT", "ACGGT"));
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(lev("ACGT", "ACCT"), 1.0); // substitution
+        assert_eq!(lev("ACGT", "ACGTT"), 1.0); // insertion
+        assert_eq!(lev("ACGT", "AGT"), 1.0); // deletion
+    }
+
+    #[test]
+    fn bounded_by_max_length() {
+        let d = Levenshtein::new();
+        let a = sym("AAAAAAAAAA");
+        let b = sym("CCCCC");
+        assert!(d.distance(&a, &b) <= 10.0);
+        assert_eq!(d.distance(&a, &b), 10.0); // 5 subs + 5 deletions
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let d = Levenshtein::new();
+        let seqs = [sym("ACGT"), sym("AGT"), sym("TTTT"), sym(""), sym("ACG")];
+        for x in &seqs {
+            for y in &seqs {
+                for z in &seqs {
+                    assert!(d.distance(x, z) <= d.distance(x, y) + d.distance(y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_cost_equals_distance() {
+        let d = Levenshtein::new();
+        let cases = [
+            ("KITTEN", "SITTING"),
+            ("ACGT", "TGCA"),
+            ("AAAA", "AA"),
+            ("A", "TTTTTT"),
+        ];
+        for (x, y) in cases {
+            let a = sym(x);
+            let b = sym(y);
+            let al = d.alignment(&a, &b);
+            assert_eq!(al.cost, d.distance(&a, &b), "{x} vs {y}");
+            assert!(al.is_valid(a.len(), b.len()), "invalid alignment {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn alignment_of_empty_inputs() {
+        let d = Levenshtein::new();
+        let empty: Vec<Symbol> = vec![];
+        let al = d.alignment(&empty, &sym("ABC"));
+        assert_eq!(al.cost, 3.0);
+        assert!(al.couplings.is_empty());
+    }
+
+    #[test]
+    fn consistency_every_b_subrange_has_a_cheap_a_subrange() {
+        // Empirical check of Definition 1 using the optimal alignment's
+        // projection, mirroring the proof of Section 4.
+        let d = Levenshtein::new();
+        let a = sym("ACGTTGCAACGGT");
+        let b = sym("TACGTTCCAAGGTT");
+        let full = d.distance(&a, &b);
+        let al = d.alignment(&a, &b);
+        for start in 0..b.len() {
+            for end in (start + 1)..=b.len() {
+                let a_range = al
+                    .a_range_for_b_range(start..end)
+                    .expect("every element of b is coupled");
+                let sub = d.distance(&a[a_range], &b[start..end]);
+                assert!(
+                    sub <= full + 1e-9,
+                    "consistency violated for b[{start}..{end}]: {sub} > {full}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # ssr-distance
+//!
+//! Sequence distance functions for the subsequence-retrieval framework of
+//! Zhu, Kollios and Athitsos (VLDB 2012), together with the two properties the
+//! framework cares about:
+//!
+//! * **metricity** — symmetry and the triangle inequality, which enable
+//!   triangle-inequality pruning and metric indexing (Section 3.3);
+//! * **consistency** — for every subsequence `SX` of `X` there is a
+//!   subsequence `SQ` of `Q` with `δ(SQ, SX) ≤ δ(Q, X)` (Definition 1), which
+//!   is what makes window-based filtering complete (Lemmas 1–3).
+//!
+//! | Distance | Metric | Consistent | Alignment-based |
+//! |----------------------|--------|------------|-----------------|
+//! | [`Euclidean`]        | yes    | yes        | no (lockstep)   |
+//! | [`Hamming`]          | yes    | yes        | no (lockstep)   |
+//! | [`Levenshtein`]      | yes    | yes        | yes             |
+//! | [`Erp`]              | yes    | yes        | yes             |
+//! | [`DiscreteFrechet`]  | yes    | yes        | yes             |
+//! | [`Dtw`]              | **no** | yes        | yes             |
+//!
+//! All distances are generic over the element type through
+//! [`ssr_sequence::Element`], whose `ground_distance` supplies the per-coupling
+//! cost.
+
+pub mod alignment;
+pub mod counting;
+pub mod dtw;
+pub mod erp;
+pub mod euclidean;
+pub mod frechet;
+pub mod hamming;
+pub mod levenshtein;
+pub mod lower_bounds;
+pub mod traits;
+
+pub use alignment::{Alignment, Coupling};
+pub use counting::{CallCounter, CountingDistance};
+pub use dtw::Dtw;
+pub use erp::Erp;
+pub use euclidean::Euclidean;
+pub use frechet::DiscreteFrechet;
+pub use hamming::Hamming;
+pub use levenshtein::Levenshtein;
+pub use lower_bounds::{erp_lower_bound, length_difference_lower_bound};
+pub use traits::{AlignmentDistance, DistanceProperties, SequenceDistance};

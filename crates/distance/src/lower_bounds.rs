@@ -1,0 +1,85 @@
+//! Cheap lower bounds for expensive distances.
+//!
+//! Lower bounds allow a caller to discard a candidate pair without running the
+//! full `O(n·m)` dynamic program: if the bound already exceeds the similarity
+//! threshold `ε`, the true distance must too. They are optional accelerators
+//! for the verification step of the framework (step 5) and are benchmarked in
+//! the ablation suite.
+
+use ssr_sequence::Element;
+
+/// Lower bound for the Levenshtein distance: the absolute difference of the
+/// two lengths (every missing element needs at least one insertion).
+pub fn length_difference_lower_bound(a_len: usize, b_len: usize) -> f64 {
+    a_len.abs_diff(b_len) as f64
+}
+
+/// Lower bound for the ERP distance (Chen & Ng): the absolute difference of
+/// the sequences' total ground distances to the gap element.
+///
+/// `ERP(a, b) ≥ |Σ_i g(a_i, gap) − Σ_j g(b_j, gap)|` follows from the triangle
+/// inequality applied to each coupling of the optimal ERP alignment.
+pub fn erp_lower_bound<E: Element>(a: &[E], b: &[E]) -> f64 {
+    let gap = E::gap();
+    let sum_a: f64 = a.iter().map(|x| x.ground_distance(&gap)).sum();
+    let sum_b: f64 = b.iter().map(|x| x.ground_distance(&gap)).sum();
+    (sum_a - sum_b).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Erp, Levenshtein, SequenceDistance};
+    use ssr_sequence::{Pitch, Symbol};
+
+    fn sym(text: &str) -> Vec<Symbol> {
+        text.chars().map(Symbol::from_char).collect()
+    }
+
+    fn pitches(values: &[i16]) -> Vec<Pitch> {
+        values.iter().map(|&v| Pitch(v)).collect()
+    }
+
+    #[test]
+    fn length_difference_bounds_levenshtein() {
+        let d = Levenshtein::new();
+        let cases = [("ACGTACGT", "ACG"), ("A", "TTTTTTTT"), ("", "ACGT")];
+        for (x, y) in cases {
+            let a = sym(x);
+            let b = sym(y);
+            assert!(length_difference_lower_bound(a.len(), b.len()) <= d.distance(&a, &b));
+        }
+    }
+
+    #[test]
+    fn erp_lower_bound_is_a_true_lower_bound() {
+        let d = Erp::new();
+        let cases = [
+            (pitches(&[0, 5, 11, 3]), pitches(&[1, 5, 10])),
+            (pitches(&[7, 7, 7]), pitches(&[0])),
+            (pitches(&[]), pitches(&[4, 4])),
+            (pitches(&[2, 9, 1, 6, 8]), pitches(&[2, 9, 1, 6, 8])),
+        ];
+        for (a, b) in cases {
+            let lb = erp_lower_bound(&a, &b);
+            let full = d.distance(&a, &b);
+            assert!(lb <= full + 1e-12, "lb {lb} > erp {full} for {a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn erp_lower_bound_is_zero_for_identical_sums() {
+        let a = pitches(&[3, 3]);
+        let b = pitches(&[6]);
+        assert_eq!(erp_lower_bound(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn length_difference_is_symmetric() {
+        assert_eq!(
+            length_difference_lower_bound(3, 10),
+            length_difference_lower_bound(10, 3)
+        );
+        assert_eq!(length_difference_lower_bound(5, 5), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Core distance traits.
+
+use ssr_sequence::Element;
+
+use crate::alignment::Alignment;
+
+/// Static properties of a distance measure relevant to the framework.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DistanceProperties {
+    /// Whether the distance is symmetric and satisfies the triangle
+    /// inequality. Metric distances can be indexed by the Reference Net,
+    /// Cover Tree and reference-based indexes (Section 3.3 and 6).
+    pub metric: bool,
+    /// Whether the distance satisfies the consistency property
+    /// (Definition 1): for every subsequence of `X` there is a subsequence of
+    /// `Q` at distance no larger than `δ(Q, X)`.
+    pub consistent: bool,
+    /// Whether the distance tolerates temporal misalignment / gaps. The paper
+    /// points out that Euclidean and Hamming are metric and consistent but
+    /// cannot tolerate even a single-element shift, which limits their use for
+    /// subsequence matching (end of Section 5).
+    pub allows_time_shift: bool,
+    /// Whether the two inputs must have equal lengths.
+    pub requires_equal_lengths: bool,
+}
+
+/// A dissimilarity measure between two element slices.
+///
+/// Implementations must be deterministic and non-negative; metric
+/// implementations must additionally be symmetric and satisfy the triangle
+/// inequality (verified by property tests in this crate).
+pub trait SequenceDistance<E: Element>: Send + Sync {
+    /// The distance between `a` and `b`.
+    ///
+    /// Distances that require equal lengths return `f64::INFINITY` when the
+    /// lengths differ, so that such pairs are never reported as similar.
+    fn distance(&self, a: &[E], b: &[E]) -> f64;
+
+    /// A short human-readable name ("Levenshtein", "ERP", …).
+    fn name(&self) -> &'static str;
+
+    /// Static properties of the measure.
+    fn properties(&self) -> DistanceProperties;
+
+    /// Whether the measure is a metric.
+    fn is_metric(&self) -> bool {
+        self.properties().metric
+    }
+
+    /// Whether the measure satisfies the consistency property.
+    fn is_consistent(&self) -> bool {
+        self.properties().consistent
+    }
+
+    /// An upper bound on `distance(a, b)` for inputs of length at most `len`,
+    /// if the measure admits one (used to express query ranges as a fraction
+    /// of the maximum distance, as in Figures 8 and 12).
+    fn max_distance(&self, len: usize) -> Option<f64> {
+        let _ = len;
+        None
+    }
+}
+
+macro_rules! forward_sequence_distance {
+    ($wrapper:ty) => {
+        impl<E: Element, D: SequenceDistance<E> + ?Sized> SequenceDistance<E> for $wrapper {
+            fn distance(&self, a: &[E], b: &[E]) -> f64 {
+                (**self).distance(a, b)
+            }
+
+            fn name(&self) -> &'static str {
+                (**self).name()
+            }
+
+            fn properties(&self) -> DistanceProperties {
+                (**self).properties()
+            }
+
+            fn max_distance(&self, len: usize) -> Option<f64> {
+                (**self).max_distance(len)
+            }
+        }
+    };
+}
+
+forward_sequence_distance!(std::sync::Arc<D>);
+forward_sequence_distance!(Box<D>);
+forward_sequence_distance!(&D);
+
+/// Distances defined through an optimal alignment (sequence of couplings).
+///
+/// DTW, ERP and the Levenshtein distance minimise the *sum* of coupling costs;
+/// the discrete Fréchet distance minimises the *maximum* coupling cost. The
+/// consistency proof in Section 4 of the paper rests on restricting the optimal
+/// alignment to a subsequence, which [`Alignment::restrict_to_b_range`]
+/// implements; tests use it to validate consistency empirically.
+pub trait AlignmentDistance<E: Element>: SequenceDistance<E> {
+    /// Computes an optimal alignment between `a` and `b` together with its
+    /// cost (which equals `distance(a, b)`).
+    fn alignment(&self, a: &[E], b: &[E]) -> Alignment;
+
+    /// Whether the alignment cost aggregates couplings by summation (`true`)
+    /// or by maximum (`false`, discrete Fréchet).
+    fn aggregates_by_sum(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiscreteFrechet, Dtw, Erp, Euclidean, Hamming, Levenshtein};
+    use ssr_sequence::Symbol;
+
+    fn sym(text: &str) -> Vec<Symbol> {
+        text.chars().map(Symbol::from_char).collect()
+    }
+
+    #[test]
+    fn property_table_matches_the_paper() {
+        // Table implied by Sections 3.3-5 of the paper.
+        fn props<D: SequenceDistance<Symbol>>(d: &D) -> DistanceProperties {
+            d.properties()
+        }
+        let lev = props(&Levenshtein::new());
+        assert!(lev.metric && lev.consistent);
+        let erp = props(&Erp::new());
+        assert!(erp.metric && erp.consistent);
+        let dfd = props(&DiscreteFrechet::new());
+        assert!(dfd.metric && dfd.consistent);
+        let dtw = props(&Dtw::new());
+        assert!(!dtw.metric && dtw.consistent);
+        let euc = props(&Euclidean::new());
+        assert!(euc.metric && euc.consistent);
+        assert!(euc.requires_equal_lengths);
+        let ham = props(&Hamming::new());
+        assert!(ham.metric && ham.consistent);
+        assert!(!ham.allows_time_shift);
+    }
+
+    #[test]
+    fn distance_objects_are_usable_behind_dyn_references() {
+        let distances: Vec<Box<dyn SequenceDistance<Symbol>>> = vec![
+            Box::new(Levenshtein::new()),
+            Box::new(Hamming::new()),
+            Box::new(Erp::new()),
+            Box::new(DiscreteFrechet::new()),
+            Box::new(Dtw::new()),
+        ];
+        let a = sym("ACGT");
+        let b = sym("AGGT");
+        for d in &distances {
+            let v = d.distance(&a, &b);
+            assert!(v.is_finite());
+            assert!(v >= 0.0, "{} returned negative distance", d.name());
+            assert_eq!(d.distance(&a, &a), 0.0, "{} not reflexive", d.name());
+        }
+    }
+}

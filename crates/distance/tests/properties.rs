@@ -1,0 +1,217 @@
+//! Property-based tests for the distance library.
+//!
+//! These check, on randomly generated inputs, the two properties the paper's
+//! framework relies on — metricity (Section 3.3) and consistency
+//! (Definition 1) — as well as structural validity of the optimal alignments.
+
+use proptest::prelude::*;
+
+use ssr_distance::{
+    erp_lower_bound, length_difference_lower_bound, AlignmentDistance, DiscreteFrechet, Dtw, Erp,
+    Euclidean, Hamming, Levenshtein, SequenceDistance,
+};
+use ssr_sequence::{Pitch, Point2D, Symbol};
+
+const TOL: f64 = 1e-9;
+
+fn symbol_seq(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec((0u8..4).prop_map(|i| Symbol::from_char(b"ACGT"[i as usize] as char)), 0..max_len)
+}
+
+fn pitch_seq(max_len: usize) -> impl Strategy<Value = Vec<Pitch>> {
+    prop::collection::vec((0i16..=11).prop_map(Pitch), 0..max_len)
+}
+
+fn point_seq(max_len: usize) -> impl Strategy<Value = Vec<Point2D>> {
+    prop::collection::vec(
+        (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y)| Point2D::new(x, y)),
+        0..max_len,
+    )
+}
+
+/// Checks the metric axioms on a triple of sequences.
+fn assert_metric_axioms<E, D>(d: &D, x: &[E], y: &[E], z: &[E])
+where
+    E: ssr_sequence::Element,
+    D: SequenceDistance<E>,
+{
+    let dxy = d.distance(x, y);
+    let dyx = d.distance(y, x);
+    let dxz = d.distance(x, z);
+    let dyz = d.distance(y, z);
+    // Non-negativity and identity of indiscernibles (same input).
+    assert!(dxy >= 0.0);
+    assert_eq!(d.distance(x, x), 0.0);
+    // Symmetry.
+    if dxy.is_finite() || dyx.is_finite() {
+        assert!((dxy - dyx).abs() <= TOL, "symmetry violated: {dxy} vs {dyx}");
+    }
+    // Triangle inequality (skip when any leg is infinite, e.g. unequal-length
+    // inputs under Euclidean / Hamming).
+    if dxy.is_finite() && dyz.is_finite() && dxz.is_finite() {
+        assert!(
+            dxz <= dxy + dyz + TOL,
+            "triangle violated: d(x,z)={dxz} > d(x,y)+d(y,z)={}",
+            dxy + dyz
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn levenshtein_is_a_metric(x in symbol_seq(12), y in symbol_seq(12), z in symbol_seq(12)) {
+        assert_metric_axioms(&Levenshtein::new(), &x, &y, &z);
+    }
+
+    #[test]
+    fn erp_is_a_metric_on_pitches(x in pitch_seq(10), y in pitch_seq(10), z in pitch_seq(10)) {
+        assert_metric_axioms(&Erp::new(), &x, &y, &z);
+    }
+
+    #[test]
+    fn erp_is_a_metric_on_trajectories(x in point_seq(8), y in point_seq(8), z in point_seq(8)) {
+        assert_metric_axioms(&Erp::new(), &x, &y, &z);
+    }
+
+    #[test]
+    fn frechet_is_a_metric_on_pitches(x in pitch_seq(10), y in pitch_seq(10), z in pitch_seq(10)) {
+        assert_metric_axioms(&DiscreteFrechet::new(), &x, &y, &z);
+    }
+
+    #[test]
+    fn frechet_is_a_metric_on_trajectories(x in point_seq(8), y in point_seq(8), z in point_seq(8)) {
+        assert_metric_axioms(&DiscreteFrechet::new(), &x, &y, &z);
+    }
+
+    #[test]
+    fn hamming_and_euclidean_are_metrics(x in pitch_seq(8), y in pitch_seq(8), z in pitch_seq(8)) {
+        assert_metric_axioms(&Hamming::new(), &x, &y, &z);
+        assert_metric_axioms(&Euclidean::new(), &x, &y, &z);
+    }
+
+    #[test]
+    fn levenshtein_identity_of_indiscernibles(x in symbol_seq(12), y in symbol_seq(12)) {
+        let d = Levenshtein::new();
+        if d.distance(&x, &y) == 0.0 {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn alignment_costs_match_distances(x in pitch_seq(10), y in pitch_seq(10)) {
+        prop_assume!(!x.is_empty() && !y.is_empty());
+        let dtw = Dtw::new();
+        let erp = Erp::new();
+        let dfd = DiscreteFrechet::new();
+        for (cost, dist, name) in [
+            (dtw.alignment(&x, &y).cost, dtw.distance(&x, &y), "DTW"),
+            (erp.alignment(&x, &y).cost, erp.distance(&x, &y), "ERP"),
+            (dfd.alignment(&x, &y).cost, dfd.distance(&x, &y), "DFD"),
+        ] {
+            prop_assert!((cost - dist).abs() <= TOL, "{} alignment cost {} != distance {}", name, cost, dist);
+        }
+    }
+
+    #[test]
+    fn alignments_are_structurally_valid(x in pitch_seq(10), y in pitch_seq(10)) {
+        prop_assume!(!x.is_empty() && !y.is_empty());
+        let dtw = Dtw::new();
+        let erp = Erp::new();
+        let dfd = DiscreteFrechet::new();
+        let lev = Levenshtein::new();
+        prop_assert!(dtw.alignment(&x, &y).is_valid(x.len(), y.len()));
+        prop_assert!(erp.alignment(&x, &y).is_valid(x.len(), y.len()));
+        prop_assert!(dfd.alignment(&x, &y).is_valid(x.len(), y.len()));
+        prop_assert!(lev.alignment(&x, &y).is_valid(x.len(), y.len()));
+    }
+
+    #[test]
+    fn consistency_of_levenshtein_dtw_and_frechet(x in symbol_seq(10), y in symbol_seq(10)) {
+        prop_assume!(x.len() >= 2 && y.len() >= 2);
+        // Definition 1, checked via the alignment-projection construction of
+        // the paper's proof (sum / max over a subset of couplings).
+        check_consistency_via_projection(&Levenshtein::new(), &x, &y);
+        check_consistency_via_projection(&Dtw::new(), &x, &y);
+        check_consistency_via_projection(&DiscreteFrechet::new(), &x, &y);
+    }
+
+    #[test]
+    fn consistency_of_erp_with_exhaustive_fallback(x in pitch_seq(8), y in pitch_seq(8)) {
+        prop_assume!(x.len() >= 2 && y.len() >= 2);
+        let d = Erp::new();
+        let full = d.distance(&x, &y);
+        let al = d.alignment(&x, &y);
+        for start in 0..y.len() {
+            for end in (start + 1)..=y.len() {
+                let sx = &y[start..end];
+                let mut best = match al.a_range_for_b_range(start..end) {
+                    Some(r) => d.distance(&x[r], sx),
+                    None => f64::INFINITY,
+                };
+                if best > full + TOL {
+                    // Definition 1 only requires existence of *some*
+                    // subsequence of x (including the empty one for ERP).
+                    best = best.min(d.distance(&[], sx));
+                    for s in 0..x.len() {
+                        for e in (s + 1)..=x.len() {
+                            best = best.min(d.distance(&x[s..e], sx));
+                        }
+                    }
+                }
+                prop_assert!(best <= full + TOL,
+                    "ERP consistency violated for y[{}..{}]: best {} > full {}", start, end, best, full);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_true_distances(x in pitch_seq(10), y in pitch_seq(10)) {
+        let lev = Levenshtein::new();
+        let erp = Erp::new();
+        prop_assert!(length_difference_lower_bound(x.len(), y.len()) <= lev.distance(&x, &y) + TOL);
+        prop_assert!(erp_lower_bound(&x, &y) <= erp.distance(&x, &y) + TOL);
+    }
+
+    #[test]
+    fn max_distance_bounds_hold(x in symbol_seq(12), y in symbol_seq(12)) {
+        let lev = Levenshtein::new();
+        let len = x.len().max(y.len());
+        if let Some(bound) = SequenceDistance::<Symbol>::max_distance(&lev, len) {
+            prop_assert!(lev.distance(&x, &y) <= bound + TOL);
+        }
+        let dfd = DiscreteFrechet::new();
+        if !x.is_empty() && !y.is_empty() {
+            if let Some(bound) = SequenceDistance::<Symbol>::max_distance(&dfd, len) {
+                prop_assert!(dfd.distance(&x, &y) <= bound + TOL);
+            }
+        }
+    }
+}
+
+/// Shared helper: consistency via the alignment-projection construction.
+fn check_consistency_via_projection<E, D>(d: &D, x: &[E], y: &[E])
+where
+    E: ssr_sequence::Element,
+    D: AlignmentDistance<E>,
+{
+    let full = d.distance(x, y);
+    if !full.is_finite() {
+        return;
+    }
+    let al = d.alignment(x, y);
+    for start in 0..y.len() {
+        for end in (start + 1)..=y.len() {
+            let a_range = al
+                .a_range_for_b_range(start..end)
+                .expect("projection exists for non-empty range");
+            let sub = d.distance(&x[a_range], &y[start..end]);
+            assert!(
+                sub <= full + TOL,
+                "{} consistency violated for y[{start}..{end}]: {sub} > {full}",
+                d.name()
+            );
+        }
+    }
+}

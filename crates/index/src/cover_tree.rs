@@ -1,0 +1,360 @@
+//! Cover Tree baseline (Beygelzimer, Kakade & Langford, ICML 2006).
+//!
+//! The Cover Tree is the linear-space, single-parent baseline the paper
+//! compares the Reference Net against. This implementation uses the same
+//! levelled geometry as [`crate::ReferenceNet`] — level `i` is associated with
+//! radius `ǫ'·2^i`, parents always sit strictly above their children, and a
+//! parent is within `ǫ'·2^{child_level + 1}` of each child — but every node
+//! has **exactly one** parent, so it is a tree. Range queries descend the tree
+//! level by level, pruning or bulk-accepting whole subtrees with the triangle
+//! inequality; the lack of multiple parents is precisely what the paper's
+//! Figure 2 shows can force extra distance computations compared to the
+//! Reference Net.
+
+use std::collections::BTreeMap;
+
+use crate::metric::Metric;
+use crate::traits::{ItemId, RangeIndex, SpaceStats};
+
+#[derive(Clone, Debug)]
+struct Node {
+    level: i32,
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+/// A cover tree over items of type `T` under metric `M`.
+pub struct CoverTree<T, M> {
+    epsilon_prime: f64,
+    metric: M,
+    items: Vec<T>,
+    nodes: Vec<Node>,
+    by_level: BTreeMap<i32, Vec<usize>>,
+    root: Option<usize>,
+}
+
+impl<T, M: Metric<T>> CoverTree<T, M> {
+    /// Creates an empty cover tree with base radius `ǫ' = 1`.
+    pub fn new(metric: M) -> Self {
+        Self::with_epsilon_prime(metric, 1.0)
+    }
+
+    /// Creates an empty cover tree with an explicit base radius.
+    pub fn with_epsilon_prime(metric: M, epsilon_prime: f64) -> Self {
+        assert!(
+            epsilon_prime > 0.0 && epsilon_prime.is_finite(),
+            "epsilon_prime must be positive and finite"
+        );
+        CoverTree {
+            epsilon_prime,
+            metric,
+            items: Vec::new(),
+            nodes: Vec::new(),
+            by_level: BTreeMap::new(),
+            root: None,
+        }
+    }
+
+    /// The metric used by the tree.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    fn radius(&self, level: i32) -> f64 {
+        self.epsilon_prime * f64::powi(2.0, level)
+    }
+
+    /// Bulk-inserts a collection of items.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, items: I) {
+        for item in items {
+            self.insert(item);
+        }
+    }
+
+    /// Number of hierarchy levels in use.
+    pub fn level_count(&self) -> usize {
+        self.by_level.len()
+    }
+
+    /// Structural invariants: single parent, level ordering, covering radius,
+    /// and reachability from the root. Used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root = match self.root {
+            Some(r) => r,
+            None => {
+                if self.items.is_empty() {
+                    return Ok(());
+                }
+                return Err("items but no root".into());
+            }
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.parent {
+                None => {
+                    if i != root {
+                        return Err(format!("non-root node {i} has no parent"));
+                    }
+                }
+                Some(p) => {
+                    if self.nodes[p].level <= node.level {
+                        return Err(format!("parent {p} not above child {i}"));
+                    }
+                    let d = self.metric.dist(&self.items[p], &self.items[i]);
+                    if d > self.radius(node.level + 1) + 1e-9 {
+                        return Err(format!("edge {p}->{i} exceeds covering radius"));
+                    }
+                    if !self.nodes[p].children.contains(&i) {
+                        return Err(format!("parent {p} does not list child {i}"));
+                    }
+                }
+            }
+        }
+        let mut reached = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        reached[root] = true;
+        while let Some(n) = stack.pop() {
+            for &c in &self.nodes[n].children {
+                if !reached[c] {
+                    reached[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        if reached.iter().any(|&r| !r) {
+            return Err("unreachable node".into());
+        }
+        Ok(())
+    }
+
+    fn set_level(&mut self, idx: usize, level: i32) {
+        if let Some(ids) = self.by_level.get_mut(&self.nodes[idx].level) {
+            ids.retain(|&n| n != idx);
+            if ids.is_empty() {
+                self.by_level.remove(&self.nodes[idx].level);
+            }
+        }
+        self.nodes[idx].level = level;
+        self.by_level.entry(level).or_default().push(idx);
+    }
+
+    fn mark_subtree(&self, start: usize, value: bool, decided: &mut [Option<bool>]) {
+        let mut stack: Vec<usize> = self.nodes[start].children.clone();
+        while let Some(n) = stack.pop() {
+            if decided[n].is_none() {
+                decided[n] = Some(value);
+            }
+            stack.extend(self.nodes[n].children.iter().copied());
+        }
+    }
+}
+
+impl<T, M: Metric<T>> RangeIndex<T> for CoverTree<T, M> {
+    fn insert(&mut self, item: T) -> ItemId {
+        let idx = self.items.len();
+        self.items.push(item);
+        self.nodes.push(Node {
+            level: 0,
+            parent: None,
+            children: Vec::new(),
+        });
+
+        let root = match self.root {
+            Some(r) => r,
+            None => {
+                self.root = Some(idx);
+                self.set_level(idx, 0);
+                return ItemId(idx);
+            }
+        };
+
+        let d_root = self.metric.dist(&self.items[idx], &self.items[root]);
+        assert!(d_root.is_finite(), "metric returned a non-finite distance");
+        let mut root_level = self.nodes[root].level;
+        while d_root > self.radius(root_level) || root_level < 1 {
+            root_level += 1;
+        }
+        if root_level != self.nodes[root].level {
+            self.set_level(root, root_level);
+        }
+
+        // Descend, keeping the candidate cover set of the current level.
+        let mut level = root_level;
+        let mut cands: Vec<(usize, f64)> = vec![(root, d_root)];
+        loop {
+            let next_radius = self.radius(level - 1);
+            let mut next: Vec<(usize, f64)> = Vec::new();
+            for &(n, d) in &cands {
+                if d <= next_radius {
+                    next.push((n, d));
+                }
+                for &c in &self.nodes[n].children {
+                    if self.nodes[c].level < level - 1 {
+                        continue;
+                    }
+                    let dc = self.metric.dist(&self.items[idx], &self.items[c]);
+                    if dc <= next_radius {
+                        next.push((c, dc));
+                    }
+                }
+            }
+            let placement = if next.is_empty() {
+                Some(level - 1)
+            } else if level - 1 == 0 {
+                Some(0)
+            } else {
+                None
+            };
+            if let Some(placement) = placement {
+                // Single parent: the nearest candidate of the level above.
+                let bound = self.radius(placement + 1);
+                let parent = cands
+                    .iter()
+                    .copied()
+                    .filter(|&(p, d)| self.nodes[p].level > placement && d <= bound)
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(p, _)| p)
+                    .expect("descent always leaves at least one covering parent");
+                self.set_level(idx, placement);
+                self.nodes[idx].parent = Some(parent);
+                self.nodes[parent].children.push(idx);
+                return ItemId(idx);
+            }
+            cands = next;
+            level -= 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item(&self, id: ItemId) -> Option<&T> {
+        self.items.get(id.0)
+    }
+
+    fn range_query(&self, query: &T, radius: f64) -> Vec<ItemId> {
+        if self.root.is_none() {
+            return Vec::new();
+        }
+        let mut decided: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        for (&level, ids) in self.by_level.iter().rev() {
+            let r_sub = self.radius(level + 1);
+            for &n in ids {
+                if decided[n].is_some() {
+                    continue;
+                }
+                let d = self.metric.dist(query, &self.items[n]);
+                decided[n] = Some(d <= radius);
+                if d + r_sub <= radius {
+                    self.mark_subtree(n, true, &mut decided);
+                } else if d - r_sub > radius {
+                    self.mark_subtree(n, false, &mut decided);
+                }
+            }
+        }
+        decided
+            .iter()
+            .enumerate()
+            .filter(|&(_, d)| *d == Some(true))
+            .map(|(i, _)| ItemId(i))
+            .collect()
+    }
+
+    fn space_stats(&self) -> SpaceStats {
+        let entries = self.items.len().saturating_sub(1); // one parent per non-root node
+        let estimated_bytes = self.items.len() * (4 + std::mem::size_of::<Vec<usize>>() + 16);
+        let avg_parents = if self.items.len() <= 1 { 0.0 } else { 1.0 };
+        SpaceStats {
+            items: self.items.len(),
+            entries,
+            levels: self.by_level.len(),
+            avg_parents,
+            estimated_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+    use crate::metric::FnMetric;
+
+    fn scalar_metric() -> FnMetric<fn(&f64, &f64) -> f64> {
+        FnMetric(|a: &f64, b: &f64| (a - b).abs())
+    }
+
+    fn build(values: &[f64]) -> CoverTree<f64, FnMetric<fn(&f64, &f64) -> f64>> {
+        let mut tree = CoverTree::new(scalar_metric());
+        for &v in values {
+            tree.insert(v);
+        }
+        tree
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.range_query(&0.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn range_queries_match_brute_force() {
+        let values: Vec<f64> = (0..300).map(|i| ((i * 29) % 271) as f64 * 0.3).collect();
+        let tree = build(&values);
+        tree.check_invariants().unwrap();
+        for &(q, r) in &[(5.0, 2.0), (40.0, 0.25), (0.0, 100.0), (81.0, 7.5)] {
+            let mut got: Vec<usize> = tree.range_query(&q, r).into_iter().map(|i| i.0).collect();
+            got.sort_unstable();
+            let expected: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| (v - q).abs() <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, expected, "q={q} r={r}");
+        }
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_parent() {
+        let values: Vec<f64> = (0..100).map(|i| ((i * 17) % 89) as f64).collect();
+        let tree = build(&values);
+        let stats = tree.space_stats();
+        assert_eq!(stats.items, 100);
+        assert_eq!(stats.entries, 99);
+        assert_eq!(stats.avg_parents, 1.0);
+        assert!(stats.levels >= 2);
+    }
+
+    #[test]
+    fn duplicates_are_retrievable() {
+        let tree = build(&[2.0, 2.0, 2.0, 9.0]);
+        tree.check_invariants().unwrap();
+        let mut got: Vec<usize> = tree
+            .range_query(&2.0, 0.01)
+            .into_iter()
+            .map(|i| i.0)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn query_prunes_compared_to_linear_scan() {
+        use crate::metric::CountingMetric;
+        use ssr_distance::CallCounter;
+
+        let counter = CallCounter::new();
+        let metric = CountingMetric::new(scalar_metric(), counter.clone());
+        let mut tree = CoverTree::new(metric);
+        for i in 0..2000 {
+            tree.insert(((i * 37) % 1999) as f64 * 0.1);
+        }
+        counter.reset();
+        let result = tree.range_query(&50.0, 1.0);
+        assert!(!result.is_empty());
+        assert!(counter.get() < 1000, "expected pruning, got {}", counter.get());
+    }
+}

@@ -1,0 +1,35 @@
+//! # ssr-index
+//!
+//! Metric index structures for range similarity queries, as used by step 4 of
+//! the subsequence-retrieval framework (Zhu, Kollios, Athitsos — VLDB 2012):
+//!
+//! * [`ReferenceNet`] — the paper's contribution (Section 6 and Appendix A): a
+//!   hierarchical, linear-space structure whose references at level `i` have
+//!   radius `ǫ'·2^i`, where every node may have multiple parents (optionally
+//!   capped at `nummax`), and whose range queries accept or prune whole
+//!   reference lists and whole "derived" subtrees using the triangle
+//!   inequality (Lemma 4).
+//! * [`CoverTree`] — the tree baseline (Beygelzimer, Kakade, Langford): same
+//!   levelled structure but exactly one parent per node.
+//! * [`MvReferenceIndex`] — reference-based indexing with Maximum-Variance
+//!   pivot selection (Venkateswaran et al.), the "MV-k" baseline of
+//!   Figures 8–11: a `k × n` pivot table pruned with the triangle inequality.
+//! * [`LinearScan`] — the naive baseline every figure normalises against.
+//!
+//! All indexes are generic over the item type `T` and a [`Metric`]; distance
+//! evaluations can be counted by wrapping the metric in a [`CountingMetric`],
+//! which is how the pruning ratios of Figures 8–11 are measured.
+
+pub mod cover_tree;
+pub mod linear_scan;
+pub mod metric;
+pub mod mv_reference;
+pub mod reference_net;
+pub mod traits;
+
+pub use cover_tree::CoverTree;
+pub use linear_scan::LinearScan;
+pub use metric::{CountingMetric, FnMetric, Metric, SequenceMetricAdapter};
+pub use mv_reference::MvReferenceIndex;
+pub use reference_net::{ReferenceNet, ReferenceNetConfig};
+pub use traits::{ItemId, RangeIndex, SpaceStats};

@@ -1,0 +1,101 @@
+//! Naive linear scan baseline.
+
+use crate::metric::Metric;
+use crate::traits::{ItemId, RangeIndex, SpaceStats};
+
+/// The naive baseline: a range query computes the distance from the query to
+/// every stored item. All pruning ratios in the paper's Figures 8–11 are
+/// expressed relative to this structure, and the correctness property tests of
+/// the other indexes compare against its answers.
+pub struct LinearScan<T, M> {
+    metric: M,
+    items: Vec<T>,
+}
+
+impl<T, M: Metric<T>> LinearScan<T, M> {
+    /// Creates an empty linear scan "index".
+    pub fn new(metric: M) -> Self {
+        LinearScan {
+            metric,
+            items: Vec::new(),
+        }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Bulk-inserts a collection of items.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, items: I) {
+        self.items.extend(items);
+    }
+
+    /// Range query that also returns the distance of each reported item.
+    pub fn range_query_with_distances(&self, query: &T, radius: f64) -> Vec<(ItemId, f64)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| {
+                let d = self.metric.dist(query, item);
+                (d <= radius).then_some((ItemId(i), d))
+            })
+            .collect()
+    }
+}
+
+impl<T, M: Metric<T>> RangeIndex<T> for LinearScan<T, M> {
+    fn insert(&mut self, item: T) -> ItemId {
+        let id = ItemId(self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item(&self, id: ItemId) -> Option<&T> {
+        self.items.get(id.0)
+    }
+
+    fn range_query(&self, query: &T, radius: f64) -> Vec<ItemId> {
+        self.range_query_with_distances(query, radius)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn space_stats(&self) -> SpaceStats {
+        SpaceStats {
+            items: self.items.len(),
+            entries: 0,
+            levels: 1,
+            avg_parents: 0.0,
+            estimated_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::FnMetric;
+
+    #[test]
+    fn linear_scan_returns_exact_answers() {
+        let mut scan = LinearScan::new(FnMetric(|a: &f64, b: &f64| (a - b).abs()));
+        for v in [1.0, 5.0, 9.0, 5.5] {
+            scan.insert(v);
+        }
+        let mut got: Vec<usize> = scan.range_query(&5.2, 0.5).into_iter().map(|i| i.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+        let with_d = scan.range_query_with_distances(&5.2, 0.5);
+        assert_eq!(with_d.len(), 2);
+        assert!(with_d.iter().all(|&(_, d)| d <= 0.5));
+        assert_eq!(scan.len(), 4);
+        assert_eq!(scan.item(ItemId(2)), Some(&9.0));
+        assert_eq!(scan.space_stats().entries, 0);
+    }
+}

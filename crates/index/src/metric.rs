@@ -1,0 +1,160 @@
+//! Metrics over arbitrary item types.
+//!
+//! The index structures in this crate are agnostic to what they index: they
+//! only need a [`Metric`] — a symmetric distance obeying the triangle
+//! inequality. In the framework the items are fixed-length windows (element
+//! vectors) and the metric is one of the consistent, metric sequence distances
+//! from `ssr-distance`; [`SequenceMetricAdapter`] provides that bridge.
+
+use std::sync::Arc;
+
+use ssr_distance::{CallCounter, SequenceDistance};
+use ssr_sequence::Element;
+
+/// A distance over items of type `T` that is symmetric and satisfies the
+/// triangle inequality.
+///
+/// Implementations must be deterministic; the index structures rely on
+/// `dist(a, a) == 0` and on the triangle inequality for correctness of their
+/// pruning rules.
+pub trait Metric<T>: Send + Sync {
+    /// Distance between two items.
+    fn dist(&self, a: &T, b: &T) -> f64;
+}
+
+impl<T, M: Metric<T> + ?Sized> Metric<T> for Arc<M> {
+    fn dist(&self, a: &T, b: &T) -> f64 {
+        (**self).dist(a, b)
+    }
+}
+
+impl<T, M: Metric<T> + ?Sized> Metric<T> for &M {
+    fn dist(&self, a: &T, b: &T) -> f64 {
+        (**self).dist(a, b)
+    }
+}
+
+/// Adapts a closure into a [`Metric`].
+#[derive(Clone, Debug)]
+pub struct FnMetric<F>(pub F);
+
+impl<T, F> Metric<T> for FnMetric<F>
+where
+    F: Fn(&T, &T) -> f64 + Send + Sync,
+{
+    fn dist(&self, a: &T, b: &T) -> f64 {
+        (self.0)(a, b)
+    }
+}
+
+/// Adapts a metric [`SequenceDistance`] into a [`Metric`] over `Vec<E>` items
+/// (the window representation used by the framework).
+#[derive(Clone, Debug)]
+pub struct SequenceMetricAdapter<D> {
+    distance: D,
+}
+
+impl<D> SequenceMetricAdapter<D> {
+    /// Wraps a sequence distance.
+    ///
+    /// The caller is responsible for only indexing with *metric* distances;
+    /// [`ssr_distance::SequenceDistance::is_metric`] can be consulted. Using a
+    /// non-metric distance (e.g. DTW) silently breaks the pruning guarantees,
+    /// which is exactly the restriction the paper states in Section 5.
+    pub fn new(distance: D) -> Self {
+        SequenceMetricAdapter { distance }
+    }
+
+    /// The wrapped distance.
+    pub fn inner(&self) -> &D {
+        &self.distance
+    }
+}
+
+impl<E, D> Metric<Vec<E>> for SequenceMetricAdapter<D>
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    fn dist(&self, a: &Vec<E>, b: &Vec<E>) -> f64 {
+        self.distance.distance(a, b)
+    }
+}
+
+/// A metric wrapper that counts every distance evaluation on a shared
+/// [`CallCounter`]. Used to measure the pruning ratios of Figures 8–11.
+#[derive(Clone, Debug)]
+pub struct CountingMetric<M> {
+    inner: M,
+    counter: CallCounter,
+}
+
+impl<M> CountingMetric<M> {
+    /// Wraps `inner`, recording calls on `counter`.
+    pub fn new(inner: M, counter: CallCounter) -> Self {
+        CountingMetric { inner, counter }
+    }
+
+    /// The shared call counter.
+    pub fn counter(&self) -> &CallCounter {
+        &self.counter
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<T, M: Metric<T>> Metric<T> for CountingMetric<M> {
+    fn dist(&self, a: &T, b: &T) -> f64 {
+        self.counter.record();
+        self.inner.dist(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_distance::Levenshtein;
+    use ssr_sequence::Symbol;
+
+    fn sym(text: &str) -> Vec<Symbol> {
+        text.chars().map(Symbol::from_char).collect()
+    }
+
+    #[test]
+    fn fn_metric_delegates_to_closure() {
+        let m = FnMetric(|a: &f64, b: &f64| (a - b).abs());
+        assert_eq!(m.dist(&3.0, &7.5), 4.5);
+    }
+
+    #[test]
+    fn sequence_adapter_bridges_to_sequence_distances() {
+        let m = SequenceMetricAdapter::new(Levenshtein::new());
+        assert_eq!(m.dist(&sym("KITTEN"), &sym("SITTING")), 3.0);
+    }
+
+    #[test]
+    fn counting_metric_counts() {
+        let counter = CallCounter::new();
+        let m = CountingMetric::new(
+            SequenceMetricAdapter::new(Levenshtein::new()),
+            counter.clone(),
+        );
+        let a = sym("ACGT");
+        let b = sym("AGGT");
+        assert_eq!(m.dist(&a, &b), 1.0);
+        assert_eq!(m.dist(&a, &a), 0.0);
+        assert_eq!(counter.get(), 2);
+    }
+
+    #[test]
+    fn arc_and_reference_metrics_work() {
+        let base = FnMetric(|a: &f64, b: &f64| (a - b).abs());
+        let arc: Arc<FnMetric<_>> = Arc::new(base);
+        assert_eq!(arc.dist(&1.0, &4.0), 3.0);
+        let by_ref: &FnMetric<_> = &arc;
+        assert_eq!(Metric::<f64>::dist(&by_ref, &1.0, &2.0), 1.0);
+    }
+}

@@ -1,0 +1,766 @@
+//! The Reference Net (Section 6 and Appendix A of the paper).
+//!
+//! A Reference Net is a hierarchy of references over the indexed items:
+//!
+//! * level `i` is associated with the radius `ǫ_i = ǫ'·2^i`;
+//! * every item appears at exactly one (its highest) level;
+//! * a reference at level `i` keeps a *list* of references from the level
+//!   below within distance `ǫ_i` (the **inclusive** property: every reference
+//!   has at least one parent);
+//! * references stored at the same level are far apart (the **exclusive**
+//!   property), which keeps the hierarchy shallow;
+//! * unlike a cover tree, a reference may appear in the lists of **multiple**
+//!   parents (optionally capped at `nummax`), which lets range queries accept
+//!   whole lists from whichever parent happens to be close to the query
+//!   (Figure 2 of the paper).
+//!
+//! Range queries follow Algorithm 3: references are visited level by level
+//! from the top; for each undecided reference one distance is computed and the
+//! triangle inequality is used to accept or prune either its direct list
+//! (radius `ǫ'·2^i`) or everything derived from it (radius `ǫ'·2^{i+1}`,
+//! Lemma 4). The number of distance evaluations is therefore the number of
+//! references that could not be bulk-decided — the quantity the paper's
+//! Figures 8–11 report as a fraction of the naive linear scan.
+
+use std::collections::BTreeMap;
+
+use crate::metric::Metric;
+use crate::traits::{ItemId, RangeIndex, SpaceStats};
+
+/// Configuration of a [`ReferenceNet`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReferenceNetConfig {
+    /// The base radius `ǫ'`; level `i` references cover radius `ǫ'·2^i`.
+    /// The paper uses `ǫ' = 1` for all experiments.
+    pub epsilon_prime: f64,
+    /// Maximum number of reference lists a single item may appear in
+    /// (`nummax`). `None` leaves the number of parents unconstrained.
+    pub max_parents: Option<usize>,
+}
+
+impl Default for ReferenceNetConfig {
+    fn default() -> Self {
+        ReferenceNetConfig {
+            epsilon_prime: 1.0,
+            max_parents: None,
+        }
+    }
+}
+
+impl ReferenceNetConfig {
+    /// Config with the given base radius and unconstrained parents.
+    pub fn with_epsilon_prime(epsilon_prime: f64) -> Self {
+        assert!(
+            epsilon_prime > 0.0 && epsilon_prime.is_finite(),
+            "epsilon_prime must be positive and finite"
+        );
+        ReferenceNetConfig {
+            epsilon_prime,
+            ..Default::default()
+        }
+    }
+
+    /// Caps the number of parents per item (`nummax`), as in the paper's
+    /// "DFD-5" configuration.
+    pub fn with_max_parents(mut self, max_parents: usize) -> Self {
+        assert!(max_parents >= 1, "max_parents must be at least 1");
+        self.max_parents = Some(max_parents);
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    level: i32,
+    parents: Vec<usize>,
+    children: Vec<usize>,
+    alive: bool,
+}
+
+/// The Reference Net metric index.
+pub struct ReferenceNet<T, M> {
+    config: ReferenceNetConfig,
+    metric: M,
+    items: Vec<T>,
+    nodes: Vec<Node>,
+    by_level: BTreeMap<i32, Vec<usize>>,
+    root: Option<usize>,
+    live_count: usize,
+}
+
+impl<T, M: Metric<T>> ReferenceNet<T, M> {
+    /// Creates an empty Reference Net with the default configuration
+    /// (`ǫ' = 1`, unconstrained parents).
+    pub fn new(metric: M) -> Self {
+        Self::with_config(metric, ReferenceNetConfig::default())
+    }
+
+    /// Creates an empty Reference Net with an explicit configuration.
+    pub fn with_config(metric: M, config: ReferenceNetConfig) -> Self {
+        assert!(
+            config.epsilon_prime > 0.0 && config.epsilon_prime.is_finite(),
+            "epsilon_prime must be positive and finite"
+        );
+        if let Some(p) = config.max_parents {
+            assert!(p >= 1, "max_parents must be at least 1");
+        }
+        ReferenceNet {
+            config,
+            metric,
+            items: Vec::new(),
+            nodes: Vec::new(),
+            by_level: BTreeMap::new(),
+            root: None,
+            live_count: 0,
+        }
+    }
+
+    /// The configuration this net was built with.
+    pub fn config(&self) -> ReferenceNetConfig {
+        self.config
+    }
+
+    /// The metric used by the net.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Radius `ǫ'·2^level` associated with a level.
+    fn radius(&self, level: i32) -> f64 {
+        self.config.epsilon_prime * f64::powi(2.0, level)
+    }
+
+    /// Bulk-inserts a collection of items.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, items: I) {
+        for item in items {
+            self.insert(item);
+        }
+    }
+
+    /// Deletes the item with the given id (Algorithm 2 of the Appendix).
+    ///
+    /// The item's node is removed from its parents' lists; any children left
+    /// without a parent are re-attached — preferably to the deleted node's
+    /// former parents, otherwise to the closest eligible reference found by a
+    /// fresh descent, and as a last resort they are promoted towards the root.
+    /// Returns `false` if the id is unknown or the item was already deleted.
+    pub fn delete(&mut self, id: ItemId) -> bool {
+        let idx = id.0;
+        if idx >= self.nodes.len() || !self.nodes[idx].alive {
+            return false;
+        }
+        self.nodes[idx].alive = false;
+        self.live_count -= 1;
+        self.remove_from_level_map(idx);
+
+        let old_parents = std::mem::take(&mut self.nodes[idx].parents);
+        let children = std::mem::take(&mut self.nodes[idx].children);
+        for &p in &old_parents {
+            self.nodes[p].children.retain(|&c| c != idx);
+        }
+        for &c in &children {
+            self.nodes[c].parents.retain(|&p| p != idx);
+        }
+
+        if self.root == Some(idx) {
+            if self.live_count == 0 {
+                self.root = None;
+                return true;
+            }
+            // Promote the highest-level former child to be the new root.
+            let new_root = children
+                .iter()
+                .copied()
+                .filter(|&c| self.nodes[c].alive)
+                .max_by_key(|&c| self.nodes[c].level)
+                .expect("a live root always has at least one live child");
+            let old_level = self.nodes[idx].level;
+            // The new root keeps no parents.
+            let remaining_parents = std::mem::take(&mut self.nodes[new_root].parents);
+            for p in remaining_parents {
+                self.nodes[p].children.retain(|&c| c != new_root);
+            }
+            self.set_level(new_root, old_level.max(self.nodes[new_root].level));
+            self.root = Some(new_root);
+        }
+
+        // Re-attach orphans.
+        let orphans: Vec<usize> = children
+            .into_iter()
+            .filter(|&c| self.nodes[c].alive && self.nodes[c].parents.is_empty())
+            .filter(|&c| self.root != Some(c))
+            .collect();
+        for orphan in orphans {
+            self.reattach(orphan, &old_parents);
+        }
+        true
+    }
+
+    /// Structural invariants, used by tests and debug assertions:
+    ///
+    /// 1. every live non-root node has at least one parent;
+    /// 2. every parent link connects a strictly higher level to a lower level
+    ///    and spans a distance of at most `ǫ'·2^{child_level + 1}`;
+    /// 3. the number of parents never exceeds `nummax` (when configured);
+    /// 4. every live node is reachable from the root.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root = match self.root {
+            Some(r) => r,
+            None => {
+                if self.live_count == 0 {
+                    return Ok(());
+                }
+                return Err("live items but no root".to_string());
+            }
+        };
+        let cap = self.config.max_parents.unwrap_or(usize::MAX);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            if i != root && node.parents.is_empty() {
+                return Err(format!("node {i} has no parent"));
+            }
+            if node.parents.len() > cap {
+                return Err(format!(
+                    "node {i} has {} parents, cap is {cap}",
+                    node.parents.len()
+                ));
+            }
+            for &p in &node.parents {
+                if !self.nodes[p].alive {
+                    return Err(format!("node {i} has dead parent {p}"));
+                }
+                if self.nodes[p].level <= node.level {
+                    return Err(format!(
+                        "parent {p} (level {}) not above child {i} (level {})",
+                        self.nodes[p].level, node.level
+                    ));
+                }
+                let d = self.metric.dist(&self.items[p], &self.items[i]);
+                let bound = self.radius(node.level + 1);
+                if d > bound + 1e-9 {
+                    return Err(format!(
+                        "edge {p}->{i} spans {d}, exceeding bound {bound} for child level {}",
+                        node.level
+                    ));
+                }
+                if !self.nodes[p].children.contains(&i) {
+                    return Err(format!("parent {p} does not list child {i}"));
+                }
+            }
+        }
+        // Reachability from the root.
+        let mut reached = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        reached[root] = true;
+        while let Some(n) = stack.pop() {
+            for &c in &self.nodes[n].children {
+                if !reached[c] {
+                    reached[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.alive && !reached[i] {
+                return Err(format!("node {i} is not reachable from the root"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of hierarchy levels currently in use.
+    pub fn level_count(&self) -> usize {
+        self.by_level.len()
+    }
+
+    /// Average number of parents (reference lists containing it) per live
+    /// non-root item.
+    pub fn avg_parents(&self) -> f64 {
+        let live_non_root = self.live_count.saturating_sub(1);
+        if live_non_root == 0 {
+            return 0.0;
+        }
+        let edges: usize = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.parents.len())
+            .sum();
+        edges as f64 / live_non_root as f64
+    }
+
+    // -- internal helpers ---------------------------------------------------
+
+    fn set_level(&mut self, idx: usize, level: i32) {
+        self.remove_from_level_map(idx);
+        self.nodes[idx].level = level;
+        self.by_level.entry(level).or_default().push(idx);
+    }
+
+    fn remove_from_level_map(&mut self, idx: usize) {
+        let level = self.nodes[idx].level;
+        if let Some(ids) = self.by_level.get_mut(&level) {
+            ids.retain(|&n| n != idx);
+            if ids.is_empty() {
+                self.by_level.remove(&level);
+            }
+        }
+    }
+
+    /// Finds the candidate parents for placing `item` at some level: the
+    /// members of level `target_level + 1` (or above) within
+    /// `ǫ'·2^{target_level + 1}` that a top-down descent discovers.
+    fn find_parent_candidates(&self, item: &T, target_level: i32) -> Vec<(usize, f64)> {
+        let root = match self.root {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        let d_root = self.metric.dist(item, &self.items[root]);
+        let mut level = self.nodes[root].level;
+        let mut cands = vec![(root, d_root)];
+        while level > target_level + 1 {
+            let next = self.gather(item, level - 1, &cands);
+            if next.is_empty() {
+                break;
+            }
+            cands = next;
+            level -= 1;
+        }
+        let bound = self.radius(target_level + 1);
+        cands
+            .into_iter()
+            .filter(|&(n, d)| self.nodes[n].level > target_level && d <= bound)
+            .collect()
+    }
+
+    /// Members of level `level` (i.e. nodes whose own level is `>= level`)
+    /// within `ǫ'·2^level` of `item`, discovered from the previous candidate
+    /// set and its children.
+    fn gather(&self, item: &T, level: i32, cands: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let radius = self.radius(level);
+        let mut seen: Vec<usize> = Vec::new();
+        let mut next: Vec<(usize, f64)> = Vec::new();
+        for &(n, d) in cands {
+            if d <= radius && !seen.contains(&n) {
+                seen.push(n);
+                next.push((n, d));
+            }
+            for &c in &self.nodes[n].children {
+                if !self.nodes[c].alive || self.nodes[c].level < level || seen.contains(&c) {
+                    continue;
+                }
+                let dc = self.metric.dist(item, &self.items[c]);
+                if dc <= radius {
+                    seen.push(c);
+                    next.push((c, dc));
+                }
+            }
+        }
+        next
+    }
+
+    /// Attaches node `idx` (already levelled) to up to `nummax` of the given
+    /// eligible parents, nearest first.
+    fn attach(&mut self, idx: usize, mut eligible: Vec<(usize, f64)>) {
+        eligible.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        eligible.dedup_by_key(|e| e.0);
+        let cap = self.config.max_parents.unwrap_or(usize::MAX).max(1);
+        for (p, _) in eligible.into_iter().take(cap) {
+            if !self.nodes[idx].parents.contains(&p) {
+                self.nodes[idx].parents.push(p);
+                self.nodes[p].children.push(idx);
+            }
+        }
+    }
+
+    /// Places a freshly inserted node at `level` under the given candidates.
+    fn place(&mut self, idx: usize, level: i32, parent_cands: &[(usize, f64)]) {
+        self.set_level(idx, level);
+        let bound = self.radius(level + 1);
+        let eligible: Vec<(usize, f64)> = parent_cands
+            .iter()
+            .copied()
+            .filter(|&(p, d)| self.nodes[p].alive && self.nodes[p].level > level && d <= bound)
+            .collect();
+        self.attach(idx, eligible);
+        debug_assert!(
+            !self.nodes[idx].parents.is_empty(),
+            "placed node {idx} at level {level} without a parent"
+        );
+    }
+
+    /// Re-attaches an orphaned node after a deletion.
+    fn reattach(&mut self, orphan: usize, preferred: &[usize]) {
+        let level = self.nodes[orphan].level;
+        let bound = self.radius(level + 1);
+        // 1. Try the deleted node's former parents (the paper's rule).
+        let mut eligible: Vec<(usize, f64)> = preferred
+            .iter()
+            .copied()
+            .filter(|&p| self.nodes[p].alive && self.nodes[p].level > level)
+            .map(|p| (p, self.metric.dist(&self.items[p], &self.items[orphan])))
+            .filter(|&(_, d)| d <= bound)
+            .collect();
+        // 2. Otherwise search the net for eligible references.
+        if eligible.is_empty() {
+            eligible = self
+                .find_parent_candidates(&self.items[orphan], level)
+                .into_iter()
+                .filter(|&(p, _)| p != orphan)
+                .collect();
+        }
+        if !eligible.is_empty() {
+            self.attach(orphan, eligible);
+            return;
+        }
+        // 3. Last resort: promote the orphan until the root can cover it.
+        let root = self.root.expect("reattach requires a root");
+        let d_root = self.metric.dist(&self.items[root], &self.items[orphan]);
+        let mut new_level = level;
+        while self.radius(new_level + 1) < d_root {
+            new_level += 1;
+        }
+        if self.nodes[root].level <= new_level {
+            let root_level = new_level + 1;
+            self.set_level(root, root_level);
+        }
+        self.set_level(orphan, new_level);
+        self.attach(orphan, vec![(root, d_root)]);
+    }
+
+    fn mark_descendants(&self, start: usize, value: bool, decided: &mut [Option<bool>]) {
+        let mut stack: Vec<usize> = self.nodes[start].children.clone();
+        while let Some(n) = stack.pop() {
+            if decided[n].is_none() {
+                decided[n] = Some(value);
+            }
+            // Descend regardless of the node's own decision state: some of its
+            // descendants may still be undecided through this path.
+            stack.extend(self.nodes[n].children.iter().copied());
+        }
+    }
+}
+
+impl<T, M: Metric<T>> RangeIndex<T> for ReferenceNet<T, M> {
+    fn insert(&mut self, item: T) -> ItemId {
+        let idx = self.items.len();
+        self.items.push(item);
+        self.nodes.push(Node {
+            level: 0,
+            parents: Vec::new(),
+            children: Vec::new(),
+            alive: true,
+        });
+        self.live_count += 1;
+
+        let root = match self.root {
+            Some(r) => r,
+            None => {
+                self.root = Some(idx);
+                self.set_level(idx, 0);
+                return ItemId(idx);
+            }
+        };
+
+        let d_root = self.metric.dist(&self.items[idx], &self.items[root]);
+        assert!(
+            d_root.is_finite(),
+            "metric returned a non-finite distance; only finite metrics can be indexed"
+        );
+        // Raise the root until it covers the new item and sits above level 0.
+        let mut root_level = self.nodes[root].level;
+        while d_root > self.radius(root_level) || root_level < 1 {
+            root_level += 1;
+        }
+        if root_level != self.nodes[root].level {
+            self.set_level(root, root_level);
+        }
+
+        let mut level = root_level;
+        let mut cands = vec![(root, d_root)];
+        loop {
+            let next = self.gather(&self.items[idx], level - 1, &cands);
+            if next.is_empty() {
+                let placement = level - 1;
+                self.place(idx, placement, &cands);
+                return ItemId(idx);
+            }
+            if level - 1 == 0 {
+                self.place(idx, 0, &cands);
+                return ItemId(idx);
+            }
+            cands = next;
+            level -= 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live_count
+    }
+
+    fn item(&self, id: ItemId) -> Option<&T> {
+        let idx = id.0;
+        if idx < self.nodes.len() && self.nodes[idx].alive {
+            Some(&self.items[idx])
+        } else {
+            None
+        }
+    }
+
+    fn range_query(&self, query: &T, radius: f64) -> Vec<ItemId> {
+        if self.root.is_none() {
+            return Vec::new();
+        }
+        let mut decided: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        // Visit references level by level, from the top down (Algorithm 3).
+        for (&level, ids) in self.by_level.iter().rev() {
+            let r_list = self.radius(level);
+            let r_sub = self.radius(level + 1);
+            for &n in ids {
+                if !self.nodes[n].alive || decided[n].is_some() {
+                    continue;
+                }
+                let d = self.metric.dist(query, &self.items[n]);
+                decided[n] = Some(d <= radius);
+                if d + r_sub <= radius {
+                    self.mark_descendants(n, true, &mut decided);
+                } else if d + r_list <= radius {
+                    for &c in &self.nodes[n].children {
+                        if decided[c].is_none() {
+                            decided[c] = Some(true);
+                        }
+                    }
+                }
+                if d - r_sub > radius {
+                    self.mark_descendants(n, false, &mut decided);
+                } else if d - r_list > radius {
+                    for &c in &self.nodes[n].children {
+                        if decided[c].is_none() {
+                            decided[c] = Some(false);
+                        }
+                    }
+                }
+            }
+        }
+        decided
+            .iter()
+            .enumerate()
+            .filter(|&(i, d)| self.nodes[i].alive && *d == Some(true))
+            .map(|(i, _)| ItemId(i))
+            .collect()
+    }
+
+    fn space_stats(&self) -> SpaceStats {
+        let entries: usize = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.parents.len())
+            .sum();
+        // Per live node: level tag + alive flag + the two Vec headers; per
+        // edge: one parent slot and one child slot.
+        let estimated_bytes =
+            self.live_count * (4 + 1 + 2 * std::mem::size_of::<Vec<usize>>()) + entries * 16;
+        SpaceStats {
+            items: self.live_count,
+            entries,
+            levels: self.by_level.len(),
+            avg_parents: self.avg_parents(),
+            estimated_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+    use crate::metric::FnMetric;
+
+    fn scalar_metric() -> FnMetric<fn(&f64, &f64) -> f64> {
+        FnMetric(|a: &f64, b: &f64| (a - b).abs())
+    }
+
+    fn build(values: &[f64]) -> ReferenceNet<f64, FnMetric<fn(&f64, &f64) -> f64>> {
+        let mut net = ReferenceNet::new(scalar_metric());
+        for &v in values {
+            net.insert(v);
+        }
+        net
+    }
+
+    fn brute_force(values: &[f64], q: f64, r: f64) -> Vec<usize> {
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (v - q).abs() <= r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_net_answers_empty_queries() {
+        let net = build(&[]);
+        assert!(net.is_empty());
+        assert!(net.range_query(&1.0, 100.0).is_empty());
+        assert_eq!(net.space_stats().items, 0);
+    }
+
+    #[test]
+    fn single_item_net() {
+        let net = build(&[5.0]);
+        assert_eq!(net.len(), 1);
+        assert_eq!(net.range_query(&5.2, 0.5), vec![ItemId(0)]);
+        assert!(net.range_query(&9.0, 0.5).is_empty());
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_queries_match_brute_force_on_scalars() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 37) % 199) as f64 * 0.75).collect();
+        let net = build(&values);
+        net.check_invariants().unwrap();
+        for &(q, r) in &[(10.0, 5.0), (75.0, 0.4), (0.0, 150.0), (149.0, 12.3), (50.0, 0.0)] {
+            let mut got: Vec<usize> = net.range_query(&q, r).into_iter().map(|i| i.0).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&values, q, r), "q={q} r={r}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_all_retrievable() {
+        let values = vec![3.0, 3.0, 3.0, 8.0, 3.0];
+        let net = build(&values);
+        net.check_invariants().unwrap();
+        let mut got: Vec<usize> = net.range_query(&3.0, 0.1).into_iter().map(|i| i.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn invariants_hold_after_many_inserts() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| (((i * 7919) % 1000) as f64) / 3.0)
+            .collect();
+        let net = build(&values);
+        net.check_invariants().unwrap();
+        let stats = net.space_stats();
+        assert_eq!(stats.items, 500);
+        assert!(stats.entries >= 499, "every non-root node has a parent");
+        assert!(stats.levels >= 2);
+        assert!(stats.avg_parents >= 1.0);
+    }
+
+    #[test]
+    fn max_parents_cap_is_respected() {
+        let metric = scalar_metric();
+        let config = ReferenceNetConfig::with_epsilon_prime(1.0).with_max_parents(2);
+        let mut net = ReferenceNet::with_config(metric, config);
+        for i in 0..300 {
+            net.insert(((i * 31) % 97) as f64 / 7.0);
+        }
+        net.check_invariants().unwrap();
+        assert!(net.avg_parents() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn deletion_keeps_structure_consistent_and_queries_correct() {
+        let values: Vec<f64> = (0..120).map(|i| ((i * 53) % 113) as f64 * 0.5).collect();
+        let mut net = build(&values);
+        // Delete every third item, including (eventually) internal references.
+        let mut alive: Vec<bool> = vec![true; values.len()];
+        for i in (0..values.len()).step_by(3) {
+            assert!(net.delete(ItemId(i)));
+            alive[i] = false;
+            net.check_invariants().unwrap();
+        }
+        assert!(!net.delete(ItemId(0)), "double delete reports false");
+        for &(q, r) in &[(10.0, 4.0), (30.0, 1.0), (0.0, 100.0)] {
+            let mut got: Vec<usize> = net.range_query(&q, r).into_iter().map(|i| i.0).collect();
+            got.sort_unstable();
+            let expected: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| alive[i] && (v - q).abs() <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, expected, "q={q} r={r}");
+        }
+    }
+
+    #[test]
+    fn deleting_the_root_promotes_a_child() {
+        let mut net = build(&[10.0, 11.0, 50.0, 51.0, 90.0]);
+        net.check_invariants().unwrap();
+        // Item 0 is the first inserted and therefore the root.
+        assert!(net.delete(ItemId(0)));
+        net.check_invariants().unwrap();
+        assert_eq!(net.len(), 4);
+        let mut got: Vec<usize> = net
+            .range_query(&50.0, 2.0)
+            .into_iter()
+            .map(|i| i.0)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let mut net = build(&[1.0, 2.0, 3.0]);
+        for i in 0..3 {
+            assert!(net.delete(ItemId(i)));
+        }
+        assert!(net.is_empty());
+        assert!(net.range_query(&2.0, 10.0).is_empty());
+        let id = net.insert(7.0);
+        assert_eq!(net.range_query(&7.0, 0.1), vec![id]);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn query_uses_fewer_distance_computations_than_linear_scan() {
+        use crate::metric::CountingMetric;
+        use ssr_distance::CallCounter;
+
+        let counter = CallCounter::new();
+        let metric = CountingMetric::new(scalar_metric(), counter.clone());
+        let mut net = ReferenceNet::new(metric);
+        let values: Vec<f64> = (0..2000).map(|i| ((i * 37) % 1999) as f64 * 0.1).collect();
+        for &v in &values {
+            net.insert(v);
+        }
+        counter.reset();
+        let result = net.range_query(&50.0, 1.0);
+        let calls = counter.get();
+        assert!(!result.is_empty());
+        assert!(
+            calls < values.len() as u64 / 2,
+            "expected substantial pruning, used {calls} of {} distances",
+            values.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon_prime must be positive")]
+    fn invalid_epsilon_prime_is_rejected() {
+        let _ = ReferenceNet::with_config(
+            scalar_metric(),
+            ReferenceNetConfig {
+                epsilon_prime: 0.0,
+                max_parents: None,
+            },
+        );
+    }
+
+    #[test]
+    fn item_lookup_respects_liveness() {
+        let mut net = build(&[4.0, 5.0]);
+        assert_eq!(net.item(ItemId(1)), Some(&5.0));
+        net.delete(ItemId(1));
+        assert_eq!(net.item(ItemId(1)), None);
+        assert_eq!(net.item(ItemId(7)), None);
+    }
+}

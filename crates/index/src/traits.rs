@@ -1,0 +1,92 @@
+//! Common interface of the range-query indexes.
+
+use std::fmt;
+
+/// Identifier of an item stored in an index.
+///
+/// Items keep the id they were assigned at insertion for the lifetime of the
+/// index, even across deletions, so the framework can use the id as a stable
+/// window identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ItemId(pub usize);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+/// Space accounting of an index, matching the quantities reported in the
+/// paper's Figures 5–7.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct SpaceStats {
+    /// Number of live items stored.
+    pub items: usize,
+    /// Number of index entries beyond the items themselves: reference-list
+    /// entries (parent→child links) for the hierarchical structures, pivot
+    /// table cells for reference-based indexing, zero for a linear scan.
+    pub entries: usize,
+    /// Number of levels of the hierarchy (1 for flat structures).
+    pub levels: usize,
+    /// Average number of parents per item (the "average size of each
+    /// reference list" series of Figure 5); zero for flat structures.
+    pub avg_parents: f64,
+    /// Estimated in-memory footprint of the index bookkeeping in bytes,
+    /// excluding the items' own payload.
+    pub estimated_bytes: usize,
+}
+
+impl SpaceStats {
+    /// Estimated footprint in mebibytes.
+    pub fn estimated_mib(&self) -> f64 {
+        self.estimated_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// An index answering range similarity queries `{ x : δ(q, x) ≤ radius }`.
+pub trait RangeIndex<T> {
+    /// Inserts an item, returning its id.
+    fn insert(&mut self, item: T) -> ItemId;
+
+    /// Number of live items.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no live items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow an item by id (`None` if the id was never assigned or the item
+    /// was deleted).
+    fn item(&self, id: ItemId) -> Option<&T>;
+
+    /// All ids whose item lies within `radius` of `query`.
+    ///
+    /// The result order is unspecified; callers that need determinism sort.
+    fn range_query(&self, query: &T, radius: f64) -> Vec<ItemId>;
+
+    /// Space accounting for the structure.
+    fn space_stats(&self) -> SpaceStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_id_display() {
+        assert_eq!(ItemId(12).to_string(), "item#12");
+    }
+
+    #[test]
+    fn space_stats_mib_conversion() {
+        let stats = SpaceStats {
+            items: 10,
+            entries: 20,
+            levels: 3,
+            avg_parents: 2.0,
+            estimated_bytes: 2 * 1024 * 1024,
+        };
+        assert!((stats.estimated_mib() - 2.0).abs() < 1e-12);
+    }
+}

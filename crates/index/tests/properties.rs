@@ -1,0 +1,151 @@
+//! Property tests: every index structure must answer range queries exactly
+//! like a brute-force linear scan, for any metric, dataset and radius, and the
+//! Reference Net must preserve its structural invariants under arbitrary
+//! insert / delete interleavings.
+
+use proptest::prelude::*;
+
+use ssr_distance::Levenshtein;
+use ssr_index::{
+    CoverTree, FnMetric, ItemId, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
+    ReferenceNetConfig, SequenceMetricAdapter,
+};
+use ssr_sequence::Symbol;
+
+fn scalar_metric() -> FnMetric<fn(&f64, &f64) -> f64> {
+    FnMetric(|a: &f64, b: &f64| (a - b).abs())
+}
+
+fn sorted_ids(ids: Vec<ItemId>) -> Vec<usize> {
+    let mut v: Vec<usize> = ids.into_iter().map(|i| i.0).collect();
+    v.sort_unstable();
+    v
+}
+
+fn symbol_window(len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec(
+        (0u8..20).prop_map(|i| Symbol::from_char(b"ACDEFGHIKLMNPQRSTVWY"[i as usize] as char)),
+        len..=len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reference_net_matches_linear_scan_on_scalars(
+        values in prop::collection::vec(-100.0f64..100.0, 1..80),
+        query in -120.0f64..120.0,
+        radius in 0.0f64..60.0,
+        epsilon_prime in prop::sample::select(vec![0.5f64, 1.0, 3.0]),
+        cap in prop::option::of(1usize..4),
+    ) {
+        let mut config = ReferenceNetConfig::with_epsilon_prime(epsilon_prime);
+        if let Some(c) = cap {
+            config = config.with_max_parents(c);
+        }
+        let mut net = ReferenceNet::with_config(scalar_metric(), config);
+        let mut scan = LinearScan::new(scalar_metric());
+        for &v in &values {
+            net.insert(v);
+            scan.insert(v);
+        }
+        net.check_invariants().unwrap();
+        prop_assert_eq!(
+            sorted_ids(net.range_query(&query, radius)),
+            sorted_ids(scan.range_query(&query, radius))
+        );
+    }
+
+    #[test]
+    fn cover_tree_matches_linear_scan_on_scalars(
+        values in prop::collection::vec(-50.0f64..50.0, 1..80),
+        query in -60.0f64..60.0,
+        radius in 0.0f64..40.0,
+    ) {
+        let mut tree = CoverTree::new(scalar_metric());
+        let mut scan = LinearScan::new(scalar_metric());
+        for &v in &values {
+            tree.insert(v);
+            scan.insert(v);
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(
+            sorted_ids(tree.range_query(&query, radius)),
+            sorted_ids(scan.range_query(&query, radius))
+        );
+    }
+
+    #[test]
+    fn mv_reference_matches_linear_scan_on_scalars(
+        values in prop::collection::vec(-50.0f64..50.0, 1..80),
+        query in -60.0f64..60.0,
+        radius in 0.0f64..40.0,
+        k in 1usize..8,
+    ) {
+        let mut mv = MvReferenceIndex::new(scalar_metric(), k);
+        mv.extend(values.iter().copied());
+        let mut scan = LinearScan::new(scalar_metric());
+        scan.extend(values.iter().copied());
+        prop_assert_eq!(
+            sorted_ids(mv.range_query(&query, radius)),
+            sorted_ids(scan.range_query(&query, radius))
+        );
+    }
+
+    #[test]
+    fn all_indexes_agree_on_levenshtein_windows(
+        windows in prop::collection::vec(symbol_window(8), 1..40),
+        query in symbol_window(8),
+        radius in 0.0f64..8.0,
+    ) {
+        let metric = || SequenceMetricAdapter::new(Levenshtein::new());
+        let mut net = ReferenceNet::new(metric());
+        let mut tree = CoverTree::new(metric());
+        let mut mv = MvReferenceIndex::new(metric(), 4);
+        let mut scan = LinearScan::new(metric());
+        for w in &windows {
+            net.insert(w.clone());
+            tree.insert(w.clone());
+            scan.insert(w.clone());
+        }
+        mv.extend(windows.iter().cloned());
+        net.check_invariants().unwrap();
+        let expected = sorted_ids(scan.range_query(&query, radius));
+        prop_assert_eq!(sorted_ids(net.range_query(&query, radius)), expected.clone());
+        prop_assert_eq!(sorted_ids(tree.range_query(&query, radius)), expected.clone());
+        prop_assert_eq!(sorted_ids(mv.range_query(&query, radius)), expected);
+    }
+
+    #[test]
+    fn reference_net_survives_insert_delete_interleavings(
+        ops in prop::collection::vec((any::<bool>(), -30.0f64..30.0), 1..120),
+        query in -40.0f64..40.0,
+        radius in 0.0f64..20.0,
+    ) {
+        // `true` inserts the value, `false` deletes the oldest live item.
+        let mut net = ReferenceNet::new(scalar_metric());
+        let mut reference: Vec<(usize, f64, bool)> = Vec::new(); // (id, value, alive)
+        for (insert, value) in ops {
+            if insert || reference.iter().all(|&(_, _, alive)| !alive) {
+                let id = net.insert(value);
+                reference.push((id.0, value, true));
+            } else {
+                let entry = reference
+                    .iter_mut()
+                    .find(|(_, _, alive)| *alive)
+                    .expect("checked above that a live item exists");
+                entry.2 = false;
+                let id = entry.0;
+                prop_assert!(net.delete(ItemId(id)), "delete of live item must succeed");
+            }
+        }
+        net.check_invariants().unwrap();
+        let expected: Vec<usize> = reference
+            .iter()
+            .filter(|&&(_, v, alive)| alive && (v - query).abs() <= radius)
+            .map(|&(id, _, _)| id)
+            .collect();
+        prop_assert_eq!(sorted_ids(net.range_query(&query, radius)), expected);
+    }
+}

@@ -1,0 +1,222 @@
+//! Finite alphabets and conversions between strings and symbol sequences.
+//!
+//! The paper's string experiments use the protein alphabet (`|ΣP| = 20`) and
+//! mention DNA (`|ΣD| = 4`). The SONGS time-series dataset uses pitch values
+//! `0..=11`, which we also expose as an "alphabet" so the generators can share
+//! the same plumbing.
+
+use crate::element::Symbol;
+
+/// DNA bases.
+pub const DNA_ALPHABET: &str = "ACGT";
+
+/// The 20 standard amino-acid one-letter codes.
+pub const PROTEIN_ALPHABET: &str = "ACDEFGHIKLMNPQRSTVWY";
+
+/// Pitch classes 0..=11 rendered as hexadecimal-ish digits for display.
+pub const PITCH_ALPHABET: &str = "0123456789AB";
+
+/// A finite alphabet of symbols.
+///
+/// ```
+/// use ssr_sequence::{Alphabet, Symbol};
+///
+/// let dna = Alphabet::dna();
+/// assert_eq!(dna.size(), 4);
+/// let seq = dna.encode("GATTACA").unwrap();
+/// assert_eq!(dna.decode(&seq), "GATTACA");
+/// assert!(dna.contains(Symbol::from_char('G')));
+/// assert!(!dna.contains(Symbol::from_char('Z')));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    name: &'static str,
+    symbols: Vec<Symbol>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from a string of distinct characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chars` contains duplicate characters or the ERP gap sentinel.
+    pub fn new(name: &'static str, chars: &str) -> Self {
+        let mut symbols = Vec::with_capacity(chars.len());
+        for c in chars.chars() {
+            let s = Symbol::from_char(c);
+            assert!(!s.is_gap(), "alphabet must not contain the gap sentinel");
+            assert!(!symbols.contains(&s), "duplicate symbol {c:?} in alphabet");
+            symbols.push(s);
+        }
+        assert!(!symbols.is_empty(), "alphabet must be non-empty");
+        Alphabet { name, symbols }
+    }
+
+    /// The DNA alphabet `{A, C, G, T}`.
+    pub fn dna() -> Self {
+        Alphabet::new("DNA", DNA_ALPHABET)
+    }
+
+    /// The 20-letter protein alphabet used by the PROTEINS experiments.
+    pub fn protein() -> Self {
+        Alphabet::new("PROTEIN", PROTEIN_ALPHABET)
+    }
+
+    /// The 12-symbol pitch alphabet used for display of SONGS data.
+    pub fn pitch() -> Self {
+        Alphabet::new("PITCH", PITCH_ALPHABET)
+    }
+
+    /// Human-readable name of this alphabet.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of symbols in the alphabet (`|Σ|`).
+    pub fn size(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The symbols of the alphabet, in definition order.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// The `i`-th symbol of the alphabet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()`.
+    pub fn symbol(&self, i: usize) -> Symbol {
+        self.symbols[i]
+    }
+
+    /// Index of `s` within the alphabet, if present.
+    pub fn index_of(&self, s: Symbol) -> Option<usize> {
+        self.symbols.iter().position(|&x| x == s)
+    }
+
+    /// Whether `s` belongs to this alphabet.
+    pub fn contains(&self, s: Symbol) -> bool {
+        self.index_of(s).is_some()
+    }
+
+    /// Encodes a string into a symbol vector, rejecting characters outside the
+    /// alphabet.
+    pub fn encode(&self, text: &str) -> Result<Vec<Symbol>, AlphabetError> {
+        let mut out = Vec::with_capacity(text.len());
+        for c in text.chars() {
+            let s = Symbol::from_char(c);
+            if !self.contains(s) {
+                return Err(AlphabetError::UnknownCharacter {
+                    character: c,
+                    alphabet: self.name,
+                });
+            }
+            out.push(s);
+        }
+        Ok(out)
+    }
+
+    /// Decodes a symbol slice back into a string. Symbols outside the alphabet
+    /// are rendered as `?`.
+    pub fn decode(&self, symbols: &[Symbol]) -> String {
+        symbols
+            .iter()
+            .map(|&s| if self.contains(s) { s.to_char() } else { '?' })
+            .collect()
+    }
+}
+
+/// Errors produced while encoding text into an alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlphabetError {
+    /// A character outside the alphabet was encountered.
+    UnknownCharacter {
+        /// The offending character.
+        character: char,
+        /// The alphabet that rejected it.
+        alphabet: &'static str,
+    },
+}
+
+impl std::fmt::Display for AlphabetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlphabetError::UnknownCharacter {
+                character,
+                alphabet,
+            } => write!(
+                f,
+                "character {character:?} does not belong to the {alphabet} alphabet"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlphabetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_alphabet_has_four_symbols() {
+        assert_eq!(Alphabet::dna().size(), 4);
+    }
+
+    #[test]
+    fn protein_alphabet_has_twenty_symbols() {
+        assert_eq!(Alphabet::protein().size(), 20);
+    }
+
+    #[test]
+    fn pitch_alphabet_has_twelve_symbols() {
+        assert_eq!(Alphabet::pitch().size(), 12);
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let p = Alphabet::protein();
+        let ok = p.encode("ACDEFGHIKLMNPQRSTVWY").unwrap();
+        assert_eq!(p.decode(&ok), "ACDEFGHIKLMNPQRSTVWY");
+        let short = p.encode("MKV").unwrap();
+        assert_eq!(p.decode(&short), "MKV");
+    }
+
+    #[test]
+    fn encode_rejects_unknown_characters() {
+        let dna = Alphabet::dna();
+        let err = dna.encode("ACGX").unwrap_err();
+        assert_eq!(
+            err,
+            AlphabetError::UnknownCharacter {
+                character: 'X',
+                alphabet: "DNA"
+            }
+        );
+        assert!(err.to_string().contains("DNA"));
+    }
+
+    #[test]
+    fn decode_renders_foreign_symbols_as_question_marks() {
+        let dna = Alphabet::dna();
+        let symbols = vec![Symbol::from_char('A'), Symbol::from_char('Z')];
+        assert_eq!(dna.decode(&symbols), "A?");
+    }
+
+    #[test]
+    fn index_of_and_symbol_agree() {
+        let p = Alphabet::protein();
+        for i in 0..p.size() {
+            assert_eq!(p.index_of(p.symbol(i)), Some(i));
+        }
+        assert_eq!(p.index_of(Symbol::from_char('Z')), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_characters_panic() {
+        let _ = Alphabet::new("BAD", "AAB");
+    }
+}

@@ -1,0 +1,211 @@
+//! Query segment extraction.
+//!
+//! Step 3 of the framework (Section 7) extracts from the query `Q` every
+//! segment whose length lies in `[λ/2 − λ0, λ/2 + λ0]`, where `λ0` bounds the
+//! temporal shift allowed between similar subsequences. This produces at most
+//! `(2·λ0 + 1) · |Q|` segments, the quantity the paper's complexity analysis
+//! (Equation 5) relies on.
+
+use crate::element::Element;
+use crate::sequence::Sequence;
+
+/// Specification of the segment lengths to extract from a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SegmentSpec {
+    /// Window length `l = λ/2` used on the database side.
+    pub window_len: usize,
+    /// Maximal temporal shift `λ0` between similar subsequences.
+    pub max_shift: usize,
+}
+
+impl SegmentSpec {
+    /// Creates a specification for database window length `window_len` and
+    /// maximal shift `max_shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len == 0`.
+    pub fn new(window_len: usize, max_shift: usize) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        SegmentSpec {
+            window_len,
+            max_shift,
+        }
+    }
+
+    /// Smallest segment length to extract (`max(1, l − λ0)`).
+    pub fn min_len(&self) -> usize {
+        self.window_len.saturating_sub(self.max_shift).max(1)
+    }
+
+    /// Largest segment length to extract (`l + λ0`).
+    pub fn max_len(&self) -> usize {
+        self.window_len + self.max_shift
+    }
+
+    /// Number of distinct lengths extracted.
+    pub fn length_count(&self) -> usize {
+        self.max_len() - self.min_len() + 1
+    }
+}
+
+/// A query segment: a contiguous slice of the query with provenance.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Segment<E> {
+    /// 0-based offset of the segment within the query.
+    pub start: usize,
+    /// The segment's elements.
+    pub data: Vec<E>,
+}
+
+impl<E: Element> Segment<E> {
+    /// Segment length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the segment is empty (never true for extracted segments).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Half-open range covered within the query.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.data.len()
+    }
+
+    /// End offset (exclusive) within the query.
+    pub fn end(&self) -> usize {
+        self.start + self.data.len()
+    }
+}
+
+/// Extracts every segment of `query` whose length lies within `spec`'s bounds.
+///
+/// Segments are produced in order of increasing length, then increasing start
+/// offset; this ordering is deterministic and relied upon by tests.
+pub fn extract_segments<E: Element>(query: &Sequence<E>, spec: SegmentSpec) -> Vec<Segment<E>> {
+    let n = query.len();
+    let mut segments = Vec::with_capacity(segment_count(n, spec));
+    for len in spec.min_len()..=spec.max_len() {
+        if len > n {
+            break;
+        }
+        for start in 0..=(n - len) {
+            segments.push(Segment {
+                start,
+                data: query.elements()[start..start + len].to_vec(),
+            });
+        }
+    }
+    segments
+}
+
+/// Number of segments [`extract_segments`] will produce for a query of length
+/// `query_len` under `spec`.
+pub fn segment_count(query_len: usize, spec: SegmentSpec) -> usize {
+    let mut count = 0;
+    for len in spec.min_len()..=spec.max_len() {
+        if len > query_len {
+            break;
+        }
+        count += query_len - len + 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Symbol;
+
+    fn seq(text: &str) -> Sequence<Symbol> {
+        Sequence::new(text.chars().map(Symbol::from_char).collect())
+    }
+
+    #[test]
+    fn spec_length_bounds() {
+        let spec = SegmentSpec::new(10, 2);
+        assert_eq!(spec.min_len(), 8);
+        assert_eq!(spec.max_len(), 12);
+        assert_eq!(spec.length_count(), 5);
+    }
+
+    #[test]
+    fn spec_min_len_never_drops_below_one() {
+        let spec = SegmentSpec::new(3, 10);
+        assert_eq!(spec.min_len(), 1);
+        assert_eq!(spec.max_len(), 13);
+    }
+
+    #[test]
+    fn zero_shift_extracts_sliding_windows_only() {
+        let spec = SegmentSpec::new(3, 0);
+        let segments = extract_segments(&seq("ABCDEF"), spec);
+        assert_eq!(segments.len(), 4);
+        assert!(segments.iter().all(|s| s.len() == 3));
+        let starts: Vec<usize> = segments.iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shift_widens_length_range() {
+        let spec = SegmentSpec::new(3, 1);
+        let segments = extract_segments(&seq("ABCDE"), spec);
+        // lengths 2,3,4 -> (5-2+1)+(5-3+1)+(5-4+1) = 4+3+2 = 9
+        assert_eq!(segments.len(), 9);
+        assert_eq!(segments.len(), segment_count(5, spec));
+    }
+
+    #[test]
+    fn segment_count_matches_extraction_for_various_inputs() {
+        for window_len in 1..6 {
+            for max_shift in 0..4 {
+                for n in 0..12 {
+                    let spec = SegmentSpec::new(window_len, max_shift);
+                    let q = Sequence::new(vec![Symbol::from_char('A'); n]);
+                    assert_eq!(
+                        extract_segments(&q, spec).len(),
+                        segment_count(n, spec),
+                        "window_len={window_len} max_shift={max_shift} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_count_upper_bound_from_paper() {
+        // The paper bounds the number of segments by (2*lambda0 + 1) * |Q|.
+        for max_shift in 0..5 {
+            for n in 1..30 {
+                let spec = SegmentSpec::new(10, max_shift);
+                assert!(segment_count(n, spec) <= (2 * max_shift + 1) * n);
+            }
+        }
+    }
+
+    #[test]
+    fn query_shorter_than_min_len_yields_nothing() {
+        let spec = SegmentSpec::new(10, 2);
+        assert!(extract_segments(&seq("ABC"), spec).is_empty());
+        assert_eq!(segment_count(3, spec), 0);
+    }
+
+    #[test]
+    fn segments_carry_correct_provenance() {
+        let spec = SegmentSpec::new(2, 0);
+        let q = seq("WXYZ");
+        let segments = extract_segments(&q, spec);
+        for s in &segments {
+            assert_eq!(&q.elements()[s.range()], s.data.as_slice());
+            assert_eq!(s.end(), s.start + s.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_spec_panics() {
+        let _ = SegmentSpec::new(0, 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Fixed-length window partitioning of database sequences.
+//!
+//! Step 1 of the framework (Section 7 of the paper) partitions every database
+//! sequence `X` into disjoint windows of length `l = λ/2`. Lemma 2 shows that
+//! if `l ≤ λ/2` then every similar subsequence `SX` (of length ≥ λ) fully
+//! contains at least one window, so matching query segments against windows
+//! only — instead of against all `O(|X|²)` subsequences — cannot miss a match.
+//!
+//! A trailing remainder shorter than `l` is not indexed (the paper produces
+//! `⌊|X|/l⌋` windows per sequence); the completeness argument still holds
+//! because a subsequence of length ≥ λ = 2l always covers a *full* window.
+
+use std::fmt;
+
+use crate::element::Element;
+use crate::sequence::{Sequence, SequenceDataset, SequenceId};
+
+/// Identifier of a window inside a [`WindowStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct WindowId(pub usize);
+
+impl fmt::Display for WindowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "win#{}", self.0)
+    }
+}
+
+/// A fixed-length window cut from a database sequence, with provenance.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Window<E> {
+    /// The sequence this window was cut from.
+    pub sequence: SequenceId,
+    /// 0-based index of the window within its sequence (`w_1` is index 0).
+    pub window_index: usize,
+    /// 0-based offset of the first element within the source sequence.
+    pub start: usize,
+    /// The window's elements (always exactly the partition length).
+    pub data: Vec<E>,
+}
+
+impl<E: Element> Window<E> {
+    /// Length of the window.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the window is empty (never true for windows produced by
+    /// [`partition_windows`]).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Half-open element range this window covers within its source sequence.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.data.len()
+    }
+}
+
+/// Partitions one sequence into disjoint windows of length `window_len`.
+///
+/// Returns an empty vector when the sequence is shorter than `window_len`.
+///
+/// # Panics
+///
+/// Panics if `window_len == 0`.
+pub fn partition_windows<E: Element>(
+    sequence_id: SequenceId,
+    sequence: &Sequence<E>,
+    window_len: usize,
+) -> Vec<Window<E>> {
+    assert!(window_len > 0, "window length must be positive");
+    let n = sequence.len() / window_len;
+    let mut windows = Vec::with_capacity(n);
+    for i in 0..n {
+        let start = i * window_len;
+        windows.push(Window {
+            sequence: sequence_id,
+            window_index: i,
+            start,
+            data: sequence.elements()[start..start + window_len].to_vec(),
+        });
+    }
+    windows
+}
+
+/// Partitions every sequence of a dataset and collects the windows in a
+/// [`WindowStore`].
+pub fn partition_windows_dataset<E: Element>(
+    dataset: &SequenceDataset<E>,
+    window_len: usize,
+) -> WindowStore<E> {
+    let mut store = WindowStore::new(window_len);
+    for (id, seq) in dataset.iter() {
+        for w in partition_windows(id, seq, window_len) {
+            store.push(w);
+        }
+    }
+    store
+}
+
+/// All windows of a database, addressable by [`WindowId`].
+///
+/// The store is what gets inserted into the metric index (step 2 of the
+/// framework); window ids double as the index's item ids so that candidate
+/// pairs can be mapped back to `(sequence, offset)` provenance.
+#[derive(Clone, Debug)]
+pub struct WindowStore<E> {
+    window_len: usize,
+    windows: Vec<Window<E>>,
+}
+
+impl<E: Element> WindowStore<E> {
+    /// Creates an empty store for windows of length `window_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len == 0`.
+    pub fn new(window_len: usize) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        WindowStore {
+            window_len,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The fixed window length `l = λ/2`.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Adds a window and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window's length differs from the store's window length.
+    pub fn push(&mut self, window: Window<E>) -> WindowId {
+        assert_eq!(
+            window.len(),
+            self.window_len,
+            "window length mismatch: expected {}, got {}",
+            self.window_len,
+            window.len()
+        );
+        let id = WindowId(self.windows.len());
+        self.windows.push(window);
+        id
+    }
+
+    /// Number of windows in the store.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Looks up a window by id.
+    pub fn get(&self, id: WindowId) -> Option<&Window<E>> {
+        self.windows.get(id.0)
+    }
+
+    /// Iterates over `(id, window)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (WindowId, &Window<E>)> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WindowId(i), w))
+    }
+
+    /// All windows as a slice (index position == `WindowId.0`).
+    pub fn windows(&self) -> &[Window<E>] {
+        &self.windows
+    }
+
+    /// Finds the id of the window with the given provenance, if present.
+    pub fn find(&self, sequence: SequenceId, window_index: usize) -> Option<WindowId> {
+        // Windows of a sequence are contiguous and ordered by window_index, so a
+        // linear scan is acceptable for tests and tooling; hot paths keep ids.
+        self.windows
+            .iter()
+            .position(|w| w.sequence == sequence && w.window_index == window_index)
+            .map(WindowId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Symbol;
+
+    fn seq(text: &str) -> Sequence<Symbol> {
+        Sequence::new(text.chars().map(Symbol::from_char).collect())
+    }
+
+    #[test]
+    fn partition_produces_floor_len_over_l_windows() {
+        let s = seq("ABCDEFGHIJ");
+        let windows = partition_windows(SequenceId(0), &s, 3);
+        assert_eq!(windows.len(), 3); // 10 / 3 = 3, remainder dropped
+        assert_eq!(windows[0].start, 0);
+        assert_eq!(windows[1].start, 3);
+        assert_eq!(windows[2].start, 6);
+        for w in &windows {
+            assert_eq!(w.len(), 3);
+        }
+    }
+
+    #[test]
+    fn partition_short_sequence_yields_nothing() {
+        let s = seq("AB");
+        assert!(partition_windows(SequenceId(0), &s, 3).is_empty());
+    }
+
+    #[test]
+    fn partition_exact_multiple_covers_everything() {
+        let s = seq("ABCDEF");
+        let windows = partition_windows(SequenceId(4), &s, 2);
+        assert_eq!(windows.len(), 3);
+        let covered: usize = windows.iter().map(Window::len).sum();
+        assert_eq!(covered, 6);
+        assert!(windows.iter().all(|w| w.sequence == SequenceId(4)));
+    }
+
+    #[test]
+    fn window_range_matches_offsets() {
+        let s = seq("ABCDEFGH");
+        let windows = partition_windows(SequenceId(0), &s, 4);
+        assert_eq!(windows[1].range(), 4..8);
+        assert_eq!(
+            windows[1].data,
+            "EFGH".chars().map(Symbol::from_char).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_length_panics() {
+        let s = seq("ABC");
+        let _ = partition_windows(SequenceId(0), &s, 0);
+    }
+
+    #[test]
+    fn dataset_partitioning_assigns_global_ids() {
+        let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB"), seq("CCCC"), seq("DD")]
+            .into_iter()
+            .collect();
+        let store = partition_windows_dataset(&ds, 4);
+        assert_eq!(store.len(), 3); // 2 + 1 + 0
+        assert_eq!(store.window_len(), 4);
+        assert_eq!(store.get(WindowId(0)).unwrap().sequence, SequenceId(0));
+        assert_eq!(store.get(WindowId(2)).unwrap().sequence, SequenceId(1));
+        assert!(store.get(WindowId(3)).is_none());
+    }
+
+    #[test]
+    fn window_store_find_locates_provenance() {
+        let ds: SequenceDataset<Symbol> =
+            vec![seq("AAAABBBB"), seq("CCCCDDDD")].into_iter().collect();
+        let store = partition_windows_dataset(&ds, 4);
+        assert_eq!(store.find(SequenceId(1), 1), Some(WindowId(3)));
+        assert_eq!(store.find(SequenceId(1), 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length mismatch")]
+    fn window_store_rejects_wrong_length() {
+        let mut store: WindowStore<Symbol> = WindowStore::new(4);
+        store.push(Window {
+            sequence: SequenceId(0),
+            window_index: 0,
+            start: 0,
+            data: vec![Symbol::from_char('A'); 3],
+        });
+    }
+
+    #[test]
+    fn lemma2_every_long_subsequence_contains_a_window() {
+        // For any subsequence of length >= lambda = 2*l there is a fully
+        // contained window: check exhaustively on a small sequence.
+        let l = 3;
+        let lambda = 2 * l;
+        let s = seq("ABCDEFGHIJKLMNOP");
+        let windows = partition_windows(SequenceId(0), &s, l);
+        for start in 0..s.len() {
+            for end in (start + lambda)..=s.len() {
+                let contains_full_window = windows
+                    .iter()
+                    .any(|w| w.start >= start && w.start + w.len() <= end);
+                assert!(
+                    contains_full_window,
+                    "subsequence {start}..{end} does not contain a full window"
+                );
+            }
+        }
+    }
+}

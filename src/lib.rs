@@ -1,0 +1,71 @@
+//! # subsequence-retrieval
+//!
+//! A Rust implementation of **"A Generic Framework for Efficient and Effective
+//! Subsequence Retrieval"** (Zhu, Kollios, Athitsos — PVLDB 5(11), 2012).
+//!
+//! Given a query sequence `Q` and a database of sequences, the framework finds
+//! pairs of *subsequences* — one from the query, one from a database sequence —
+//! that are similar under a user-chosen distance. It works with any distance
+//! that is **consistent** (Definition 1 of the paper) and, when the distance is
+//! also a **metric**, accelerates the search with the **Reference Net**, a
+//! linear-space hierarchical metric index introduced by the paper.
+//!
+//! The workspace is organised as one crate per subsystem, all re-exported here:
+//!
+//! * [`sequence`] (`ssr-sequence`) — elements, alphabets, sequences, windows,
+//!   query segments;
+//! * [`distance`] (`ssr-distance`) — Euclidean, Hamming, Levenshtein, DTW, ERP
+//!   and discrete Fréchet distances, alignments, and distance-call counting;
+//! * [`index`] (`ssr-index`) — Reference Net, Cover Tree, MV reference-based
+//!   indexing and linear scan, all answering metric range queries;
+//! * [`datagen`] (`ssr-datagen`) — synthetic PROTEINS / SONGS / TRAJ / DNA
+//!   generators and planted-query construction;
+//! * [`core`] (`ssr-core`) — the five-step retrieval framework and the three
+//!   query types (range, longest, nearest).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use subsequence_retrieval::prelude::*;
+//!
+//! // A tiny protein-like database and a query containing a copy of a region
+//! // of the first sequence, surrounded by unrelated residues.
+//! let config = FrameworkConfig::new(8).with_max_shift(1);
+//! let db = SubsequenceDatabase::builder(config, Levenshtein::new())
+//!     .add_sequence(Sequence::new(encode("MMMMMMMMACDEFGHIKLMNPQRSTVWYMMMMMMMM")))
+//!     .add_sequence(Sequence::new(encode("WWWWWWWWWWWWWWWWWWWWWWWW")))
+//!     .build()
+//!     .unwrap();
+//!
+//! let query = Sequence::new(encode("YYYYACDEFGHIKLMNPQRSTVWYYYYY"));
+//! let best = db.query_type2(&query, 3.0).result.expect("match found");
+//! assert!(best.distance <= 3.0);
+//! assert!(best.query_len() >= 8);
+//!
+//! fn encode(text: &str) -> Vec<Symbol> {
+//!     text.chars().map(Symbol::from_char).collect()
+//! }
+//! ```
+
+pub use ssr_core as core;
+pub use ssr_datagen as datagen;
+pub use ssr_distance as distance;
+pub use ssr_index as index;
+pub use ssr_sequence as sequence;
+
+/// The most commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use ssr_core::{
+        BruteConstraints, DatabaseBuilder, FrameworkConfig, FrameworkError, IndexBackend,
+        QueryOutcome, QueryStats, SubsequenceDatabase, SubsequenceMatch,
+    };
+    pub use ssr_distance::{
+        CallCounter, DiscreteFrechet, Dtw, Erp, Euclidean, Hamming, Levenshtein, SequenceDistance,
+    };
+    pub use ssr_index::{
+        CoverTree, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet, ReferenceNetConfig,
+    };
+    pub use ssr_sequence::{
+        Alphabet, Element, Pitch, Point2D, Point3D, Sequence, SequenceDataset, SequenceId, Symbol,
+    };
+}
