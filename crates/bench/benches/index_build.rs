@@ -19,9 +19,10 @@ fn bench_index_build(c: &mut Criterion) {
         IndexChoice::CoverTree,
         IndexChoice::MaxVariance(5),
     ] {
-        group.bench_function(BenchmarkId::new("proteins_levenshtein", choice.label()), |b| {
-            b.iter(|| build_index(choice, &proteins, Levenshtein::new()).len())
-        });
+        group.bench_function(
+            BenchmarkId::new("proteins_levenshtein", choice.label()),
+            |b| b.iter(|| build_index(choice, &proteins, Levenshtein::new()).len()),
+        );
         group.bench_function(BenchmarkId::new("songs_dfd", choice.label()), |b| {
             b.iter(|| build_index(choice, &songs, DiscreteFrechet::new()).len())
         });

@@ -27,10 +27,7 @@ fn bench_range_queries(c: &mut Criterion) {
         let protein_index = build_index(choice, &protein_all, Levenshtein::new());
         for radius in [2.0, 4.0] {
             group.bench_function(
-                BenchmarkId::new(
-                    format!("proteins_lev_r{radius}"),
-                    choice.label(),
-                ),
+                BenchmarkId::new(format!("proteins_lev_r{radius}"), choice.label()),
                 |b| {
                     b.iter(|| {
                         let mut hits = 0usize;
@@ -43,18 +40,15 @@ fn bench_range_queries(c: &mut Criterion) {
             );
         }
         let song_index = build_index(choice, &song_all, DiscreteFrechet::new());
-        group.bench_function(
-            BenchmarkId::new("songs_dfd_r2", choice.label()),
-            |b| {
-                b.iter(|| {
-                    let mut hits = 0usize;
-                    for q in &song_queries.queries {
-                        hits += song_index.range_query_count(q, 2.0);
-                    }
-                    hits
-                })
-            },
-        );
+        group.bench_function(BenchmarkId::new("songs_dfd_r2", choice.label()), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &song_queries.queries {
+                    hits += song_index.range_query_count(q, 2.0);
+                }
+                hits
+            })
+        });
     }
     group.finish();
 }

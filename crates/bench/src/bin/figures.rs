@@ -13,7 +13,7 @@
 //! discusses where the shapes agree.
 
 use ssr_bench::{
-    build_index, distance_histogram, pruning_ratio, print_header, print_table, protein_windows,
+    build_index, distance_histogram, print_header, print_table, protein_windows, pruning_ratio,
     song_windows, traj_windows, IndexChoice, QuerySet, Scale, Table,
 };
 use ssr_core::{build_candidates, FrameworkConfig, SubsequenceDatabase};
@@ -100,7 +100,9 @@ fn main() {
         ran_any = true;
     }
     if !ran_any {
-        eprintln!("unknown figure {figure:?}; expected fig4..fig12, ablation-nummax, ablation-eps or all");
+        eprintln!(
+            "unknown figure {figure:?}; expected fig4..fig12, ablation-nummax, ablation-eps or all"
+        );
         std::process::exit(2);
     }
 }
@@ -311,7 +313,11 @@ fn query_performance_figure<E, D>(
     header.extend(choices.iter().map(|c| format!("{} %dist", c.label())));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("{title} ({} windows, {} queries)", windows.len(), queries.queries.len()),
+        format!(
+            "{title} ({} windows, {} queries)",
+            windows.len(),
+            queries.queries.len()
+        ),
         &header_refs,
     );
     for &radius in radii {
@@ -578,7 +584,9 @@ fn ablation_eps(scale: Scale) {
     );
     for eps in [0.5, 1.0, 2.0, 4.0] {
         use ssr_distance::CallCounter;
-        use ssr_index::{CountingMetric, RangeIndex, ReferenceNet, ReferenceNetConfig, SequenceMetricAdapter};
+        use ssr_index::{
+            CountingMetric, RangeIndex, ReferenceNet, ReferenceNetConfig, SequenceMetricAdapter,
+        };
         let counter = CallCounter::new();
         let metric = CountingMetric::new(
             SequenceMetricAdapter::new(Levenshtein::new()),
@@ -599,8 +607,8 @@ fn ablation_eps(scale: Scale) {
             for q in &queries.queries {
                 let _ = idx.range_query(q, radius);
             }
-            let ratio = counter.reset() as f64
-                / (queries.queries.len() as f64 * windows.len() as f64);
+            let ratio =
+                counter.reset() as f64 / (queries.queries.len() as f64 * windows.len() as f64);
             row.push(fmt(ratio * 100.0));
         }
         table.push_row(row);

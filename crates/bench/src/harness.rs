@@ -99,11 +99,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> IndexHandle<E, D> {
 
 /// Builds the chosen index over `windows` under `distance` (with `ǫ' = 1`, as
 /// in all the paper's experiments).
-pub fn build_index<E, D>(
-    choice: IndexChoice,
-    windows: &[Vec<E>],
-    distance: D,
-) -> IndexHandle<E, D>
+pub fn build_index<E, D>(choice: IndexChoice, windows: &[Vec<E>], distance: D) -> IndexHandle<E, D>
 where
     E: Element + Send + Sync,
     D: SequenceDistance<E>,
@@ -257,7 +253,11 @@ mod tests {
             let handle = build_index(choice, &windows, Levenshtein::new());
             assert_eq!(handle.len(), windows.len(), "{}", choice.label());
             let (ratio, _) = pruning_ratio(&handle, &queries, 4.0);
-            assert!((0.0..=1.01).contains(&ratio), "{} ratio {ratio}", choice.label());
+            assert!(
+                (0.0..=1.01).contains(&ratio),
+                "{} ratio {ratio}",
+                choice.label()
+            );
         }
     }
 

@@ -65,10 +65,23 @@ pub struct Candidate {
 ///
 /// Two matches are chainable when they are on the same sequence, their window
 /// indices are consecutive, and the second query segment starts within `λ0`
-/// of where the first one ends. The function returns one candidate per match
-/// describing the best (longest, then tightest) chain *ending* at that match,
-/// keeping only chains that are not a strict prefix of a longer chain, sorted
-/// by decreasing chain length and increasing total distance.
+/// of where the first one ends. Because segments come in lengths
+/// `λ/2 − λ0 ..= λ/2 + λ0`, a purely per-step tolerance lets the query span
+/// drift arbitrarily far from the database span over a long chain — such a
+/// chain can never satisfy the framework's `||SX| − |SQ|| ≤ λ0` constraint, so
+/// chaining additionally enforces the *cumulative* drift bound: at every chain
+/// prefix, the covered query span and database span differ by at most `λ0`.
+///
+/// The function returns, for every match, the best (longest, then
+/// least-drifted, then tightest) chain *ending* at that match, plus the
+/// match's own single-window candidate
+/// when the best chain is longer. The singles matter for completeness: the
+/// best chain ending at a match may have been extended backwards through
+/// coincidental matches in noise, shifting the candidate region so far that
+/// expansion (step 5b) can no longer reach the true pair — the paper's
+/// Lemma 3 guarantee is anchored on a *single* matched window, so each one is
+/// kept as a candidate in its own right. Duplicates are merged and the result
+/// is sorted by decreasing chain length and increasing total distance.
 pub fn build_candidates(
     matches: &[SegmentMatch],
     window_len: usize,
@@ -91,11 +104,25 @@ pub fn build_candidates(
         let n = idxs.len();
         let mut chain_len = vec![1usize; n];
         let mut chain_dist = vec![0.0f64; n];
-        let mut chain_start = vec![0usize; n]; // position in idxs where the chain starts
+        // Position in idxs where the chain starts.
+        let mut chain_start = vec![0usize; n];
+        // Query span covered by the whole chain ending at each position —
+        // running min/max over *all* chain members, since with a large λ0 an
+        // intermediate segment can extend past both endpoints' segments.
+        let mut chain_q_min = vec![0usize; n];
+        let mut chain_q_max = vec![0usize; n];
+        // |query span − db span| of the kept chain. Ties on length prefer the
+        // smaller drift: the DP keeps one state per match, and a tightly
+        // aligned chain stays extendable under the cumulative drift bound
+        // where an equally long but more drifted one would not.
+        let mut chain_drift = vec![0i64; n];
         for (pos, &mi) in idxs.iter().enumerate() {
-            chain_dist[pos] = matches[mi].distance;
-            chain_start[pos] = pos;
             let m = &matches[mi];
+            chain_dist[pos] = m.distance;
+            chain_start[pos] = pos;
+            chain_q_min[pos] = m.query_start;
+            chain_q_max[pos] = m.query_end();
+            chain_drift[pos] = (m.query_len as i64 - window_len as i64).abs();
             for (prev_pos, &pi) in idxs.iter().enumerate().take(pos) {
                 let p = &matches[pi];
                 if p.window_index + 1 != m.window_index {
@@ -107,47 +134,95 @@ pub fn build_candidates(
                 if m.query_start < lo || m.query_start > hi {
                     continue;
                 }
+                // Cumulative drift: the chain's query span may differ from its
+                // database span by at most the temporal shift λ0.
+                let q_min = chain_q_min[prev_pos].min(m.query_start);
+                let q_max = chain_q_max[prev_pos].max(m.query_end());
+                let start = &matches[idxs[chain_start[prev_pos]]];
+                let query_span = (q_max - q_min) as i64;
+                let db_span = (m.db_start + window_len - start.db_start) as i64;
+                let drift = (query_span - db_span).abs();
+                if drift > max_shift as i64 {
+                    continue;
+                }
                 let cand_len = chain_len[prev_pos] + 1;
                 let cand_dist = chain_dist[prev_pos] + m.distance;
-                if cand_len > chain_len[pos]
-                    || (cand_len == chain_len[pos] && cand_dist < chain_dist[pos])
-                {
+                let better = match cand_len.cmp(&chain_len[pos]) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => {
+                        drift < chain_drift[pos]
+                            || (drift == chain_drift[pos] && cand_dist < chain_dist[pos])
+                    }
+                    std::cmp::Ordering::Less => false,
+                };
+                if better {
                     chain_len[pos] = cand_len;
                     chain_dist[pos] = cand_dist;
                     chain_start[pos] = chain_start[prev_pos];
+                    chain_q_min[pos] = q_min;
+                    chain_q_max[pos] = q_max;
+                    chain_drift[pos] = drift;
                 }
-            }
-        }
-        // A match that extends into a longer chain is not reported on its own.
-        let mut extended = vec![false; n];
-        for pos in 0..n {
-            if chain_len[pos] > 1 {
-                // chain_start[pos] begins a chain that continues past itself.
-                extended[chain_start[pos]] = true;
             }
         }
         for pos in 0..n {
             let mi = idxs[pos];
             let m = &matches[mi];
-            if chain_len[pos] == 1 && extended[pos] {
-                continue;
-            }
             let start_match = &matches[idxs[chain_start[pos]]];
             candidates.push(Candidate {
                 sequence: m.sequence,
                 window_range: (start_match.window_index, m.window_index),
                 db_range: start_match.db_start..m.db_start + window_len,
-                query_range: start_match.query_start.min(m.query_start)
-                    ..m.query_end().max(start_match.query_end()),
+                query_range: chain_q_min[pos]..chain_q_max[pos],
                 chain_len: chain_len[pos],
                 total_distance: chain_dist[pos],
             });
+            if chain_len[pos] > 1 {
+                // The match's own single-window candidate (see above).
+                candidates.push(Candidate {
+                    sequence: m.sequence,
+                    window_range: (m.window_index, m.window_index),
+                    db_range: m.db_start..m.db_start + window_len,
+                    query_range: m.query_start..m.query_end(),
+                    chain_len: 1,
+                    total_distance: m.distance,
+                });
+            }
         }
     }
+    // Merge duplicates (keep the tightest), then order for verification.
+    candidates.sort_by(|a, b| {
+        (
+            a.sequence.0,
+            a.window_range,
+            a.query_range.start,
+            a.query_range.end,
+        )
+            .cmp(&(
+                b.sequence.0,
+                b.window_range,
+                b.query_range.start,
+                b.query_range.end,
+            ))
+            .then(
+                a.total_distance
+                    .partial_cmp(&b.total_distance)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    candidates.dedup_by(|next, kept| {
+        kept.sequence == next.sequence
+            && kept.window_range == next.window_range
+            && kept.query_range == next.query_range
+    });
     candidates.sort_by(|a, b| {
         b.chain_len
             .cmp(&a.chain_len)
-            .then(a.total_distance.partial_cmp(&b.total_distance).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                a.total_distance
+                    .partial_cmp(&b.total_distance)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then(a.sequence.0.cmp(&b.sequence.0))
             .then(a.window_range.0.cmp(&b.window_range.0))
     });
@@ -233,7 +308,7 @@ mod tests {
     }
 
     #[test]
-    fn long_chains_come_first_and_prefixes_are_subsumed() {
+    fn long_chains_come_first_and_singles_are_preserved() {
         let matches = [
             m(0, 0, 0, 0, 10, 1.0),
             m(1, 0, 1, 10, 10, 1.0),
@@ -244,12 +319,17 @@ mod tests {
         assert_eq!(cands[0].chain_len, 3);
         assert_eq!(cands[0].sequence, SequenceId(0));
         assert_eq!(cands[0].db_range, 0..30);
-        // The length-1 prefix of the chain (window 0) must not be reported,
-        // but windows 1 and 2 still appear as chain ends of length 2 and 3,
-        // plus the unrelated sequence-1 match.
-        assert!(cands
-            .iter()
-            .all(|c| !(c.chain_len == 1 && c.sequence == SequenceId(0) && c.window_range == (0, 0))));
+        // Every chained match also yields its own single-window candidate
+        // (completeness anchor of Lemma 3), alongside the chain ends of
+        // length 2 and 3 and the unrelated sequence-1 match.
+        for window in 0..3 {
+            assert!(
+                cands.iter().any(|c| c.chain_len == 1
+                    && c.sequence == SequenceId(0)
+                    && c.window_range == (window, window)),
+                "missing single-window candidate for window {window}"
+            );
+        }
         assert!(cands
             .iter()
             .any(|c| c.sequence == SequenceId(1) && c.chain_len == 1));

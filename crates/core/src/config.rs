@@ -6,8 +6,7 @@ use ssr_distance::SequenceDistance;
 use ssr_sequence::{Element, SegmentSpec};
 
 /// Which metric index backs step 4 (the window range queries).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum IndexBackend {
     /// The paper's Reference Net (default).
     #[default]
@@ -22,7 +21,6 @@ pub enum IndexBackend {
     /// Naive linear scan (no index).
     LinearScan,
 }
-
 
 impl fmt::Display for IndexBackend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -52,7 +50,10 @@ impl fmt::Display for FrameworkError {
             FrameworkError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             FrameworkError::UnsupportedDistance(msg) => write!(f, "unsupported distance: {msg}"),
             FrameworkError::EmptyDatabase => {
-                write!(f, "no window could be extracted from the database sequences")
+                write!(
+                    f,
+                    "no window could be extracted from the database sequences"
+                )
             }
         }
     }
@@ -285,7 +286,9 @@ mod tests {
         let scan_cfg = cfg.clone().with_backend(IndexBackend::LinearScan);
         assert!(scan_cfg.validate_distance::<Symbol, _>(&Dtw::new()).is_ok());
         // Euclidean requires equal lengths: incompatible with a non-zero shift.
-        assert!(cfg.validate_distance::<Symbol, _>(&Euclidean::new()).is_err());
+        assert!(cfg
+            .validate_distance::<Symbol, _>(&Euclidean::new())
+            .is_err());
         let mut no_shift = FrameworkConfig::new(20);
         no_shift.max_shift = 0;
         assert!(no_shift

@@ -90,7 +90,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
     /// length `λ/2` and builds the chosen metric index over them.
     pub fn build(self) -> Result<SubsequenceDatabase<E, D>, FrameworkError> {
         self.config.validate()?;
-        self.config.validate_distance::<E, _>(self.distance.as_ref())?;
+        self.config
+            .validate_distance::<E, _>(self.distance.as_ref())?;
         let windows = partition_windows_dataset(&self.dataset, self.config.window_len());
         if windows.is_empty() {
             return Err(FrameworkError::EmptyDatabase);
@@ -203,11 +204,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
 
     /// Step 4: matches every query segment (step 3) against the indexed
     /// windows within radius `epsilon`, returning the matched pairs.
-    pub fn matching_segments(
-        &self,
-        query: &Sequence<E>,
-        epsilon: f64,
-    ) -> (Vec<SegmentMatch>, u64) {
+    pub fn matching_segments(&self, query: &Sequence<E>, epsilon: f64) -> (Vec<SegmentMatch>, u64) {
         let spec = self.config.segment_spec();
         let segments = ssr_sequence::extract_segments(query, spec);
         let before = self.counter.get();

@@ -182,9 +182,9 @@ mod tests {
         let cfg = config(16, 2);
         let cand = candidate(10..30, 5..25, 2);
         let pairs = enumerate_pairs(&cand, &cfg, 40, 60);
-        assert!(pairs
-            .iter()
-            .any(|(q, x)| *q == (3..27) && *x == (8..32)),
-            "expected expanded pair to be enumerated");
+        assert!(
+            pairs.iter().any(|(q, x)| *q == (3..27) && *x == (8..32)),
+            "expected expanded pair to be enumerated"
+        );
     }
 }

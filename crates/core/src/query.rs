@@ -65,6 +65,19 @@ pub struct QueryOutcome<R> {
     pub stats: QueryStats,
 }
 
+/// Set of already-verified `(sequence, SQ range, SX range)` pairs: the
+/// expansion grids of overlapping candidates repeat pairs, and each should be
+/// verified (and charged against `max_verifications`) at most once.
+#[derive(Default)]
+struct PairSet(std::collections::HashSet<(SequenceId, usize, usize, usize, usize)>);
+
+impl PairSet {
+    /// Returns `true` when the pair is new.
+    fn insert(&mut self, sequence: SequenceId, q: &Range<usize>, x: &Range<usize>) -> bool {
+        self.0.insert((sequence, q.start, q.end, x.start, x.end))
+    }
+}
+
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D> {
     /// **Type I — range query.** Returns all pairs of similar subsequences:
     /// `|SX| ≥ λ`, `|SQ| ≥ λ`, `||SX| − |SQ|| ≤ λ0` and `δ(SQ, SX) ≤ ε`.
@@ -81,6 +94,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         let (candidates, mut stats) = self.prepare_candidates(query, epsilon);
         let mut results = Vec::new();
         let mut budget = self.config().max_verifications as u64;
+        // Expansion grids of overlapping candidates repeat the same pairs;
+        // verify (and charge the budget for) each pair only once.
+        let mut seen = PairSet::default();
         'outer: for candidate in &candidates {
             let seq_len = match self.sequence(candidate.sequence) {
                 Some(s) => s.len(),
@@ -88,6 +104,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             };
             let pairs = enumerate_pairs(candidate, self.config(), query.len(), seq_len);
             for (q_range, x_range) in pairs {
+                if !seen.insert(candidate.sequence, &q_range, &x_range) {
+                    continue;
+                }
                 if budget == 0 {
                     stats.budget_exhausted = true;
                     break 'outer;
@@ -112,9 +131,11 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             }
         }
         results.sort_by(|a: &SubsequenceMatch, b: &SubsequenceMatch| {
-            b.query_len()
-                .cmp(&a.query_len())
-                .then(a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal))
+            b.query_len().cmp(&a.query_len()).then(
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         QueryOutcome {
             result: results,
@@ -136,6 +157,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         let (candidates, mut stats) = self.prepare_candidates(query, epsilon);
         let mut best: Option<SubsequenceMatch> = None;
         let mut budget = self.config().max_verifications as u64;
+        let mut seen = PairSet::default();
         for candidate in &candidates {
             // A chain of k windows can support matches of length at most
             // (k + 2) * lambda / 2; skip candidates that cannot beat the best.
@@ -158,6 +180,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                         // remains within this candidate.
                         break;
                     }
+                }
+                if !seen.insert(candidate.sequence, &q_range, &x_range) {
+                    continue;
                 }
                 if budget == 0 {
                     stats.budget_exhausted = true;
@@ -198,7 +223,10 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         epsilon_max: f64,
         epsilon_increment: f64,
     ) -> QueryOutcome<Option<SubsequenceMatch>> {
-        assert!(epsilon_increment > 0.0, "epsilon_increment must be positive");
+        assert!(
+            epsilon_increment > 0.0,
+            "epsilon_increment must be positive"
+        );
         let mut total_stats = QueryStats::default();
 
         // Binary search for the smallest epsilon with a non-empty shortlist.
@@ -240,11 +268,11 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             total_stats.candidates = outcome.stats.candidates;
             total_stats.verification_calls += outcome.stats.verification_calls;
             total_stats.budget_exhausted |= outcome.stats.budget_exhausted;
-            if let Some(best) = outcome
-                .result
-                .into_iter()
-                .min_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal))
-            {
+            if let Some(best) = outcome.result.into_iter().min_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) {
                 return QueryOutcome {
                     result: Some(best),
                     stats: total_stats,
@@ -272,7 +300,11 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         let mut unique_windows: Vec<usize> = matches.iter().map(|m| m.window.0).collect();
         unique_windows.sort_unstable();
         unique_windows.dedup();
-        let candidates = build_candidates(&matches, self.config().window_len(), self.config().max_shift);
+        let candidates = build_candidates(
+            &matches,
+            self.config().window_len(),
+            self.config().max_shift,
+        );
         let consecutive_windows: usize = candidates
             .iter()
             .filter(|c| c.chain_len >= 2)

@@ -101,19 +101,17 @@ pub fn generate_proteins(config: &ProteinConfig) -> SequenceDataset<Symbol> {
                 }
             }
         }
-        dataset.push(Sequence::with_label(elements, format!("PROT{seq_index:05}")));
+        dataset.push(Sequence::with_label(
+            elements,
+            format!("PROT{seq_index:05}"),
+        ));
     }
     dataset
 }
 
 fn random_string(alphabet: &Alphabet, len: usize, rng: &mut ChaCha8Rng) -> Vec<Symbol> {
     (0..len)
-        .map(|_| {
-            *alphabet
-                .symbols()
-                .choose(rng)
-                .expect("non-empty alphabet")
-        })
+        .map(|_| *alphabet.symbols().choose(rng).expect("non-empty alphabet"))
         .collect()
 }
 
@@ -219,6 +217,9 @@ mod tests {
                 }
             }
         }
-        assert!(best <= 5.0, "expected motif-induced similarity, best={best}");
+        assert!(
+            best <= 5.0,
+            "expected motif-induced similarity, best={best}"
+        );
     }
 }

@@ -72,10 +72,7 @@ impl QueryMutator<Symbol> for SymbolMutator {
 
     fn random_element(&self, rng: &mut ChaCha8Rng) -> Symbol {
         let alphabet = ssr_sequence::Alphabet::protein();
-        *alphabet
-            .symbols()
-            .choose(rng)
-            .expect("non-empty alphabet")
+        *alphabet.symbols().choose(rng).expect("non-empty alphabet")
     }
 }
 

@@ -131,8 +131,16 @@ impl<E: Element> AlignmentDistance<E> for DiscreteFrechet {
             } else {
                 f64::INFINITY
             };
-            let up = if i > 0 { dp[idx(i - 1, j)] } else { f64::INFINITY };
-            let left = if j > 0 { dp[idx(i, j - 1)] } else { f64::INFINITY };
+            let up = if i > 0 {
+                dp[idx(i - 1, j)]
+            } else {
+                f64::INFINITY
+            };
+            let left = if j > 0 {
+                dp[idx(i, j - 1)]
+            } else {
+                f64::INFINITY
+            };
             if diag <= up && diag <= left {
                 i -= 1;
                 j -= 1;

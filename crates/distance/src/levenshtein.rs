@@ -40,9 +40,7 @@ impl<E: Element> SequenceDistance<E> for Levenshtein {
             curr[0] = (i + 1) as u32;
             for (j, bj) in b.iter().enumerate() {
                 let sub_cost = if ai == bj { 0 } else { 1 };
-                curr[j + 1] = (prev[j] + sub_cost)
-                    .min(prev[j + 1] + 1)
-                    .min(curr[j] + 1);
+                curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1);
             }
             std::mem::swap(&mut prev, &mut curr);
         }
@@ -199,7 +197,10 @@ mod tests {
             let b = sym(y);
             let al = d.alignment(&a, &b);
             assert_eq!(al.cost, d.distance(&a, &b), "{x} vs {y}");
-            assert!(al.is_valid(a.len(), b.len()), "invalid alignment {x} vs {y}");
+            assert!(
+                al.is_valid(a.len(), b.len()),
+                "invalid alignment {x} vs {y}"
+            );
         }
     }
 

@@ -15,7 +15,10 @@ use ssr_sequence::{Pitch, Point2D, Symbol};
 const TOL: f64 = 1e-9;
 
 fn symbol_seq(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
-    prop::collection::vec((0u8..4).prop_map(|i| Symbol::from_char(b"ACGT"[i as usize] as char)), 0..max_len)
+    prop::collection::vec(
+        (0u8..4).prop_map(|i| Symbol::from_char(b"ACGT"[i as usize] as char)),
+        0..max_len,
+    )
 }
 
 fn pitch_seq(max_len: usize) -> impl Strategy<Value = Vec<Pitch>> {
@@ -44,7 +47,10 @@ where
     assert_eq!(d.distance(x, x), 0.0);
     // Symmetry.
     if dxy.is_finite() || dyx.is_finite() {
-        assert!((dxy - dyx).abs() <= TOL, "symmetry violated: {dxy} vs {dyx}");
+        assert!(
+            (dxy - dyx).abs() <= TOL,
+            "symmetry violated: {dxy} vs {dyx}"
+        );
     }
     // Triangle inequality (skip when any leg is infinite, e.g. unequal-length
     // inputs under Euclidean / Hamming).

@@ -355,6 +355,10 @@ mod tests {
         counter.reset();
         let result = tree.range_query(&50.0, 1.0);
         assert!(!result.is_empty());
-        assert!(counter.get() < 1000, "expected pruning, got {}", counter.get());
+        assert!(
+            counter.get() < 1000,
+            "expected pruning, got {}",
+            counter.get()
+        );
     }
 }

@@ -88,7 +88,11 @@ mod tests {
         for v in [1.0, 5.0, 9.0, 5.5] {
             scan.insert(v);
         }
-        let mut got: Vec<usize> = scan.range_query(&5.2, 0.5).into_iter().map(|i| i.0).collect();
+        let mut got: Vec<usize> = scan
+            .range_query(&5.2, 0.5)
+            .into_iter()
+            .map(|i| i.0)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, vec![1, 3]);
         let with_d = scan.range_query_with_distances(&5.2, 0.5);

@@ -279,10 +279,7 @@ mod tests {
         // More pivots cost more up-front query-pivot distances but prune more
         // candidates; on a small radius the total should not be dramatically
         // worse, and the answer sets must agree.
-        assert_eq!(
-            few.range_query(&55.0, 0.5),
-            many.range_query(&55.0, 0.5)
-        );
+        assert_eq!(few.range_query(&55.0, 0.5), many.range_query(&55.0, 0.5));
         assert!(calls_many <= calls_few + 18, "{calls_many} vs {calls_few}");
     }
 

@@ -622,7 +622,13 @@ mod tests {
         let values: Vec<f64> = (0..200).map(|i| ((i * 37) % 199) as f64 * 0.75).collect();
         let net = build(&values);
         net.check_invariants().unwrap();
-        for &(q, r) in &[(10.0, 5.0), (75.0, 0.4), (0.0, 150.0), (149.0, 12.3), (50.0, 0.0)] {
+        for &(q, r) in &[
+            (10.0, 5.0),
+            (75.0, 0.4),
+            (0.0, 150.0),
+            (149.0, 12.3),
+            (50.0, 0.0),
+        ] {
             let mut got: Vec<usize> = net.range_query(&q, r).into_iter().map(|i| i.0).collect();
             got.sort_unstable();
             assert_eq!(got, brute_force(&values, q, r), "q={q} r={r}");
@@ -634,7 +640,11 @@ mod tests {
         let values = vec![3.0, 3.0, 3.0, 8.0, 3.0];
         let net = build(&values);
         net.check_invariants().unwrap();
-        let mut got: Vec<usize> = net.range_query(&3.0, 0.1).into_iter().map(|i| i.0).collect();
+        let mut got: Vec<usize> = net
+            .range_query(&3.0, 0.1)
+            .into_iter()
+            .map(|i| i.0)
+            .collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 4]);
     }

@@ -48,13 +48,11 @@ fn main() {
     );
 
     for backend in [IndexBackend::ReferenceNet, IndexBackend::LinearScan] {
-        let db = SubsequenceDatabase::builder(
-            config.clone().with_backend(backend),
-            Levenshtein::new(),
-        )
-        .add_dataset(&proteins)
-        .build()
-        .expect("database builds");
+        let db =
+            SubsequenceDatabase::builder(config.clone().with_backend(backend), Levenshtein::new())
+                .add_dataset(&proteins)
+                .build()
+                .expect("database builds");
 
         let outcome = db.query_type2(&planted.query, 6.0);
         let calls = outcome.stats.index_distance_calls;

@@ -57,7 +57,10 @@ fn main() {
     // pairs a single long match induces — the reason the paper prefers
     // Types II and III.
     let all = db.query_type1(&query, 2.0);
-    println!("Type I : {} similar pairs within epsilon = 2", all.result.len());
+    println!(
+        "Type I : {} similar pairs within epsilon = 2",
+        all.result.len()
+    );
 
     // Type III: the closest pair irrespective of a preset epsilon.
     let nearest = db.query_type3(&query, 10.0, 1.0);

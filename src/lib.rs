@@ -47,6 +47,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub use ssr_core as core;
 pub use ssr_datagen as datagen;
 pub use ssr_distance as distance;

@@ -124,13 +124,10 @@ fn trajectory_query_recovers_the_observed_track() {
         },
     )
     .unwrap();
-    let db = SubsequenceDatabase::builder(
-        FrameworkConfig::new(20).with_max_shift(2),
-        Erp::new(),
-    )
-    .add_dataset(&trajectories)
-    .build()
-    .unwrap();
+    let db = SubsequenceDatabase::builder(FrameworkConfig::new(20).with_max_shift(2), Erp::new())
+        .add_dataset(&trajectories)
+        .build()
+        .unwrap();
     let outcome = db.query_type2(&planted.query, 20.0);
     let m = outcome.result.expect("trajectory match found");
     assert_eq!(m.sequence, planted.source);
@@ -160,13 +157,8 @@ fn framework_agrees_with_brute_force_on_tiny_inputs() {
         lambda: config.lambda,
         max_shift: config.max_shift,
     };
-    let brute = ssr_core::all_similar_pairs(
-        &query,
-        &dataset,
-        &Levenshtein::new(),
-        constraints,
-        epsilon,
-    );
+    let brute =
+        ssr_core::all_similar_pairs(&query, &dataset, &Levenshtein::new(), constraints, epsilon);
     assert!(!brute.is_empty());
 
     let type1 = db.query_type1(&query, epsilon);

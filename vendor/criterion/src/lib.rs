@@ -1,0 +1,212 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset this workspace's benches use — [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a short fixed measurement loop instead of
+//! the real crate's statistical analysis. Each benchmark prints one line:
+//! `bench <group>/<id> ... <mean> ns/iter (<n> iterations)`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark as a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id with a parameter only, rendered as the parameter itself.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], accepted by the `bench_function`
+/// methods (mirrors the real crate's `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly (one warm-up call plus a short measured
+    /// loop) and records the mean wall-clock time per iteration.
+    pub fn iter<Output, F: FnMut() -> Output>(&mut self, mut routine: F) {
+        black_box(routine());
+        let started = Instant::now();
+        let mut measured = 0u64;
+        // Stop after the target iteration count or ~250 ms, whichever first,
+        // so heavyweight benches stay responsive under this stand-in.
+        while measured < self.iterations && started.elapsed() < Duration::from_millis(250) {
+            black_box(routine());
+            measured += 1;
+        }
+        self.iterations = measured.max(1);
+        self.elapsed = started.elapsed();
+    }
+
+    fn report(&self, label: &str) {
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iterations.max(1));
+        println!(
+            "bench {label} ... {per_iter} ns/iter ({} iterations)",
+            self.iterations
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: self.default_sample_size,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        bencher.report(&id.into_benchmark_id().render());
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples as u64;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        bencher.report(&format!(
+            "{}/{}",
+            self.name,
+            id.into_benchmark_id().render()
+        ));
+        self
+    }
+
+    /// Ends the group (a no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,75 @@
+//! The [`Arbitrary`] trait and the `any::<T>()` entry point.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Canonical strategy for `bool`: a fair coin.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_full_range_int {
+    ($($t:ty => $any:ident),* $(,)?) => {$(
+        /// Canonical full-range strategy for the corresponding integer type.
+        #[derive(Clone, Copy, Debug)]
+        pub struct $any;
+
+        impl Strategy for $any {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $any;
+
+            fn arbitrary() -> $any {
+                $any
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_full_range_int! {
+    u8 => AnyU8,
+    u16 => AnyU16,
+    u32 => AnyU32,
+    u64 => AnyU64,
+    usize => AnyUsize,
+    i8 => AnyI8,
+    i16 => AnyI16,
+    i32 => AnyI32,
+    i64 => AnyI64,
+    isize => AnyIsize,
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Supports the subset this workspace's property tests use: the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, the [`strategy::Strategy`] trait with `prop_map`, numeric
+//! range and tuple strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::option::of` and `any::<bool>()`.
+//!
+//! Unlike the real crate there is **no shrinking** and no failure persistence:
+//! a failing case panics with the generated inputs' case number only. Cases
+//! are generated from a deterministic per-test seed so failures reproduce.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced access to strategy constructors (`prop::collection::vec`,
+    /// `prop::sample::select`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` item
+/// expands to a `#[test]` that runs `body` against `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(error) = outcome {
+                    ::core::panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, error
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case (not
+/// the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts two values are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Skips the current case (counting it as a success) when the precondition
+/// does not hold. The real crate rejects and retries; for this stand-in a
+/// skipped case simply passes.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

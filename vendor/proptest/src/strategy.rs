@@ -1,0 +1,150 @@
+//! The [`Strategy`] trait plus the built-in numeric-range, tuple and mapping
+//! strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type. Unlike the real crate there is
+/// no value tree and no shrinking: `generate` directly produces a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value from the deterministic test RNG.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `map(v)` for each generated `v`.
+    fn prop_map<Output, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Output,
+    {
+        Map { source: self, map }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, Output> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Output,
+{
+    type Value = Output;
+
+    fn generate(&self, rng: &mut TestRng) -> Output {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Strategy generating a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Primitive types whose bounded ranges act as strategies. A single blanket
+/// impl over this trait (rather than one impl per primitive) keeps type
+/// inference working for unsuffixed numeric literals.
+pub trait RangeValue: Copy + PartialOrd {
+    /// Draws a uniform sample from `[low, high)`.
+    fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self;
+
+    /// Draws a uniform sample from `[low, high]`.
+    fn sample_inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self;
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $t
+            }
+
+            fn sample_inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_value_float {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                low + rng.unit_f64() as $t * (high - low)
+            }
+
+            fn sample_inclusive(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                low + rng.unit_f64() as $t * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_range_value_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}

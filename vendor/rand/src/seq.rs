@@ -1,0 +1,26 @@
+//! Slice sampling helpers (the `SliceRandom::choose` subset).
+
+use crate::RngCore;
+
+/// Random selection from slices.
+pub trait SliceRandom {
+    /// The element type of the slice.
+    type Item;
+
+    /// Returns a uniformly chosen reference into the slice, or `None` if the
+    /// slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let index = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[index])
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, providing [`ChaCha8Rng`]: a real ChaCha stream cipher with 8 rounds
+//! used as a deterministic PRNG.
+//!
+//! The keystream is a faithful ChaCha8 implementation, but seeding via
+//! `seed_from_u64` expands the seed with SplitMix64 rather than the real
+//! crate's scheme, so streams differ from upstream `rand_chacha` for the same
+//! seed (determinism per seed — the property the workspace relies on — holds).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic PRNG backed by the ChaCha block function with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block: constants, 8 key words, a 64-bit block
+    /// counter and a 64-bit nonce.
+    state: [u32; 16],
+    /// Output of the most recent block invocation.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "buffer exhausted".
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(input: &[u32; 16]) -> [u32; 16] {
+    let mut working = *input;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (w, i) in working.iter_mut().zip(input.iter()) {
+        *w = w.wrapping_add(*i);
+    }
+    working
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.buffer = chacha_block(&self.state);
+        self.cursor = 0;
+        // Advance the 64-bit block counter (words 12–13).
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut expander = seed;
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for pair in (4..12).step_by(2) {
+            let word = splitmix64(&mut expander);
+            state[pair] = word as u32;
+            state[pair + 1] = (word >> 32) as u32;
+        }
+        // Counter starts at zero; the nonce gets one more expander word.
+        let nonce = splitmix64(&mut expander);
+        state[14] = nonce as u32;
+        state[15] = (nonce >> 32) as u32;
+        ChaCha8Rng {
+            state,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.cursor >= 15 {
+            self.refill();
+        }
+        let low = self.buffer[self.cursor];
+        let high = self.buffer[self.cursor + 1];
+        self.cursor += 2;
+        u64::from(high) << 32 | u64::from(low)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &count in &buckets {
+            assert!((800..1200).contains(&count), "skewed bucket: {count}");
+        }
+    }
+}
