@@ -1,0 +1,367 @@
+//! Batched query-engine benchmark and CI perf-regression gate.
+//!
+//! Builds a seeded synthetic protein database, plants a batch of queries
+//! with known answers, and runs the batch through [`ssr_core::QueryEngine`]
+//! twice — sequentially (`threads = 1`) and with `--threads N` workers —
+//! verifying that both produce identical outcomes. Emits a machine-readable
+//! report (`BENCH_<date>.json` by default) with per-stage wall-clock and
+//! distance-call counts, and optionally gates against a committed baseline:
+//!
+//! ```text
+//! cargo run --release -p ssr-bench --bin bench -- \
+//!     [--scale smoke|small|medium] [--threads N] [--queries N] \
+//!     [--out PATH] [--baseline bench/baseline.json] [--min-speedup X]
+//! ```
+//!
+//! The gated metrics are **distance-call counts** (index filtering and
+//! verification) plus the shortlist sizes — deterministic on every machine,
+//! unlike wall-clock — and the gate fails when any of them regresses more
+//! than 10% over the baseline. Wall-clock and speedup are reported for
+//! humans; `--min-speedup` turns the speedup into a local acceptance check.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use ssr_bench::json::JsonValue;
+use ssr_core::{BatchOutcome, FrameworkConfig, QueryEngine, SubsequenceDatabase};
+use ssr_datagen::{generate_proteins, plant_query, ProteinConfig, QueryConfig, SymbolMutator};
+use ssr_distance::Levenshtein;
+use ssr_sequence::{Sequence, Symbol};
+
+/// Fraction by which a gated metric may exceed its baseline value.
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// Metrics compared against the baseline. All are deterministic counts.
+const GATED_METRICS: [&str; 4] = [
+    "index_distance_calls",
+    "verification_calls",
+    "segment_matches",
+    "candidates",
+];
+
+struct Options {
+    scale: &'static str,
+    windows: usize,
+    queries: usize,
+    threads: usize,
+    out: Option<String>,
+    baseline: Option<String>,
+    min_speedup: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench [--scale smoke|small|medium] [--threads N] [--queries N] \
+         [--out PATH] [--baseline PATH] [--min-speedup X]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        scale: "smoke",
+        windows: 400,
+        queries: 12,
+        threads: 4,
+        out: None,
+        baseline: None,
+        min_speedup: None,
+    };
+    let mut queries_override = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                let (scale, windows, queries) = match value(&mut i).as_str() {
+                    "smoke" => ("smoke", 400, 12),
+                    "small" => ("small", 1200, 24),
+                    "medium" => ("medium", 4000, 48),
+                    _ => usage(),
+                };
+                opts.scale = scale;
+                opts.windows = windows;
+                opts.queries = queries;
+            }
+            "--threads" => {
+                opts.threads = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--queries" => {
+                queries_override = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--out" => opts.out = Some(value(&mut i)),
+            "--baseline" => opts.baseline = Some(value(&mut i)),
+            "--min-speedup" => {
+                opts.min_speedup = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if let Some(q) = queries_override {
+        opts.queries = q;
+    }
+    if opts.queries == 0 || opts.threads == 0 && opts.min_speedup.is_some() {
+        usage();
+    }
+    opts
+}
+
+/// Gregorian date for a Unix day number (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(mut z: i64) -> (i64, u32, u32) {
+    z += 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| (d.as_secs() / 86_400) as i64)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn stage_object(batch: &BatchOutcome<Option<ssr_core::SubsequenceMatch>>) -> JsonValue {
+    JsonValue::object(vec![
+        ("wall_ns", JsonValue::Number(batch.wall_ns as f64)),
+        (
+            "segment_ns",
+            JsonValue::Number(batch.timings.segment_ns as f64),
+        ),
+        (
+            "filter_ns",
+            JsonValue::Number(batch.timings.filter_ns as f64),
+        ),
+        ("chain_ns", JsonValue::Number(batch.timings.chain_ns as f64)),
+        (
+            "verify_ns",
+            JsonValue::Number(batch.timings.verify_ns as f64),
+        ),
+        ("threads", JsonValue::Number(batch.threads as f64)),
+    ])
+}
+
+fn main() {
+    let opts = parse_options();
+    let epsilon = 8.0;
+
+    // Seeded workload: deterministic across machines, so the distance-call
+    // counts gated by CI are reproducible everywhere.
+    eprintln!(
+        "# bench: scale={} windows~{} queries={} threads={}",
+        opts.scale, opts.windows, opts.queries, opts.threads
+    );
+    let proteins = generate_proteins(&ProteinConfig::sized_for_windows(opts.windows, 20, 42));
+    let mut queries: Vec<Sequence<Symbol>> = (0..opts.queries)
+        .map(|i| {
+            plant_query(
+                &proteins,
+                &SymbolMutator,
+                &QueryConfig {
+                    planted_len: 60,
+                    context_len: 20,
+                    perturbation_rate: 0.05,
+                    seed: 1000 + i as u64,
+                },
+            )
+            .expect("protein dataset large enough to plant queries")
+            .query
+        })
+        .collect();
+    // A duplicate of the first query exercises batch deduplication.
+    queries.push(queries[0].clone());
+
+    let build_started = Instant::now();
+    let db: SubsequenceDatabase<Symbol, Levenshtein> = SubsequenceDatabase::builder(
+        FrameworkConfig::new(40).with_max_shift(2),
+        Levenshtein::new(),
+    )
+    .add_dataset(&proteins)
+    .with_threads(opts.threads)
+    .build()
+    .expect("bench database builds");
+    let build_wall_ns = build_started.elapsed().as_nanos() as u64;
+    eprintln!(
+        "# built {} windows in {:.1} ms ({} build distance calls)",
+        db.window_count(),
+        build_wall_ns as f64 / 1e6,
+        db.build_distance_calls()
+    );
+
+    let sequential = QueryEngine::new(&db).batch_type2(&queries, epsilon);
+    let parallel = QueryEngine::new(&db)
+        .with_threads(opts.threads)
+        .batch_type2(&queries, epsilon);
+
+    // Parity: the parallel batch must be bit-identical to the sequential one.
+    let mut parity_failures = 0usize;
+    for (i, (a, b)) in sequential
+        .outcomes
+        .iter()
+        .zip(&parallel.outcomes)
+        .enumerate()
+    {
+        if a != b {
+            eprintln!("PARITY FAILURE on query {i}: sequential != parallel outcome");
+            parity_failures += 1;
+        }
+    }
+    let available = ssr_core::resolve_threads(0);
+    if parallel.threads > available {
+        eprintln!(
+            "# note: {} worker threads on {} hardware threads — wall-clock speedup is \
+             bounded by the machine, not the engine",
+            parallel.threads, available
+        );
+    }
+    let found = sequential
+        .outcomes
+        .iter()
+        .filter(|o| o.result.is_some())
+        .count();
+    let stats = sequential.total_stats();
+    let speedup = sequential.wall_ns as f64 / parallel.wall_ns.max(1) as f64;
+    eprintln!(
+        "# {}/{} queries matched; sequential {:.1} ms, parallel {:.1} ms ({} threads): speedup {:.2}x",
+        found,
+        queries.len(),
+        sequential.wall_ns as f64 / 1e6,
+        parallel.wall_ns as f64 / 1e6,
+        parallel.threads,
+        speedup
+    );
+
+    let report = JsonValue::object(vec![
+        (
+            "schema",
+            JsonValue::String("ssr-bench-engine/1".to_string()),
+        ),
+        ("date", JsonValue::String(today())),
+        ("scale", JsonValue::String(opts.scale.to_string())),
+        ("threads", JsonValue::Number(parallel.threads as f64)),
+        (
+            // Speedup is bounded by the machine: reading an artifact produced
+            // on a 1-core runner should not look like an engine regression.
+            "available_parallelism",
+            JsonValue::Number(ssr_core::resolve_threads(0) as f64),
+        ),
+        ("queries", JsonValue::Number(queries.len() as f64)),
+        (
+            "unique_queries",
+            JsonValue::Number(parallel.unique_queries as f64),
+        ),
+        ("queries_matched", JsonValue::Number(found as f64)),
+        ("windows", JsonValue::Number(db.window_count() as f64)),
+        ("build_wall_ns", JsonValue::Number(build_wall_ns as f64)),
+        (
+            "build_distance_calls",
+            JsonValue::Number(db.build_distance_calls() as f64),
+        ),
+        (
+            "index_distance_calls",
+            JsonValue::Number(stats.index_distance_calls as f64),
+        ),
+        (
+            "verification_calls",
+            JsonValue::Number(stats.verification_calls as f64),
+        ),
+        (
+            "segment_matches",
+            JsonValue::Number(stats.segment_matches as f64),
+        ),
+        ("candidates", JsonValue::Number(stats.candidates as f64)),
+        ("sequential", stage_object(&sequential)),
+        ("parallel", stage_object(&parallel)),
+        (
+            "speedup",
+            JsonValue::Number((speedup * 100.0).round() / 100.0),
+        ),
+    ]);
+
+    let out_path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", today()));
+    std::fs::write(&out_path, report.render()).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("# wrote {out_path}");
+
+    let mut failures = parity_failures;
+    if let Some(baseline_path) = &opts.baseline {
+        failures += check_baseline(baseline_path, &report);
+    }
+    if let Some(min) = opts.min_speedup {
+        if speedup < min {
+            eprintln!("FAIL speedup {speedup:.2}x below required {min:.2}x");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Compares the deterministic counters of `report` against the committed
+/// baseline, returning the number of failed gates.
+fn check_baseline(path: &str, report: &JsonValue) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL cannot read baseline {path}: {e}");
+            return 1;
+        }
+    };
+    let baseline = match JsonValue::parse(&text) {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("FAIL cannot parse baseline {path}: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0usize;
+    for metric in GATED_METRICS {
+        let Some(expected) = baseline.get(metric).and_then(JsonValue::as_f64) else {
+            continue;
+        };
+        let Some(actual) = report.get(metric).and_then(JsonValue::as_f64) else {
+            eprintln!("FAIL metric {metric} missing from the report");
+            failures += 1;
+            continue;
+        };
+        let limit = expected * (1.0 + GATE_TOLERANCE);
+        if actual > limit {
+            eprintln!(
+                "FAIL {metric}: {actual} exceeds baseline {expected} by more than {:.0}%",
+                GATE_TOLERANCE * 100.0
+            );
+            failures += 1;
+        } else if actual < expected * (1.0 - GATE_TOLERANCE) {
+            eprintln!(
+                "NOTE {metric}: {actual} improved more than {:.0}% over baseline {expected}; \
+                 consider refreshing bench/baseline.json",
+                GATE_TOLERANCE * 100.0
+            );
+        } else {
+            eprintln!(
+                "OK   {metric}: {actual} within {:.0}% of {expected}",
+                GATE_TOLERANCE * 100.0
+            );
+        }
+    }
+    failures
+}

@@ -13,6 +13,7 @@
 
 pub mod datasets;
 pub mod harness;
+pub mod json;
 pub mod report;
 
 pub use datasets::{protein_windows, song_windows, traj_windows, Scale};

@@ -1,16 +1,14 @@
 //! The indexed subsequence database (steps 1 and 2 of the framework).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use ssr_distance::{CallCounter, SequenceDistance};
 use ssr_index::{
     CountingMetric, CoverTree, ItemId, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
     ReferenceNetConfig, SequenceMetricAdapter, SpaceStats,
 };
-use ssr_sequence::{
-    partition_windows_dataset, Element, Sequence, SequenceDataset, SequenceId, WindowId,
-    WindowStore,
-};
+use ssr_sequence::{Element, Sequence, SequenceDataset, SequenceId, WindowId, WindowStore};
 
 use crate::candidates::SegmentMatch;
 use crate::config::{FrameworkConfig, FrameworkError, IndexBackend};
@@ -60,6 +58,7 @@ pub struct DatabaseBuilder<E: Element, D: SequenceDistance<E>> {
     config: FrameworkConfig,
     distance: Arc<D>,
     dataset: SequenceDataset<E>,
+    build_threads: usize,
 }
 
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
@@ -69,7 +68,20 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
             config,
             distance: Arc::new(distance),
             dataset: SequenceDataset::new(),
+            build_threads: 1,
         }
+    }
+
+    /// Number of worker threads used for the build (steps 1 and 2): window
+    /// partitioning is parallelised across database sequences, and the index
+    /// backends that support deterministic parallel construction (MV pivot
+    /// tables, Reference Net child-distance fan-out) use the same count.
+    /// `0` means one worker per available hardware thread; the default of `1`
+    /// builds sequentially. The resulting database is identical at every
+    /// thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.build_threads = crate::parallel::resolve_threads(threads);
+        self
     }
 
     /// Adds one sequence to the database.
@@ -92,7 +104,27 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
         self.config.validate()?;
         self.config
             .validate_distance::<E, _>(self.distance.as_ref())?;
-        let windows = partition_windows_dataset(&self.dataset, self.config.window_len());
+        // Step 1: each sequence partitions independently on the build pool
+        // (inline when build_threads = 1); concatenating the per-sequence
+        // window lists in dataset order assigns the same window ids as
+        // `partition_windows_dataset`.
+        let per_sequence = crate::parallel::parallel_map(
+            self.build_threads,
+            self.dataset.sequences(),
+            |i, seq| -> Vec<ssr_sequence::Window<E>> {
+                ssr_sequence::partition_windows(
+                    ssr_sequence::SequenceId(i),
+                    seq,
+                    self.config.window_len(),
+                )
+            },
+        );
+        let mut windows = WindowStore::new(self.config.window_len());
+        for sequence_windows in per_sequence {
+            for w in sequence_windows {
+                windows.push(w);
+            }
+        }
         if windows.is_empty() {
             return Err(FrameworkError::EmptyDatabase);
         }
@@ -109,7 +141,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
                 if let Some(p) = self.config.max_parents {
                     rn_config = rn_config.with_max_parents(p);
                 }
-                let mut idx = ReferenceNet::with_config(metric, rn_config);
+                let mut idx = ReferenceNet::with_config(metric, rn_config)
+                    .with_build_threads(self.build_threads);
                 idx.extend(window_data);
                 WindowIndex::ReferenceNet(idx)
             }
@@ -119,7 +152,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
                 WindowIndex::CoverTree(idx)
             }
             IndexBackend::MvReference { references } => {
-                let mut idx = MvReferenceIndex::new(metric, references);
+                let mut idx = MvReferenceIndex::new(metric, references)
+                    .with_build_threads(self.build_threads);
                 idx.extend(window_data);
                 WindowIndex::MvReference(idx)
             }
@@ -205,9 +239,25 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
     /// Step 4: matches every query segment (step 3) against the indexed
     /// windows within radius `epsilon`, returning the matched pairs.
     pub fn matching_segments(&self, query: &Sequence<E>, epsilon: f64) -> (Vec<SegmentMatch>, u64) {
+        self.matching_segments_ctx(query, epsilon, &mut crate::query::ExecCtx::detached())
+    }
+
+    /// [`Self::matching_segments`] with stage timing attribution. Index
+    /// distance calls are counted through [`CallCounter::thread_total`] so the
+    /// attribution stays exact (and bit-identical to a sequential run) when
+    /// several batch-engine workers query the shared index concurrently.
+    pub(crate) fn matching_segments_ctx(
+        &self,
+        query: &Sequence<E>,
+        epsilon: f64,
+        ctx: &mut crate::query::ExecCtx<'_>,
+    ) -> (Vec<SegmentMatch>, u64) {
         let spec = self.config.segment_spec();
+        let segment_started = Instant::now();
         let segments = ssr_sequence::extract_segments(query, spec);
-        let before = self.counter.get();
+        ctx.timings.segment_ns += segment_started.elapsed().as_nanos() as u64;
+        let filter_started = Instant::now();
+        let before = CallCounter::thread_total();
         let mut matches = Vec::new();
         for segment in &segments {
             for id in self.index.range_query(&segment.data, epsilon) {
@@ -228,7 +278,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 });
             }
         }
-        let index_calls = self.counter.get() - before;
+        let index_calls = CallCounter::thread_total() - before;
+        ctx.timings.filter_ns += filter_started.elapsed().as_nanos() as u64;
         (matches, index_calls)
     }
 

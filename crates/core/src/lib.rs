@@ -26,16 +26,20 @@
 //! enforces the latter and warns about the former via
 //! [`FrameworkConfig::validate_distance`].
 
+pub mod batch;
 pub mod brute;
 pub mod candidates;
 pub mod config;
 pub mod database;
 pub mod expand;
+pub mod parallel;
 pub mod query;
 
+pub use batch::{BatchOutcome, QueryEngine, VerificationMemo};
 pub use brute::{all_similar_pairs, longest_similar_pair, nearest_pair, BruteConstraints};
 pub use candidates::{build_candidates, Candidate, SegmentMatch};
 pub use config::{FrameworkConfig, FrameworkError, IndexBackend};
 pub use database::{DatabaseBuilder, SubsequenceDatabase};
 pub use expand::{enumerate_pairs, ExpansionLimits};
-pub use query::{QueryOutcome, QueryStats, SubsequenceMatch};
+pub use parallel::{parallel_map, resolve_threads, ShardedMemo};
+pub use query::{QueryOutcome, QueryStats, StageTimings, SubsequenceMatch};

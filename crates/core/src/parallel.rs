@@ -1,0 +1,207 @@
+//! Dependency-free worker-pool primitives built on [`std::thread::scope`].
+//!
+//! The build environment has no crates.io access, so instead of `rayon` the
+//! batch engine fans work out with scoped threads: [`parallel_map`] applies a
+//! function to every element of a slice using up to `threads` workers pulling
+//! indices from a shared atomic cursor, and returns the results **in input
+//! order** — `threads = 1` degenerates to a plain sequential loop, so results
+//! are bit-identical at every thread count. [`ShardedMemo`] is a
+//! mutex-sharded concurrent map used to share verified distances between
+//! workers without a global lock.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested thread count: `0` means "one worker per available
+/// hardware thread", any other value is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every element of `items` on up to `threads` scoped workers
+/// and returns the results in input order.
+///
+/// Scheduling is dynamic (workers claim the next unprocessed index from an
+/// atomic cursor), so uneven per-item costs balance automatically. With
+/// `threads <= 1` — or a single item — the function runs sequentially on the
+/// calling thread; because `f` must be deterministic anyway, the output is
+/// identical at every thread count, only the wall-clock changes.
+///
+/// Panics in `f` propagate to the caller once the scope joins.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                collected
+                    .lock()
+                    .expect("a worker panicked while collecting results")
+                    .extend(local);
+            });
+        }
+    });
+    let mut results = collected
+        .into_inner()
+        .expect("a worker panicked while collecting results");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A concurrent map sharded over `shards` mutexes, so that workers hitting
+/// different keys rarely contend on the same lock.
+///
+/// Values are cloned out on lookup; keep them small (the verification memo
+/// stores `f64` distances).
+pub struct ShardedMemo<K, V> {
+    hasher: RandomState,
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
+    /// Creates a memo with the given number of shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedMemo {
+            hasher: RandomState::new(),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Looks up a key, cloning the value out.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("memo shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts a value (last writer wins — callers only ever insert the same
+    /// deterministic value for a given key).
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("memo shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the memo holds no entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_means_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_balances_uneven_work() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<usize> = (0..64).collect();
+        let got = parallel_map(4, &items, |_, &x| {
+            let mut acc = 0usize;
+            for i in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in got.iter().enumerate() {
+            assert_eq!(i, x);
+        }
+    }
+
+    #[test]
+    fn sharded_memo_roundtrips_values() {
+        let memo: ShardedMemo<(usize, usize), f64> = ShardedMemo::new(8);
+        assert!(memo.is_empty());
+        assert_eq!(memo.get(&(1, 2)), None);
+        memo.insert((1, 2), 0.5);
+        memo.insert((3, 4), 1.5);
+        assert_eq!(memo.get(&(1, 2)), Some(0.5));
+        assert_eq!(memo.get(&(3, 4)), Some(1.5));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn sharded_memo_is_safe_under_concurrent_writers() {
+        let memo: ShardedMemo<usize, usize> = ShardedMemo::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let memo = &memo;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        memo.insert(t * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 400);
+        assert_eq!(memo.get(&2050), Some(50));
+    }
+}

@@ -1,10 +1,12 @@
 //! Query execution: Type I (range), Type II (longest) and Type III (nearest).
 
 use std::ops::Range;
+use std::time::Instant;
 
 use ssr_distance::SequenceDistance;
 use ssr_sequence::{Element, Sequence, SequenceId};
 
+use crate::batch::VerificationMemo;
 use crate::candidates::build_candidates;
 use crate::database::SubsequenceDatabase;
 use crate::expand::enumerate_pairs;
@@ -56,6 +58,21 @@ pub struct QueryStats {
     pub budget_exhausted: bool,
 }
 
+impl QueryStats {
+    /// Accumulates another query's accounting into this one (used by the
+    /// batch engine to report whole-batch totals).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.segments += other.segments;
+        self.index_distance_calls += other.index_distance_calls;
+        self.segment_matches += other.segment_matches;
+        self.unique_windows += other.unique_windows;
+        self.consecutive_windows += other.consecutive_windows;
+        self.candidates += other.candidates;
+        self.verification_calls += other.verification_calls;
+        self.budget_exhausted |= other.budget_exhausted;
+    }
+}
+
 /// The result of a query together with its work accounting.
 #[derive(Clone, PartialEq, Debug)]
 pub struct QueryOutcome<R> {
@@ -63,6 +80,80 @@ pub struct QueryOutcome<R> {
     pub result: R,
     /// Work performed to produce it.
     pub stats: QueryStats,
+}
+
+/// Wall-clock nanoseconds spent in each stage of the five-step pipeline,
+/// mirroring how the batch engine fans the stages out: query segmentation
+/// (step 3), index filtering (step 4), candidate chaining (step 5a) and
+/// expansion + verification (step 5b). Steps 1–2 are build-time and reported
+/// separately by [`SubsequenceDatabase::build_distance_calls`].
+///
+/// [`SubsequenceDatabase::build_distance_calls`]: crate::SubsequenceDatabase::build_distance_calls
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StageTimings {
+    /// Query segmentation (step 3).
+    pub segment_ns: u64,
+    /// Index range queries over the windows (step 4).
+    pub filter_ns: u64,
+    /// Candidate chaining (step 5a).
+    pub chain_ns: u64,
+    /// Expansion and verification (step 5b).
+    pub verify_ns: u64,
+}
+
+impl StageTimings {
+    /// Sum of all stage times.
+    pub fn total_ns(&self) -> u64 {
+        self.segment_ns + self.filter_ns + self.chain_ns + self.verify_ns
+    }
+
+    /// Accumulates another measurement into this one.
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.segment_ns += other.segment_ns;
+        self.filter_ns += other.filter_ns;
+        self.chain_ns += other.chain_ns;
+        self.verify_ns += other.verify_ns;
+    }
+}
+
+/// Per-query execution context threaded through the query internals: stage
+/// timing accumulators plus an optional handle into the batch engine's shared
+/// verification memo. The plain [`SubsequenceDatabase::query_type1`]-style
+/// entry points run with a detached context (no memo, timings discarded).
+pub(crate) struct ExecCtx<'a> {
+    /// Per-stage wall-clock accumulated so far.
+    pub timings: StageTimings,
+    /// Shared verification memo and the key of the query being executed.
+    pub memo: Option<(&'a VerificationMemo, usize)>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context with no memo, for the plain query entry points.
+    pub fn detached() -> ExecCtx<'static> {
+        ExecCtx {
+            timings: StageTimings::default(),
+            memo: None,
+        }
+    }
+
+    /// A context writing verified distances into `memo` under `query_key`.
+    pub fn with_memo(memo: &'a VerificationMemo, query_key: usize) -> ExecCtx<'a> {
+        ExecCtx {
+            timings: StageTimings::default(),
+            memo: Some((memo, query_key)),
+        }
+    }
+
+    fn lookup(&self, sequence: SequenceId, q: &Range<usize>, x: &Range<usize>) -> Option<f64> {
+        let (memo, key) = self.memo?;
+        memo.get(key, sequence, q, x)
+    }
+
+    fn store(&self, sequence: SequenceId, q: &Range<usize>, x: &Range<usize>, distance: f64) {
+        if let Some((memo, key)) = self.memo {
+            memo.insert(key, sequence, q, x, distance);
+        }
+    }
 }
 
 /// Set of already-verified `(sequence, SQ range, SX range)` pairs: the
@@ -91,7 +182,17 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         query: &Sequence<E>,
         epsilon: f64,
     ) -> QueryOutcome<Vec<SubsequenceMatch>> {
-        let (candidates, mut stats) = self.prepare_candidates(query, epsilon);
+        self.query_type1_ctx(query, epsilon, &mut ExecCtx::detached())
+    }
+
+    pub(crate) fn query_type1_ctx(
+        &self,
+        query: &Sequence<E>,
+        epsilon: f64,
+        ctx: &mut ExecCtx<'_>,
+    ) -> QueryOutcome<Vec<SubsequenceMatch>> {
+        let (candidates, mut stats) = self.prepare_candidates(query, epsilon, ctx);
+        let verify_started = Instant::now();
         let mut results = Vec::new();
         let mut budget = self.config().max_verifications as u64;
         // Expansion grids of overlapping candidates repeat the same pairs;
@@ -107,13 +208,20 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 if !seen.insert(candidate.sequence, &q_range, &x_range) {
                     continue;
                 }
-                if budget == 0 {
-                    stats.budget_exhausted = true;
-                    break 'outer;
-                }
-                budget -= 1;
-                stats.verification_calls += 1;
-                let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                let d = match ctx.lookup(candidate.sequence, &q_range, &x_range) {
+                    Some(d) => d,
+                    None => {
+                        if budget == 0 {
+                            stats.budget_exhausted = true;
+                            break 'outer;
+                        }
+                        budget -= 1;
+                        stats.verification_calls += 1;
+                        let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                        ctx.store(candidate.sequence, &q_range, &x_range, d);
+                        d
+                    }
+                };
                 if d <= epsilon {
                     let m = SubsequenceMatch {
                         sequence: candidate.sequence,
@@ -137,6 +245,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
+        ctx.timings.verify_ns += verify_started.elapsed().as_nanos() as u64;
         QueryOutcome {
             result: results,
             stats,
@@ -154,7 +263,17 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         query: &Sequence<E>,
         epsilon: f64,
     ) -> QueryOutcome<Option<SubsequenceMatch>> {
-        let (candidates, mut stats) = self.prepare_candidates(query, epsilon);
+        self.query_type2_ctx(query, epsilon, &mut ExecCtx::detached())
+    }
+
+    pub(crate) fn query_type2_ctx(
+        &self,
+        query: &Sequence<E>,
+        epsilon: f64,
+        ctx: &mut ExecCtx<'_>,
+    ) -> QueryOutcome<Option<SubsequenceMatch>> {
+        let (candidates, mut stats) = self.prepare_candidates(query, epsilon, ctx);
+        let verify_started = Instant::now();
         let mut best: Option<SubsequenceMatch> = None;
         let mut budget = self.config().max_verifications as u64;
         let mut seen = PairSet::default();
@@ -184,13 +303,20 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 if !seen.insert(candidate.sequence, &q_range, &x_range) {
                     continue;
                 }
-                if budget == 0 {
-                    stats.budget_exhausted = true;
-                    break;
-                }
-                budget -= 1;
-                stats.verification_calls += 1;
-                let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                let d = match ctx.lookup(candidate.sequence, &q_range, &x_range) {
+                    Some(d) => d,
+                    None => {
+                        if budget == 0 {
+                            stats.budget_exhausted = true;
+                            break;
+                        }
+                        budget -= 1;
+                        stats.verification_calls += 1;
+                        let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                        ctx.store(candidate.sequence, &q_range, &x_range, d);
+                        d
+                    }
+                };
                 if d <= epsilon {
                     best = Some(SubsequenceMatch {
                         sequence: candidate.sequence,
@@ -204,6 +330,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 break;
             }
         }
+        ctx.timings.verify_ns += verify_started.elapsed().as_nanos() as u64;
         QueryOutcome {
             result: best,
             stats,
@@ -223,6 +350,21 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         epsilon_max: f64,
         epsilon_increment: f64,
     ) -> QueryOutcome<Option<SubsequenceMatch>> {
+        self.query_type3_ctx(
+            query,
+            epsilon_max,
+            epsilon_increment,
+            &mut ExecCtx::detached(),
+        )
+    }
+
+    pub(crate) fn query_type3_ctx(
+        &self,
+        query: &Sequence<E>,
+        epsilon_max: f64,
+        epsilon_increment: f64,
+        ctx: &mut ExecCtx<'_>,
+    ) -> QueryOutcome<Option<SubsequenceMatch>> {
         assert!(
             epsilon_increment > 0.0,
             "epsilon_increment must be positive"
@@ -232,7 +374,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         // Binary search for the smallest epsilon with a non-empty shortlist.
         let mut lo = 0.0f64;
         let mut hi = epsilon_max;
-        let (matches_at_max, calls) = self.matching_segments(query, epsilon_max);
+        let (matches_at_max, calls) = self.matching_segments_ctx(query, epsilon_max, ctx);
         total_stats.index_distance_calls += calls;
         if matches_at_max.is_empty() {
             return QueryOutcome {
@@ -245,7 +387,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 break;
             }
             let mid = (lo + hi) / 2.0;
-            let (matches, calls) = self.matching_segments(query, mid);
+            let (matches, calls) = self.matching_segments_ctx(query, mid, ctx);
             total_stats.index_distance_calls += calls;
             if matches.is_empty() {
                 lo = mid;
@@ -256,10 +398,12 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
 
         // Grow epsilon from the smallest feasible radius until verification
         // succeeds; return the best (smallest-distance) verified pair found at
-        // the first successful radius.
+        // the first successful radius. Under a batch engine the shared memo
+        // carries verified distances from one radius to the next, so each
+        // revisited pair is verified only once across the whole sweep.
         let mut epsilon = hi;
         loop {
-            let outcome = self.query_type1(query, epsilon);
+            let outcome = self.query_type1_ctx(query, epsilon, ctx);
             total_stats.segments = outcome.stats.segments;
             total_stats.index_distance_calls += outcome.stats.index_distance_calls;
             total_stats.segment_matches = outcome.stats.segment_matches;
@@ -294,9 +438,11 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         &self,
         query: &Sequence<E>,
         epsilon: f64,
+        ctx: &mut ExecCtx<'_>,
     ) -> (Vec<crate::candidates::Candidate>, QueryStats) {
         let spec = self.config().segment_spec();
-        let (matches, index_calls) = self.matching_segments(query, epsilon);
+        let (matches, index_calls) = self.matching_segments_ctx(query, epsilon, ctx);
+        let chain_started = Instant::now();
         let mut unique_windows: Vec<usize> = matches.iter().map(|m| m.window.0).collect();
         unique_windows.sort_unstable();
         unique_windows.dedup();
@@ -305,6 +451,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             self.config().window_len(),
             self.config().max_shift,
         );
+        ctx.timings.chain_ns += chain_started.elapsed().as_nanos() as u64;
         let consecutive_windows: usize = candidates
             .iter()
             .filter(|c| c.chain_len >= 2)

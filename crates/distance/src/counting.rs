@@ -7,12 +7,19 @@
 //! [`CountingDistance`] wraps any [`SequenceDistance`] so every evaluation is
 //! counted transparently.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ssr_sequence::Element;
 
 use crate::traits::{DistanceProperties, SequenceDistance};
+
+thread_local! {
+    /// Monotone per-thread tally of distance evaluations recorded by *any*
+    /// [`CallCounter`] on the current thread (see [`CallCounter::thread_total`]).
+    static THREAD_CALLS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A shared counter of distance evaluations.
 ///
@@ -32,11 +39,24 @@ impl CallCounter {
     /// Records one distance evaluation.
     pub fn record(&self) {
         self.count.fetch_add(1, Ordering::Relaxed);
+        THREAD_CALLS.with(|c| c.set(c.get().wrapping_add(1)));
     }
 
     /// Records `n` distance evaluations at once.
     pub fn record_many(&self, n: u64) {
         self.count.fetch_add(n, Ordering::Relaxed);
+        THREAD_CALLS.with(|c| c.set(c.get().wrapping_add(n)));
+    }
+
+    /// Monotone tally of the distance evaluations recorded by *any* counter on
+    /// the **current thread**, ever. Reading it before and after a block of
+    /// work attributes distance calls to that block exactly, even while other
+    /// threads drive the same shared counters concurrently — the shared
+    /// [`CallCounter::get`] delta would interleave their work. The parallel
+    /// batch engine relies on this for bit-identical per-query statistics at
+    /// any thread count.
+    pub fn thread_total() -> u64 {
+        THREAD_CALLS.with(|c| c.get())
     }
 
     /// Current number of recorded evaluations.

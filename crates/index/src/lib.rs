@@ -24,6 +24,7 @@ pub mod cover_tree;
 pub mod linear_scan;
 pub mod metric;
 pub mod mv_reference;
+mod par;
 pub mod reference_net;
 pub mod traits;
 

@@ -21,12 +21,15 @@
 //! because it needs no training queries; we follow suit.
 
 use crate::metric::Metric;
+use crate::par::fanout_map;
 use crate::traits::{ItemId, RangeIndex, SpaceStats};
 
 /// Reference-based index with Maximum-Variance pivots.
 pub struct MvReferenceIndex<T, M> {
     metric: M,
     num_references: usize,
+    /// Worker threads used by [`Self::rebuild`] (1 = sequential).
+    build_threads: usize,
     /// How many items to sample when scoring pivot candidates.
     selection_sample: usize,
     items: Vec<T>,
@@ -49,12 +52,23 @@ impl<T, M: Metric<T>> MvReferenceIndex<T, M> {
         MvReferenceIndex {
             metric,
             num_references,
+            build_threads: 1,
             selection_sample: 64,
             items: Vec::new(),
             references: Vec::new(),
             table: Vec::new(),
             dirty: false,
         }
+    }
+
+    /// Sets the number of worker threads [`Self::rebuild`] may use. Pivot
+    /// scoring and the pivot-distance table are embarrassingly parallel per
+    /// item, and every distance is computed exactly once in both paths, so
+    /// the resulting index — and its distance-call count — is bit-identical
+    /// at every thread count.
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads.max(1);
+        self
     }
 
     /// Number of pivots this index uses.
@@ -66,7 +80,9 @@ impl<T, M: Metric<T>> MvReferenceIndex<T, M> {
     pub fn metric(&self) -> &M {
         &self.metric
     }
+}
 
+impl<T: Send + Sync, M: Metric<T>> MvReferenceIndex<T, M> {
     /// Bulk-inserts items and rebuilds the pivot table once at the end.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, items: I) {
         self.items.extend(items);
@@ -99,31 +115,31 @@ impl<T, M: Metric<T>> MvReferenceIndex<T, M> {
         let cand_stride = (n / cand_count).max(1);
         let candidates: Vec<usize> = (0..n).step_by(cand_stride).take(cand_count).collect();
 
-        let mut scored: Vec<(usize, f64)> = candidates
-            .iter()
-            .map(|&c| {
+        let items = &self.items;
+        let metric = &self.metric;
+        let mut scored: Vec<(usize, f64)> =
+            fanout_map(self.build_threads, candidates.len(), |ci| {
+                let c = candidates[ci];
                 let dists: Vec<f64> = sample
                     .iter()
-                    .map(|&s| self.metric.dist(&self.items[c], &self.items[s]))
+                    .map(|&s| metric.dist(&items[c], &items[s]))
                     .collect();
                 let mean = dists.iter().sum::<f64>() / dists.len() as f64;
                 let var =
                     dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
                 (c, var)
-            })
-            .collect();
+            });
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         self.references = scored.into_iter().take(k).map(|(c, _)| c).collect();
 
         // Pivot table: distance from every item to every pivot.
-        for i in 0..n {
-            let row: Vec<f64> = self
-                .references
+        let references = &self.references;
+        self.table = fanout_map(self.build_threads, n, |i| {
+            references
                 .iter()
-                .map(|&r| self.metric.dist(&self.items[i], &self.items[r]))
-                .collect();
-            self.table[i] = row;
-        }
+                .map(|&r| metric.dist(&items[i], &items[r]))
+                .collect::<Vec<f64>>()
+        });
     }
 
     fn ensure_built(&self) {
@@ -173,7 +189,7 @@ impl<T, M: Metric<T>> MvReferenceIndex<T, M> {
     }
 }
 
-impl<T, M: Metric<T>> RangeIndex<T> for MvReferenceIndex<T, M> {
+impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for MvReferenceIndex<T, M> {
     fn insert(&mut self, item: T) -> ItemId {
         let id = ItemId(self.items.len());
         self.items.push(item);

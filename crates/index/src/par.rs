@@ -1,0 +1,72 @@
+//! Minimal scoped-thread fan-out used by index construction.
+//!
+//! The workspace has no crates.io access (no `rayon`), so deterministic
+//! build-time parallelism is implemented directly on [`std::thread::scope`]:
+//! [`fanout_map`] evaluates a pure function over `0..count` with dynamic
+//! scheduling and returns the results in index order. With `threads <= 1`
+//! the evaluation runs inline on the caller, so parallel and sequential
+//! builds produce bit-identical structures.
+//!
+//! This deliberately mirrors `ssr-core`'s public `parallel_map` (the
+//! query-batch worker pool): `ssr-core` depends on this crate, so sharing
+//! one primitive would force the index crate to export a general-purpose
+//! parallelism API; a small private copy keeps the layering honest. If you
+//! change the scheduling or panic behaviour here, mirror it in
+//! `crates/core/src/parallel.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every index in `0..count` on up to `threads` scoped
+/// workers, returning results in index order.
+pub(crate) fn fanout_map<R, F>(threads: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.min(count).max(1);
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                collected
+                    .lock()
+                    .expect("index build worker panicked")
+                    .extend(local);
+            });
+        }
+    });
+    let mut results = collected.into_inner().expect("index build worker panicked");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_map_matches_sequential_evaluation() {
+        let expected: Vec<usize> = (0..100).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(
+                fanout_map(threads, 100, |i| i * 3 + 1),
+                expected,
+                "threads={threads}"
+            );
+        }
+        assert!(fanout_map::<usize, _>(4, 0, |i| i).is_empty());
+    }
+}

@@ -86,9 +86,17 @@ pub struct ReferenceNet<T, M> {
     by_level: BTreeMap<i32, Vec<usize>>,
     root: Option<usize>,
     live_count: usize,
+    build_threads: usize,
 }
 
-impl<T, M: Metric<T>> ReferenceNet<T, M> {
+/// Minimum number of pending child-distance evaluations in one [`gather`]
+/// step before the work is fanned out to scoped threads: below this, thread
+/// spawn overhead exceeds the distance work for typical window metrics.
+///
+/// [`gather`]: ReferenceNet::gather
+const PARALLEL_GATHER_THRESHOLD: usize = 64;
+
+impl<T: Send + Sync, M: Metric<T>> ReferenceNet<T, M> {
     /// Creates an empty Reference Net with the default configuration
     /// (`ǫ' = 1`, unconstrained parents).
     pub fn new(metric: M) -> Self {
@@ -112,7 +120,26 @@ impl<T, M: Metric<T>> ReferenceNet<T, M> {
             by_level: BTreeMap::new(),
             root: None,
             live_count: 0,
+            build_threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads insertions may use to evaluate
+    /// child distances during the top-down descent (see [`Self::extend`]).
+    ///
+    /// The descent itself stays sequential — the net's shape depends on
+    /// insertion order by design — but each level's candidate-children
+    /// distances are pure functions of the items, so they can be evaluated
+    /// concurrently and replayed into the exact sequential decision
+    /// procedure: the resulting structure is bit-identical at every thread
+    /// count. (The *number* of metric evaluations can differ slightly: the
+    /// parallel path evaluates each distinct child once, where the
+    /// sequential path may re-evaluate a child rejected under one parent and
+    /// reached again under another.) Worthwhile for expensive metrics or
+    /// wide nets; small fan-outs stay sequential regardless.
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads.max(1);
+        self
     }
 
     /// The configuration this net was built with.
@@ -338,8 +365,14 @@ impl<T, M: Metric<T>> ReferenceNet<T, M> {
     /// Members of level `level` (i.e. nodes whose own level is `>= level`)
     /// within `ǫ'·2^level` of `item`, discovered from the previous candidate
     /// set and its children.
+    ///
+    /// When [`Self::with_build_threads`] enabled parallelism and the step has
+    /// enough pending children, their distances are evaluated concurrently
+    /// up front; the decision loop below then replays with the precomputed
+    /// values and produces the exact sequential result.
     fn gather(&self, item: &T, level: i32, cands: &[(usize, f64)]) -> Vec<(usize, f64)> {
         let radius = self.radius(level);
+        let precomputed = self.precompute_child_distances(item, level, cands);
         let mut seen: Vec<usize> = Vec::new();
         let mut next: Vec<(usize, f64)> = Vec::new();
         for &(n, d) in cands {
@@ -351,7 +384,14 @@ impl<T, M: Metric<T>> ReferenceNet<T, M> {
                 if !self.nodes[c].alive || self.nodes[c].level < level || seen.contains(&c) {
                     continue;
                 }
-                let dc = self.metric.dist(item, &self.items[c]);
+                let dc = match precomputed.as_ref().and_then(|p| {
+                    p.binary_search_by_key(&c, |&(id, _)| id)
+                        .ok()
+                        .map(|i| p[i].1)
+                }) {
+                    Some(dc) => dc,
+                    None => self.metric.dist(item, &self.items[c]),
+                };
                 if dc <= radius {
                     seen.push(c);
                     next.push((c, dc));
@@ -359,6 +399,42 @@ impl<T, M: Metric<T>> ReferenceNet<T, M> {
             }
         }
         next
+    }
+
+    /// Evaluates the distances of all candidate children eligible at `level`
+    /// on the build worker pool, returning `None` when the fan-out is too
+    /// small to pay for thread spawns (or parallelism is disabled). The
+    /// result is sorted by node id for binary-search lookup.
+    fn precompute_child_distances(
+        &self,
+        item: &T,
+        level: i32,
+        cands: &[(usize, f64)],
+    ) -> Option<Vec<(usize, f64)>> {
+        if self.build_threads <= 1 {
+            return None;
+        }
+        // Bitmap dedup: child lists overlap between parents, and a linear
+        // `contains` scan would be quadratic in exactly the wide fan-outs
+        // this path exists for.
+        let mut queued = vec![false; self.nodes.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for &(n, _) in cands {
+            for &c in &self.nodes[n].children {
+                if self.nodes[c].alive && self.nodes[c].level >= level && !queued[c] {
+                    queued[c] = true;
+                    pending.push(c);
+                }
+            }
+        }
+        if pending.len() < PARALLEL_GATHER_THRESHOLD {
+            return None;
+        }
+        let mut distances = crate::par::fanout_map(self.build_threads, pending.len(), |i| {
+            (pending[i], self.metric.dist(item, &self.items[pending[i]]))
+        });
+        distances.sort_unstable_by_key(|&(id, _)| id);
+        Some(distances)
     }
 
     /// Attaches node `idx` (already levelled) to up to `nummax` of the given
@@ -443,7 +519,7 @@ impl<T, M: Metric<T>> ReferenceNet<T, M> {
     }
 }
 
-impl<T, M: Metric<T>> RangeIndex<T> for ReferenceNet<T, M> {
+impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for ReferenceNet<T, M> {
     fn insert(&mut self, item: T) -> ItemId {
         let idx = self.items.len();
         self.items.push(item);

@@ -1,0 +1,92 @@
+//! Batched, parallel retrieval with the [`QueryEngine`]: build a protein
+//! database, plant a handful of queries with known answers, and answer them
+//! all in one fan-out over the worker pool — then re-run sequentially to
+//! show the outcomes are bit-identical at any thread count.
+//!
+//! ```text
+//! cargo run --release --example batched_engine
+//! ```
+
+use subsequence_retrieval::datagen::{
+    generate_proteins, plant_query, ProteinConfig, QueryConfig, SymbolMutator,
+};
+use subsequence_retrieval::prelude::*;
+
+fn main() {
+    let proteins = generate_proteins(&ProteinConfig {
+        num_sequences: 30,
+        min_len: 100,
+        max_len: 160,
+        seed: 7,
+        ..Default::default()
+    });
+
+    // Eight queries, each containing a perturbed copy of a database region.
+    let queries: Vec<Sequence<Symbol>> = (0..8)
+        .map(|i| {
+            plant_query(
+                &proteins,
+                &SymbolMutator,
+                &QueryConfig {
+                    planted_len: 40,
+                    context_len: 12,
+                    perturbation_rate: 0.05,
+                    seed: 40 + i,
+                },
+            )
+            .expect("dataset has sequences long enough to plant in")
+            .query
+        })
+        .collect();
+
+    let db = SubsequenceDatabase::builder(
+        FrameworkConfig::new(24).with_max_shift(2),
+        Levenshtein::new(),
+    )
+    .add_dataset(&proteins)
+    .with_threads(0) // parallel build: 0 = one worker per hardware thread
+    .build()
+    .expect("database builds");
+    println!(
+        "indexed {} windows ({} build distance calls)\n",
+        db.window_count(),
+        db.build_distance_calls()
+    );
+
+    // Fan the whole batch out over the worker pool.
+    let engine = QueryEngine::new(&db).with_threads(0);
+    let batch = engine.batch_type2(&queries, 6.0);
+    println!(
+        "batch of {} queries on {} threads: {:.1} ms wall-clock",
+        batch.outcomes.len(),
+        batch.threads,
+        batch.wall_ns as f64 / 1e6
+    );
+    for (i, outcome) in batch.outcomes.iter().enumerate() {
+        match &outcome.result {
+            Some(m) => println!(
+                "  query {i}: longest match |SQ|={} in sequence {} at {:?} (distance {:.0})",
+                m.query_len(),
+                m.sequence.0,
+                m.db_range,
+                m.distance
+            ),
+            None => println!("  query {i}: no similar subsequence"),
+        }
+    }
+
+    // The per-stage breakdown the bench harness records as BENCH_<date>.json.
+    let t = batch.timings;
+    println!(
+        "\nstage totals: segment {:.2} ms, filter {:.2} ms, chain {:.2} ms, verify {:.2} ms",
+        t.segment_ns as f64 / 1e6,
+        t.filter_ns as f64 / 1e6,
+        t.chain_ns as f64 / 1e6,
+        t.verify_ns as f64 / 1e6
+    );
+
+    // Determinism: a sequential run produces identical outcomes and stats.
+    let sequential = QueryEngine::new(&db).batch_type2(&queries, 6.0);
+    assert_eq!(sequential.outcomes, batch.outcomes);
+    println!("sequential re-run is bit-identical (results and statistics)");
+}

@@ -20,8 +20,11 @@
 //!   indexing and linear scan, all answering metric range queries;
 //! * [`datagen`] (`ssr-datagen`) — synthetic PROTEINS / SONGS / TRAJ / DNA
 //!   generators and planted-query construction;
-//! * [`core`] (`ssr-core`) — the five-step retrieval framework and the three
-//!   query types (range, longest, nearest).
+//! * [`core`] (`ssr-core`) — the five-step retrieval framework, the three
+//!   query types (range, longest, nearest), and the parallel batched
+//!   [`QueryEngine`](crate::prelude::QueryEngine) that fans a batch of
+//!   queries out over a dependency-free worker pool with bit-identical
+//!   results at every thread count.
 //!
 //! ## Quick start
 //!
@@ -58,8 +61,9 @@ pub use ssr_sequence as sequence;
 /// The most commonly used types, re-exported for convenient glob import.
 pub mod prelude {
     pub use ssr_core::{
-        BruteConstraints, DatabaseBuilder, FrameworkConfig, FrameworkError, IndexBackend,
-        QueryOutcome, QueryStats, SubsequenceDatabase, SubsequenceMatch,
+        BatchOutcome, BruteConstraints, DatabaseBuilder, FrameworkConfig, FrameworkError,
+        IndexBackend, QueryEngine, QueryOutcome, QueryStats, StageTimings, SubsequenceDatabase,
+        SubsequenceMatch,
     };
     pub use ssr_distance::{
         CallCounter, DiscreteFrechet, Dtw, Erp, Euclidean, Hamming, Levenshtein, SequenceDistance,

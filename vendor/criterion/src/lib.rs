@@ -5,8 +5,10 @@
 //! [`Criterion::benchmark_group`], `bench_function`, [`BenchmarkId`],
 //! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
 //! [`criterion_main!`] macros — with a short fixed measurement loop instead of
-//! the real crate's statistical analysis. Each benchmark prints one line:
-//! `bench <group>/<id> ... <mean> ns/iter (<n> iterations)`.
+//! the real crate's statistical analysis. Each benchmark prints one
+//! machine-readable JSON line so harnesses (e.g. the CI bench job) can parse
+//! timings without scraping free-form text:
+//! `{"type":"bench","id":"<group>/<id>","ns_per_iter":<mean>,"iterations":<n>}`.
 
 #![forbid(unsafe_code)]
 
@@ -16,6 +18,20 @@ use std::time::{Duration, Instant};
 /// Prevents the optimizer from discarding a benchmarked computation.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
+}
+
+/// Escapes a benchmark id for embedding in a JSON string literal.
+fn escape_json(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Identifies one benchmark as a function name plus an optional parameter.
@@ -107,8 +123,11 @@ impl Bencher {
 
     fn report(&self, label: &str) {
         let per_iter = self.elapsed.as_nanos() / u128::from(self.iterations.max(1));
+        // One JSON object per line (JSON Lines): trivially parseable without
+        // a JSON library by splitting on newlines, and ignorable by humans.
         println!(
-            "bench {label} ... {per_iter} ns/iter ({} iterations)",
+            "{{\"type\":\"bench\",\"id\":\"{}\",\"ns_per_iter\":{per_iter},\"iterations\":{}}}",
+            escape_json(label),
             self.iterations
         );
     }
