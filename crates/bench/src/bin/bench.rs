@@ -10,8 +10,17 @@
 //! ```text
 //! cargo run --release -p ssr-bench --bin bench -- \
 //!     [--scale smoke|small|medium] [--threads N] [--queries N] \
-//!     [--out PATH] [--baseline bench/baseline.json] [--min-speedup X]
+//!     [--out PATH] [--baseline bench/baseline.json] [--min-speedup X] \
+//!     [--snapshot PATH] [--min-cold-start-speedup X]
 //! ```
+//!
+//! With `--snapshot PATH` the harness additionally measures the cold-start
+//! story: it saves the built database to `PATH`, loads it back, asserts the
+//! loaded database answers the whole batch with bit-identical outcomes
+//! (results AND statistics), and records load wall-clock versus rebuild
+//! wall-clock — plus per-section byte sizes — in the JSON report. Loading
+//! performs **zero** distance calls, so the cold-start speedup is gated at
+//! ≥ 5× by default (`--min-cold-start-speedup 0` disables the gate).
 //!
 //! The gated metrics are **distance-call counts** (index filtering and
 //! verification) plus the shortlist sizes — deterministic on every machine,
@@ -26,6 +35,7 @@ use ssr_core::{BatchOutcome, FrameworkConfig, QueryEngine, SubsequenceDatabase};
 use ssr_datagen::{generate_proteins, plant_query, ProteinConfig, QueryConfig, SymbolMutator};
 use ssr_distance::Levenshtein;
 use ssr_sequence::{Sequence, Symbol};
+use ssr_storage::Snapshot;
 
 /// Fraction by which a gated metric may exceed its baseline value.
 const GATE_TOLERANCE: f64 = 0.10;
@@ -46,12 +56,15 @@ struct Options {
     out: Option<String>,
     baseline: Option<String>,
     min_speedup: Option<f64>,
+    snapshot: Option<String>,
+    min_cold_start_speedup: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--scale smoke|small|medium] [--threads N] [--queries N] \
-         [--out PATH] [--baseline PATH] [--min-speedup X]"
+         [--out PATH] [--baseline PATH] [--min-speedup X] [--snapshot PATH] \
+         [--min-cold-start-speedup X]"
     );
     std::process::exit(2);
 }
@@ -66,6 +79,8 @@ fn parse_options() -> Options {
         out: None,
         baseline: None,
         min_speedup: None,
+        snapshot: None,
+        min_cold_start_speedup: 5.0,
     };
     let mut queries_override = None;
     let mut i = 0;
@@ -96,6 +111,10 @@ fn parse_options() -> Options {
             "--baseline" => opts.baseline = Some(value(&mut i)),
             "--min-speedup" => {
                 opts.min_speedup = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--snapshot" => opts.snapshot = Some(value(&mut i)),
+            "--min-cold-start-speedup" => {
+                opts.min_cold_start_speedup = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -244,6 +263,95 @@ fn main() {
         speedup
     );
 
+    // Cold-start measurement: save → load → query parity → speedup gate.
+    let mut snapshot_failures = 0usize;
+    let snapshot_json = opts.snapshot.as_ref().map(|path| {
+        let save_started = Instant::now();
+        if let Err(e) = db.save_snapshot(path) {
+            eprintln!("FAIL writing snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+        let save_wall_ns = save_started.elapsed().as_nanos() as u64;
+        let load_started = Instant::now();
+        let loaded: SubsequenceDatabase<Symbol, Levenshtein> =
+            match SubsequenceDatabase::load_snapshot(path, Levenshtein::new()) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("FAIL loading snapshot {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+        let load_wall_ns = load_started.elapsed().as_nanos() as u64;
+        let load_distance_calls = loaded.query_distance_counter().get();
+        if load_distance_calls != 0 {
+            eprintln!("FAIL snapshot load performed {load_distance_calls} distance calls");
+            snapshot_failures += 1;
+        }
+        // The loaded database must answer the whole batch bit-identically to
+        // the database it was saved from — results AND statistics.
+        let reloaded = QueryEngine::new(&loaded).batch_type2(&queries, epsilon);
+        for (i, (a, b)) in sequential
+            .outcomes
+            .iter()
+            .zip(&reloaded.outcomes)
+            .enumerate()
+        {
+            if a != b {
+                eprintln!("SNAPSHOT PARITY FAILURE on query {i}: loaded != built outcome");
+                snapshot_failures += 1;
+            }
+        }
+        let cold_start_speedup = build_wall_ns as f64 / load_wall_ns.max(1) as f64;
+        eprintln!(
+            "# snapshot: save {:.1} ms, load {:.1} ms vs rebuild {:.1} ms — cold start {:.1}x \
+             ({} distance calls loading, {} rebuilding)",
+            save_wall_ns as f64 / 1e6,
+            load_wall_ns as f64 / 1e6,
+            build_wall_ns as f64 / 1e6,
+            cold_start_speedup,
+            load_distance_calls,
+            db.build_distance_calls()
+        );
+        if opts.min_cold_start_speedup > 0.0 && cold_start_speedup < opts.min_cold_start_speedup {
+            eprintln!(
+                "FAIL cold-start speedup {cold_start_speedup:.2}x below required {:.2}x",
+                opts.min_cold_start_speedup
+            );
+            snapshot_failures += 1;
+        }
+        let sections = match Snapshot::open(path) {
+            Ok(snapshot) => JsonValue::Object(
+                snapshot
+                    .sections()
+                    .iter()
+                    .map(|s| (s.name.clone(), JsonValue::Number(s.len as f64)))
+                    .collect(),
+            ),
+            Err(e) => {
+                eprintln!("FAIL re-opening snapshot {path}: {e}");
+                snapshot_failures += 1;
+                JsonValue::Null
+            }
+        };
+        let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        JsonValue::object(vec![
+            ("file_bytes", JsonValue::Number(file_bytes as f64)),
+            ("save_wall_ns", JsonValue::Number(save_wall_ns as f64)),
+            ("load_wall_ns", JsonValue::Number(load_wall_ns as f64)),
+            ("rebuild_wall_ns", JsonValue::Number(build_wall_ns as f64)),
+            (
+                "cold_start_speedup",
+                JsonValue::Number((cold_start_speedup * 100.0).round() / 100.0),
+            ),
+            (
+                "load_distance_calls",
+                JsonValue::Number(load_distance_calls as f64),
+            ),
+            ("sections", sections),
+        ])
+    });
+
+    let index_space = db.index_space_stats();
     let report = JsonValue::object(vec![
         (
             "schema",
@@ -289,7 +397,34 @@ fn main() {
             "speedup",
             JsonValue::Number((speedup * 100.0).round() / 100.0),
         ),
+        (
+            "index_space",
+            JsonValue::object(vec![
+                ("items", JsonValue::Number(index_space.items as f64)),
+                ("entries", JsonValue::Number(index_space.entries as f64)),
+                ("levels", JsonValue::Number(index_space.levels as f64)),
+                (
+                    "avg_parents",
+                    JsonValue::Number((index_space.avg_parents * 100.0).round() / 100.0),
+                ),
+                (
+                    "estimated_bytes",
+                    JsonValue::Number(index_space.estimated_bytes as f64),
+                ),
+                (
+                    "serialized_bytes",
+                    JsonValue::Number(index_space.serialized_bytes as f64),
+                ),
+            ]),
+        ),
     ]);
+    let report = match (report, snapshot_json) {
+        (JsonValue::Object(mut members), Some(snapshot)) => {
+            members.push(("snapshot".to_string(), snapshot));
+            JsonValue::Object(members)
+        }
+        (report, _) => report,
+    };
 
     let out_path = opts
         .out
@@ -301,7 +436,7 @@ fn main() {
     });
     eprintln!("# wrote {out_path}");
 
-    let mut failures = parity_failures;
+    let mut failures = parity_failures + snapshot_failures;
     if let Some(baseline_path) = &opts.baseline {
         failures += check_baseline(baseline_path, &report);
     }

@@ -495,7 +495,8 @@ fn fig12(scale: Scale) {
         let mut unique = 0usize;
         let mut consecutive = 0usize;
         for q in &queries {
-            let (matches, _) = db.matching_segments(q, epsilon as f64);
+            let scan = db.matching_segments(q, epsilon as f64);
+            let matches = scan.matches;
             let mut windows_hit: Vec<usize> = matches.iter().map(|m| m.window.0).collect();
             windows_hit.sort_unstable();
             windows_hit.dedup();

@@ -1,0 +1,500 @@
+//! `ssr` — build, inspect and query on-disk database snapshots.
+//!
+//! ```text
+//! ssr build [--dataset dna|proteins|songs|traj] [--windows N] [--seed S]
+//!           [--lambda L] [--max-shift S] [--backend reference-net|cover-tree|mv-K|linear-scan]
+//!           [--threads N] [--out PATH]
+//! ssr info  PATH
+//! ssr query PATH (--plant SEED | --text STRING) [--type 1|2|3] [--epsilon X]
+//!           [--epsilon-max X] [--epsilon-increment X]
+//! ```
+//!
+//! `build` generates one of the four synthetic datasets, runs steps 1–2 of
+//! the framework (window partitioning + metric index construction) and
+//! writes the result as a versioned, checksummed snapshot. `info` prints the
+//! snapshot's manifest and per-section byte sizes without needing to know
+//! the element type. `query` cold-starts a database from the snapshot —
+//! loading it instead of rebuilding — and answers a Type I/II/III query
+//! against it, printing matches, statistics and the load wall-clock.
+//!
+//! Each dataset is bound to its paper distance: DNA and PROTEINS use
+//! Levenshtein over symbols, SONGS uses ERP over pitches, TRAJ uses the
+//! discrete Fréchet distance over 2-D points. The snapshot manifest records
+//! both tags, and `query`/`info` dispatch on them.
+
+use std::time::Instant;
+
+use ssr_core::storage::SnapshotManifest;
+use ssr_core::{FrameworkConfig, IndexBackend, QueryOutcome, SubsequenceDatabase};
+use ssr_datagen::{
+    generate_dna, generate_proteins, generate_songs, generate_trajectories, plant_query, DnaConfig,
+    PitchMutator, PointMutator, ProteinConfig, QueryConfig, QueryMutator, SongsConfig,
+    SymbolMutator, TrajConfig,
+};
+use ssr_distance::{DiscreteFrechet, Erp, Levenshtein, SequenceDistance};
+use ssr_sequence::{Element, Pitch, Point2D, Sequence, SequenceDataset, Symbol};
+use ssr_storage::{Snapshot, StorableElement, StorageError};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ssr build [--dataset dna|proteins|songs|traj] [--windows N] [--seed S] \
+         [--lambda L] [--max-shift S] [--backend reference-net|cover-tree|mv-K|linear-scan] \
+         [--threads N] [--out PATH]\n  ssr info PATH\n  ssr query PATH (--plant SEED | \
+         --text STRING) [--type 1|2|3] [--epsilon X] [--epsilon-max X] [--epsilon-increment X]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ssr: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => usage(),
+    }
+}
+
+// -- build ------------------------------------------------------------------
+
+struct BuildOptions {
+    dataset: String,
+    windows: usize,
+    seed: u64,
+    lambda: usize,
+    max_shift: usize,
+    backend: IndexBackend,
+    threads: usize,
+    out: String,
+}
+
+fn parse_backend(text: &str) -> IndexBackend {
+    match text {
+        "reference-net" => IndexBackend::ReferenceNet,
+        "cover-tree" => IndexBackend::CoverTree,
+        "linear-scan" => IndexBackend::LinearScan,
+        other => match other.strip_prefix("mv-").and_then(|k| k.parse().ok()) {
+            Some(references) => IndexBackend::MvReference { references },
+            None => usage(),
+        },
+    }
+}
+
+fn cmd_build(args: &[String]) {
+    let mut opts = BuildOptions {
+        dataset: "proteins".to_string(),
+        windows: 400,
+        seed: 42,
+        lambda: 40,
+        max_shift: 2,
+        backend: IndexBackend::ReferenceNet,
+        threads: 1,
+        out: "db.ssr".to_string(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--dataset" => opts.dataset = value(&mut i),
+            "--windows" => opts.windows = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--lambda" => opts.lambda = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-shift" => opts.max_shift = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--backend" => opts.backend = parse_backend(&value(&mut i)),
+            "--threads" => opts.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => opts.out = value(&mut i),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let window_len = (opts.lambda / 2).max(1);
+    match opts.dataset.as_str() {
+        "dna" => {
+            // DNA has no windows-based sizing helper; aim for ~windows/4
+            // sequences of ~4 windows each.
+            let config = DnaConfig {
+                num_sequences: (opts.windows / 4).max(1),
+                min_len: window_len * 3,
+                max_len: window_len * 5,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            build_and_save(generate_dna(&config), Levenshtein::new(), &opts);
+        }
+        "proteins" => {
+            let config = ProteinConfig::sized_for_windows(opts.windows, window_len, opts.seed);
+            build_and_save(generate_proteins(&config), Levenshtein::new(), &opts);
+        }
+        "songs" => {
+            let config = SongsConfig::sized_for_windows(opts.windows, window_len, opts.seed);
+            build_and_save(generate_songs(&config), Erp::new(), &opts);
+        }
+        "traj" => {
+            let config = TrajConfig::sized_for_windows(opts.windows, window_len, opts.seed);
+            build_and_save(
+                generate_trajectories(&config),
+                DiscreteFrechet::new(),
+                &opts,
+            );
+        }
+        _ => usage(),
+    }
+}
+
+fn build_and_save<E, D>(dataset: SequenceDataset<E>, distance: D, opts: &BuildOptions)
+where
+    E: Element + StorableElement + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    let distance_name = distance.name();
+    let config = FrameworkConfig::new(opts.lambda).with_max_shift(opts.max_shift);
+    let config = config.with_backend(opts.backend);
+    let started = Instant::now();
+    let db = SubsequenceDatabase::builder(config, distance)
+        .add_dataset(&dataset)
+        .with_threads(opts.threads)
+        .build()
+        .unwrap_or_else(|e| fail(e));
+    let build_ms = started.elapsed().as_secs_f64() * 1e3;
+    let started = Instant::now();
+    db.save_snapshot(&opts.out).unwrap_or_else(|e| fail(e));
+    let save_ms = started.elapsed().as_secs_f64() * 1e3;
+    let file_bytes = std::fs::metadata(&opts.out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "built {} ({} windows over {} sequences, {} distance, {} backend) in {build_ms:.1} ms \
+         ({} build distance calls)",
+        opts.dataset,
+        db.window_count(),
+        db.dataset().len(),
+        distance_name,
+        opts.backend,
+        db.build_distance_calls()
+    );
+    println!("wrote {} ({file_bytes} bytes) in {save_ms:.1} ms", opts.out);
+}
+
+// -- info -------------------------------------------------------------------
+
+fn cmd_info(args: &[String]) {
+    let [path] = args else { usage() };
+    let snapshot = Snapshot::open(path).unwrap_or_else(|e| fail(e));
+    let manifest = SnapshotManifest::read(&snapshot).unwrap_or_else(|e| fail(e));
+    println!("snapshot      {path}");
+    println!(
+        "format        version {} ({} bytes total)",
+        ssr_storage::FORMAT_VERSION,
+        snapshot.file_len()
+    );
+    println!("element       {}", manifest.element);
+    println!("distance      {}", manifest.distance);
+    println!(
+        "config        lambda={} max_shift={} epsilon_prime={} backend={} max_parents={:?}",
+        manifest.config.lambda,
+        manifest.config.max_shift,
+        manifest.config.epsilon_prime,
+        manifest.config.backend,
+        manifest.config.max_parents
+    );
+    println!(
+        "contents      {} sequences, {} windows, {} build distance calls saved",
+        manifest.sequences, manifest.windows, manifest.build_distance_calls
+    );
+    println!("sections");
+    for entry in snapshot.sections() {
+        println!(
+            "  {:<10} {:>12} bytes  crc32 {:08x}",
+            entry.name, entry.len, entry.crc
+        );
+    }
+    // Loading the typed database additionally surfaces the index's exact
+    // serialized structural footprint (SpaceStats::serialized_bytes).
+    with_database(&snapshot, &manifest, |db| {
+        let stats = db.index_space_stats();
+        println!(
+            "index         items={} entries={} levels={} avg_parents={:.2} \
+             serialized_bytes={} estimated_bytes={}",
+            stats.items,
+            stats.entries,
+            stats.levels,
+            stats.avg_parents,
+            stats.serialized_bytes,
+            stats.estimated_bytes
+        );
+    });
+}
+
+// -- query ------------------------------------------------------------------
+
+#[derive(Clone, Default)]
+struct QueryOptions {
+    query_type: u8,
+    epsilon: f64,
+    epsilon_max: f64,
+    epsilon_increment: f64,
+    plant: Option<u64>,
+    text: Option<String>,
+}
+
+fn cmd_query(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let path = args[0].clone();
+    let mut opts = QueryOptions {
+        query_type: 2,
+        epsilon: 8.0,
+        epsilon_max: 16.0,
+        epsilon_increment: 1.0,
+        plant: None,
+        text: None,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--type" => opts.query_type = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--epsilon" => opts.epsilon = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--epsilon-max" => opts.epsilon_max = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--epsilon-increment" => {
+                opts.epsilon_increment = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--plant" => opts.plant = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--text" => opts.text = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if !(1..=3).contains(&opts.query_type) || (opts.plant.is_none() && opts.text.is_none()) {
+        usage();
+    }
+    let snapshot = Snapshot::open(&path).unwrap_or_else(|e| fail(e));
+    let manifest = SnapshotManifest::read(&snapshot).unwrap_or_else(|e| fail(e));
+    match manifest.element.as_str() {
+        "symbol" => {
+            let db = load::<Symbol, _>(&snapshot, Levenshtein::new(), &manifest);
+            let query = symbol_query(&db, &opts, &manifest);
+            run_query(&db, query, &opts);
+        }
+        "pitch" => {
+            let db = load::<Pitch, _>(&snapshot, Erp::new(), &manifest);
+            let query = planted_query(&db, PitchMutator, &opts);
+            run_query(&db, query, &opts);
+        }
+        "point2d" => {
+            let db = load::<Point2D, _>(&snapshot, DiscreteFrechet::new(), &manifest);
+            let query = planted_query(&db, PointMutator::default(), &opts);
+            run_query(&db, query, &opts);
+        }
+        other => fail(format!("no query support for element type '{other}'")),
+    }
+}
+
+/// Runs `f` over the typed database behind `snapshot`, dispatching on the
+/// manifest's element tag. Used by `info`; `query` needs per-element query
+/// construction and dispatches itself.
+fn with_database(
+    snapshot: &Snapshot,
+    manifest: &SnapshotManifest,
+    f: impl FnOnce(&dyn DatabaseStats),
+) {
+    match manifest.element.as_str() {
+        "symbol" => {
+            f(&load::<Symbol, _>(snapshot, Levenshtein::new(), manifest));
+        }
+        "pitch" => {
+            f(&load::<Pitch, _>(snapshot, Erp::new(), manifest));
+        }
+        "point2d" => {
+            f(&load::<Point2D, _>(
+                snapshot,
+                DiscreteFrechet::new(),
+                manifest,
+            ));
+        }
+        other => {
+            eprintln!("note: no typed loader for element '{other}'; manifest only");
+        }
+    }
+}
+
+/// The slice of database behaviour `info` needs, object-safe so dispatch can
+/// erase the element and distance types.
+trait DatabaseStats {
+    fn index_space_stats(&self) -> ssr_index::SpaceStats;
+}
+
+impl<E, D> DatabaseStats for SubsequenceDatabase<E, D>
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    fn index_space_stats(&self) -> ssr_index::SpaceStats {
+        SubsequenceDatabase::index_space_stats(self)
+    }
+}
+
+fn load<E, D>(
+    snapshot: &Snapshot,
+    distance: D,
+    manifest: &SnapshotManifest,
+) -> SubsequenceDatabase<E, D>
+where
+    E: Element + StorableElement + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    if manifest.distance != distance.name() {
+        fail(StorageError::DistanceMismatch {
+            expected: distance.name().to_string(),
+            found: manifest.distance.clone(),
+        });
+    }
+    let started = Instant::now();
+    let db = SubsequenceDatabase::from_snapshot(snapshot, distance).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "# cold start: loaded {} windows in {:.1} ms (0 distance calls; the original build \
+         spent {})",
+        db.window_count(),
+        started.elapsed().as_secs_f64() * 1e3,
+        db.build_distance_calls()
+    );
+    db
+}
+
+fn symbol_query<D: SequenceDistance<Symbol>>(
+    db: &SubsequenceDatabase<Symbol, D>,
+    opts: &QueryOptions,
+    manifest: &SnapshotManifest,
+) -> Sequence<Symbol> {
+    if let Some(text) = &opts.text {
+        let elements: Vec<Symbol> = text.chars().map(Symbol::from_char).collect();
+        if elements.len() < manifest.config.lambda {
+            fail(format!(
+                "--text must be at least lambda = {} characters",
+                manifest.config.lambda
+            ));
+        }
+        return Sequence::new(elements);
+    }
+    planted_query(db, SymbolMutator, opts)
+}
+
+fn planted_query<E, D, M>(
+    db: &SubsequenceDatabase<E, D>,
+    mutator: M,
+    opts: &QueryOptions,
+) -> Sequence<E>
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+    M: QueryMutator<E>,
+{
+    let Some(seed) = opts.plant else {
+        fail("this element type only supports --plant SEED queries");
+    };
+    let config = QueryConfig {
+        planted_len: db.config().lambda + db.config().window_len(),
+        context_len: db.config().window_len(),
+        perturbation_rate: 0.05,
+        seed,
+    };
+    let planted = plant_query(db.dataset(), &mutator, &config)
+        .unwrap_or_else(|| fail("database too small to plant a query; use more windows"));
+    eprintln!(
+        "# planted query from {} range {:?}",
+        planted.source, planted.source_range
+    );
+    planted.query
+}
+
+fn run_query<E, D>(db: &SubsequenceDatabase<E, D>, query: Sequence<E>, opts: &QueryOptions)
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    let started = Instant::now();
+    match opts.query_type {
+        1 => {
+            let outcome = db.query_type1(&query, opts.epsilon);
+            print_stats(&outcome, started);
+            println!(
+                "{} matching pairs (epsilon {}):",
+                outcome.result.len(),
+                opts.epsilon
+            );
+            for m in outcome.result.iter().take(10) {
+                print_match(m);
+            }
+            if outcome.result.len() > 10 {
+                println!("  … {} more", outcome.result.len() - 10);
+            }
+        }
+        2 => {
+            let outcome = db.query_type2(&query, opts.epsilon);
+            print_stats(&outcome, started);
+            match &outcome.result {
+                Some(m) => {
+                    println!("longest similar subsequence (epsilon {}):", opts.epsilon);
+                    print_match(m);
+                }
+                None => println!("no similar subsequence within epsilon {}", opts.epsilon),
+            }
+        }
+        3 => {
+            let outcome = db.query_type3(&query, opts.epsilon_max, opts.epsilon_increment);
+            print_stats(&outcome, started);
+            match &outcome.result {
+                Some(m) => {
+                    println!(
+                        "nearest pair (epsilon_max {}, increment {}):",
+                        opts.epsilon_max, opts.epsilon_increment
+                    );
+                    print_match(m);
+                }
+                None => println!("no pair found up to epsilon_max {}", opts.epsilon_max),
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn print_match(m: &ssr_core::SubsequenceMatch) {
+    println!(
+        "  {} db[{}..{}] ~ query[{}..{}]  distance {:.3}",
+        m.sequence,
+        m.db_range.start,
+        m.db_range.end,
+        m.query_range.start,
+        m.query_range.end,
+        m.distance
+    );
+}
+
+fn print_stats<R>(outcome: &QueryOutcome<R>, started: Instant) {
+    let s = &outcome.stats;
+    eprintln!(
+        "# {:.1} ms | segments {} | index distance calls {} | segment matches {} | \
+         candidates {} | verification calls {}{}",
+        started.elapsed().as_secs_f64() * 1e3,
+        s.segments,
+        s.index_distance_calls,
+        s.segment_matches,
+        s.candidates,
+        s.verification_calls,
+        if s.budget_exhausted {
+            " | BUDGET EXHAUSTED"
+        } else {
+            ""
+        }
+    );
+}

@@ -71,7 +71,7 @@ impl std::error::Error for FrameworkError {}
 /// * `max_parents` (`nummax`) — optional cap on Reference Net parents;
 /// * `backend` — which metric index to use for step 4;
 /// * `max_results` / `max_verifications` — resource caps for step 5.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FrameworkConfig {
     /// Minimum subsequence length `λ`.
     pub lambda: usize,

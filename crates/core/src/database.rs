@@ -15,9 +15,9 @@ use crate::config::{FrameworkConfig, FrameworkError, IndexBackend};
 
 /// The metric the window index operates with: the user's sequence distance,
 /// adapted to `Vec<E>` items and counted.
-type WindowMetric<D> = CountingMetric<SequenceMetricAdapter<Arc<D>>>;
+pub(crate) type WindowMetric<D> = CountingMetric<SequenceMetricAdapter<Arc<D>>>;
 
-enum WindowIndex<E: Element, D: SequenceDistance<E>> {
+pub(crate) enum WindowIndex<E: Element, D: SequenceDistance<E>> {
     ReferenceNet(ReferenceNet<Vec<E>, WindowMetric<D>>),
     CoverTree(CoverTree<Vec<E>, WindowMetric<D>>),
     MvReference(MvReferenceIndex<Vec<E>, WindowMetric<D>>),
@@ -50,6 +50,29 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
             WindowIndex::MvReference(idx) => idx.len(),
             WindowIndex::LinearScan(idx) => idx.len(),
         }
+    }
+}
+
+/// The result of step 4 over one query: every (segment, window) pair within
+/// radius `ε`, together with the distance evaluations the index spent
+/// producing them.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SegmentScan {
+    /// The matched (query segment, database window) pairs.
+    pub matches: Vec<SegmentMatch>,
+    /// Distance evaluations performed inside the index to produce them.
+    pub distance_calls: u64,
+}
+
+impl SegmentScan {
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Whether no segment matched any window.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
     }
 }
 
@@ -180,14 +203,17 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
 
 /// A database of sequences prepared for subsequence retrieval: the sequences,
 /// their fixed-length windows and a metric index over the windows.
+///
+/// Fields are crate-visible so that [`crate::storage`] can snapshot a built
+/// database and reassemble a loaded one without exposing setters.
 pub struct SubsequenceDatabase<E: Element, D: SequenceDistance<E>> {
-    config: FrameworkConfig,
-    distance: Arc<D>,
-    dataset: SequenceDataset<E>,
-    windows: WindowStore<E>,
-    index: WindowIndex<E, D>,
-    counter: CallCounter,
-    build_distance_calls: u64,
+    pub(crate) config: FrameworkConfig,
+    pub(crate) distance: Arc<D>,
+    pub(crate) dataset: SequenceDataset<E>,
+    pub(crate) windows: WindowStore<E>,
+    pub(crate) index: WindowIndex<E, D>,
+    pub(crate) counter: CallCounter,
+    pub(crate) build_distance_calls: u64,
 }
 
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D> {
@@ -237,8 +263,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
     }
 
     /// Step 4: matches every query segment (step 3) against the indexed
-    /// windows within radius `epsilon`, returning the matched pairs.
-    pub fn matching_segments(&self, query: &Sequence<E>, epsilon: f64) -> (Vec<SegmentMatch>, u64) {
+    /// windows within radius `epsilon`.
+    pub fn matching_segments(&self, query: &Sequence<E>, epsilon: f64) -> SegmentScan {
         self.matching_segments_ctx(query, epsilon, &mut crate::query::ExecCtx::detached())
     }
 
@@ -251,7 +277,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         query: &Sequence<E>,
         epsilon: f64,
         ctx: &mut crate::query::ExecCtx<'_>,
-    ) -> (Vec<SegmentMatch>, u64) {
+    ) -> SegmentScan {
         let spec = self.config.segment_spec();
         let segment_started = Instant::now();
         let segments = ssr_sequence::extract_segments(query, spec);
@@ -278,9 +304,12 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 });
             }
         }
-        let index_calls = CallCounter::thread_total() - before;
+        let distance_calls = CallCounter::thread_total() - before;
         ctx.timings.filter_ns += filter_started.elapsed().as_nanos() as u64;
-        (matches, index_calls)
+        SegmentScan {
+            matches,
+            distance_calls,
+        }
     }
 
     /// Looks up a stored sequence.
@@ -332,14 +361,14 @@ mod tests {
             .add_sequence(seq("ACDEFGHIKLMNPQRSTVWYACDEFGHI"))
             .build()
             .unwrap();
-            let (matches, calls) = db.matching_segments(&seq("ACDEFGHI"), 1.0);
+            let scan = db.matching_segments(&seq("ACDEFGHI"), 1.0);
             assert!(
-                !matches.is_empty(),
+                !scan.is_empty(),
                 "backend {backend} found no matching windows"
             );
-            assert!(matches.iter().all(|m| m.distance <= 1.0));
+            assert!(scan.matches.iter().all(|m| m.distance <= 1.0));
             if backend == IndexBackend::LinearScan {
-                assert!(calls > 0);
+                assert!(scan.distance_calls > 0);
             }
         }
     }
@@ -374,9 +403,10 @@ mod tests {
             .add_sequence(seq("AAAACCCCGGGGTTTT"))
             .build()
             .unwrap();
-        let (matches, _) = db.matching_segments(&seq("CCCC"), 0.0);
-        assert!(!matches.is_empty());
-        for m in &matches {
+        let scan = db.matching_segments(&seq("CCCC"), 0.0);
+        assert!(!scan.is_empty());
+        let matches = &scan.matches;
+        for m in matches {
             assert_eq!(m.sequence, SequenceId(0));
             let window = db.windows().get(m.window).unwrap();
             assert_eq!(window.start, m.db_start);

@@ -34,12 +34,14 @@ pub mod database;
 pub mod expand;
 pub mod parallel;
 pub mod query;
+pub mod storage;
 
 pub use batch::{BatchOutcome, QueryEngine, VerificationMemo};
 pub use brute::{all_similar_pairs, longest_similar_pair, nearest_pair, BruteConstraints};
 pub use candidates::{build_candidates, Candidate, SegmentMatch};
 pub use config::{FrameworkConfig, FrameworkError, IndexBackend};
-pub use database::{DatabaseBuilder, SubsequenceDatabase};
+pub use database::{DatabaseBuilder, SegmentScan, SubsequenceDatabase};
 pub use expand::{enumerate_pairs, ExpansionLimits};
 pub use parallel::{parallel_map, resolve_threads, ShardedMemo};
 pub use query::{QueryOutcome, QueryStats, StageTimings, SubsequenceMatch};
+pub use storage::SnapshotManifest;

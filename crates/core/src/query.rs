@@ -374,9 +374,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         // Binary search for the smallest epsilon with a non-empty shortlist.
         let mut lo = 0.0f64;
         let mut hi = epsilon_max;
-        let (matches_at_max, calls) = self.matching_segments_ctx(query, epsilon_max, ctx);
-        total_stats.index_distance_calls += calls;
-        if matches_at_max.is_empty() {
+        let scan_at_max = self.matching_segments_ctx(query, epsilon_max, ctx);
+        total_stats.index_distance_calls += scan_at_max.distance_calls;
+        if scan_at_max.is_empty() {
             return QueryOutcome {
                 result: None,
                 stats: total_stats,
@@ -387,9 +387,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 break;
             }
             let mid = (lo + hi) / 2.0;
-            let (matches, calls) = self.matching_segments_ctx(query, mid, ctx);
-            total_stats.index_distance_calls += calls;
-            if matches.is_empty() {
+            let scan = self.matching_segments_ctx(query, mid, ctx);
+            total_stats.index_distance_calls += scan.distance_calls;
+            if scan.is_empty() {
                 lo = mid;
             } else {
                 hi = mid;
@@ -441,8 +441,10 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         ctx: &mut ExecCtx<'_>,
     ) -> (Vec<crate::candidates::Candidate>, QueryStats) {
         let spec = self.config().segment_spec();
-        let (matches, index_calls) = self.matching_segments_ctx(query, epsilon, ctx);
+        let scan = self.matching_segments_ctx(query, epsilon, ctx);
         let chain_started = Instant::now();
+        let index_calls = scan.distance_calls;
+        let matches = scan.matches;
         let mut unique_windows: Vec<usize> = matches.iter().map(|m| m.window.0).collect();
         unique_windows.sort_unstable();
         unique_windows.dedup();

@@ -1,0 +1,436 @@
+//! Database snapshots: save a built [`SubsequenceDatabase`] (steps 1–2 of the
+//! framework, i.e. the expensive part) to disk and cold-start by loading it.
+//!
+//! A snapshot holds four sections in the `ssr-storage` container format
+//! (magic + format version + section table + CRC per section):
+//!
+//! | section    | contents                                                    |
+//! |------------|-------------------------------------------------------------|
+//! | `manifest` | element tag, distance name, [`FrameworkConfig`], counts      |
+//! | `dataset`  | the stored sequences (verification needs their elements)     |
+//! | `windows`  | the window store with per-window provenance                  |
+//! | `index`    | backend tag + the full index structure                       |
+//!
+//! The `manifest` section is decodable without knowing the element type, so
+//! tooling (the `ssr` CLI) can inspect any snapshot and dispatch to the right
+//! generic instantiation. Loading re-attaches the runtime context — the
+//! user-supplied distance, wrapped in a fresh counting metric — and restores
+//! the index **bit-identically**, including the reference-visit order that
+//! determines per-query distance-call counts; the `snapshot_parity` property
+//! test holds a loaded database to "same results AND same stats" as the
+//! freshly built one.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use ssr_distance::{CallCounter, SequenceDistance};
+use ssr_index::{
+    CountingMetric, CoverTree, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
+    SequenceMetricAdapter,
+};
+use ssr_sequence::{Element, SequenceDataset, WindowStore};
+use ssr_storage::{
+    Decode, DecodeWith, Encode, Reader, Snapshot, SnapshotBuilder, StorableElement, StorageError,
+    Writer,
+};
+
+use crate::config::{FrameworkConfig, IndexBackend};
+use crate::database::{SubsequenceDatabase, WindowIndex, WindowMetric};
+
+/// Section holding the element/distance tags, configuration and counts.
+pub const SECTION_MANIFEST: &str = "manifest";
+/// Section holding the stored sequences.
+pub const SECTION_DATASET: &str = "dataset";
+/// Section holding the window store.
+pub const SECTION_WINDOWS: &str = "windows";
+/// Section holding the metric index.
+pub const SECTION_INDEX: &str = "index";
+
+impl Encode for IndexBackend {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            IndexBackend::ReferenceNet => w.put_u8(0),
+            IndexBackend::CoverTree => w.put_u8(1),
+            IndexBackend::MvReference { references } => {
+                w.put_u8(2);
+                w.put_usize(*references);
+            }
+            IndexBackend::LinearScan => w.put_u8(3),
+        }
+    }
+}
+
+impl Decode for IndexBackend {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        match r.take_u8()? {
+            0 => Ok(IndexBackend::ReferenceNet),
+            1 => Ok(IndexBackend::CoverTree),
+            2 => Ok(IndexBackend::MvReference {
+                references: r.take_usize()?,
+            }),
+            3 => Ok(IndexBackend::LinearScan),
+            other => Err(StorageError::Malformed(format!(
+                "unknown index backend tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Encode for FrameworkConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.lambda);
+        w.put_usize(self.max_shift);
+        w.put_f64(self.epsilon_prime);
+        self.max_parents.encode(w);
+        self.backend.encode(w);
+        w.put_usize(self.max_results);
+        w.put_usize(self.max_verifications);
+    }
+}
+
+impl Decode for FrameworkConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        let config = FrameworkConfig {
+            lambda: r.take_usize()?,
+            max_shift: r.take_usize()?,
+            epsilon_prime: r.take_f64()?,
+            max_parents: Option::<usize>::decode(r)?,
+            backend: IndexBackend::decode(r)?,
+            max_results: r.take_usize()?,
+            max_verifications: r.take_usize()?,
+        };
+        config
+            .validate()
+            .map_err(|e| StorageError::Malformed(e.to_string()))?;
+        Ok(config)
+    }
+}
+
+/// The element-type-agnostic header of a database snapshot. Decodable from
+/// any snapshot without instantiating the framework generics, which is what
+/// lets `ssr info` inspect a file and `ssr query` dispatch on its contents.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SnapshotManifest {
+    /// [`StorableElement::TAG`] of the stored element type.
+    pub element: String,
+    /// [`SequenceDistance::name`] of the distance the database was built with.
+    pub distance: String,
+    /// The framework configuration.
+    pub config: FrameworkConfig,
+    /// Number of stored sequences.
+    pub sequences: usize,
+    /// Number of indexed windows.
+    pub windows: usize,
+    /// Distance evaluations the original build spent constructing the index —
+    /// the work a cold start skips by loading this snapshot.
+    pub build_distance_calls: u64,
+}
+
+impl Encode for SnapshotManifest {
+    fn encode(&self, w: &mut Writer) {
+        self.element.encode(w);
+        self.distance.encode(w);
+        self.config.encode(w);
+        w.put_usize(self.sequences);
+        w.put_usize(self.windows);
+        w.put_u64(self.build_distance_calls);
+    }
+}
+
+impl Decode for SnapshotManifest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok(SnapshotManifest {
+            element: String::decode(r)?,
+            distance: String::decode(r)?,
+            config: FrameworkConfig::decode(r)?,
+            sequences: r.take_usize()?,
+            windows: r.take_usize()?,
+            build_distance_calls: r.take_u64()?,
+        })
+    }
+}
+
+impl SnapshotManifest {
+    /// Reads the manifest section of a validated snapshot.
+    pub fn read(snapshot: &Snapshot) -> Result<Self, StorageError> {
+        snapshot.decode_section(SECTION_MANIFEST)
+    }
+}
+
+impl<E, D> SubsequenceDatabase<E, D>
+where
+    E: Element + StorableElement + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    /// Serializes the database — sequences, windows and the prebuilt index —
+    /// into snapshot bytes.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.snapshot_builder().to_bytes()
+    }
+
+    /// Writes a snapshot file (atomically, via a `.tmp` sibling).
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), StorageError> {
+        self.snapshot_builder().write_to(path)
+    }
+
+    fn snapshot_builder(&self) -> SnapshotBuilder {
+        let manifest = SnapshotManifest {
+            element: E::TAG.to_string(),
+            distance: self.distance.name().to_string(),
+            config: self.config.clone(),
+            sequences: self.dataset.len(),
+            windows: self.windows.len(),
+            build_distance_calls: self.build_distance_calls,
+        };
+        let mut builder = SnapshotBuilder::new();
+        builder.section(SECTION_MANIFEST, |w| manifest.encode(w));
+        builder.section(SECTION_DATASET, |w| self.dataset.encode(w));
+        builder.section(SECTION_WINDOWS, |w| self.windows.encode(w));
+        builder.section(SECTION_INDEX, |w| match &self.index {
+            WindowIndex::ReferenceNet(idx) => {
+                IndexBackend::ReferenceNet.encode(w);
+                idx.encode(w);
+            }
+            WindowIndex::CoverTree(idx) => {
+                IndexBackend::CoverTree.encode(w);
+                idx.encode(w);
+            }
+            WindowIndex::MvReference(idx) => {
+                IndexBackend::MvReference {
+                    references: idx.num_references(),
+                }
+                .encode(w);
+                idx.encode(w);
+            }
+            WindowIndex::LinearScan(idx) => {
+                IndexBackend::LinearScan.encode(w);
+                idx.encode(w);
+            }
+        });
+        builder
+    }
+
+    /// Loads a database from a snapshot file, re-attaching `distance` as the
+    /// runtime context. The distance must be the same measure the snapshot
+    /// was built with (checked by name) and `E` the same element type
+    /// (checked by tag); the loaded database is query-parity-identical to
+    /// the one that was saved — same results, same per-query statistics.
+    pub fn load_snapshot(path: impl AsRef<Path>, distance: D) -> Result<Self, StorageError> {
+        Self::from_snapshot(&Snapshot::open(path)?, distance)
+    }
+
+    /// [`Self::load_snapshot`] over bytes already in memory.
+    pub fn from_snapshot_bytes(bytes: Vec<u8>, distance: D) -> Result<Self, StorageError> {
+        Self::from_snapshot(&Snapshot::from_bytes(bytes)?, distance)
+    }
+
+    /// Reassembles a database from a validated snapshot.
+    pub fn from_snapshot(snapshot: &Snapshot, distance: D) -> Result<Self, StorageError> {
+        let manifest = SnapshotManifest::read(snapshot)?;
+        if manifest.element != E::TAG {
+            return Err(StorageError::ElementMismatch {
+                expected: E::TAG.to_string(),
+                found: manifest.element,
+            });
+        }
+        if manifest.distance != distance.name() {
+            return Err(StorageError::DistanceMismatch {
+                expected: distance.name().to_string(),
+                found: manifest.distance,
+            });
+        }
+        let config = manifest.config;
+        config
+            .validate_distance::<E, D>(&distance)
+            .map_err(|e| StorageError::Malformed(e.to_string()))?;
+
+        let dataset: SequenceDataset<E> = snapshot.decode_section(SECTION_DATASET)?;
+        let windows: WindowStore<E> = snapshot.decode_section(SECTION_WINDOWS)?;
+        if windows.window_len() != config.window_len() {
+            return Err(StorageError::Malformed(format!(
+                "window store length {} disagrees with config window length {}",
+                windows.window_len(),
+                config.window_len()
+            )));
+        }
+        if manifest.sequences != dataset.len() || manifest.windows != windows.len() {
+            return Err(StorageError::Malformed(
+                "manifest counts disagree with section contents".into(),
+            ));
+        }
+
+        let distance = Arc::new(distance);
+        let counter = CallCounter::new();
+        let metric: WindowMetric<D> = CountingMetric::new(
+            SequenceMetricAdapter::new(Arc::clone(&distance)),
+            counter.clone(),
+        );
+        let mut r = snapshot.section_reader(SECTION_INDEX)?;
+        let backend = IndexBackend::decode(&mut r)?;
+        if backend != config.backend {
+            return Err(StorageError::Malformed(format!(
+                "index section stores a {backend} index but the config says {}",
+                config.backend
+            )));
+        }
+        let index = match backend {
+            IndexBackend::ReferenceNet => {
+                WindowIndex::ReferenceNet(ReferenceNet::decode_with(&mut r, metric)?)
+            }
+            IndexBackend::CoverTree => {
+                WindowIndex::CoverTree(CoverTree::decode_with(&mut r, metric)?)
+            }
+            IndexBackend::MvReference { .. } => {
+                WindowIndex::MvReference(MvReferenceIndex::decode_with(&mut r, metric)?)
+            }
+            IndexBackend::LinearScan => {
+                WindowIndex::LinearScan(LinearScan::decode_with(&mut r, metric)?)
+            }
+        };
+        r.expect_empty(SECTION_INDEX)?;
+        let index_len = match &index {
+            WindowIndex::ReferenceNet(idx) => idx.len(),
+            WindowIndex::CoverTree(idx) => idx.len(),
+            WindowIndex::MvReference(idx) => idx.len(),
+            WindowIndex::LinearScan(idx) => idx.len(),
+        };
+        if index_len != windows.len() {
+            return Err(StorageError::Malformed(format!(
+                "index stores {index_len} items for {} windows",
+                windows.len()
+            )));
+        }
+
+        // No counter reset here: the counter was created fresh above, so a
+        // non-zero value after loading means decoding evaluated distances —
+        // exactly the regression the bench `--snapshot` zero-calls gate
+        // exists to catch. Resetting would make that gate vacuous.
+        Ok(SubsequenceDatabase {
+            config,
+            distance,
+            dataset,
+            windows,
+            index,
+            counter,
+            build_distance_calls: manifest.build_distance_calls,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_distance::{Hamming, Levenshtein};
+    use ssr_sequence::{Pitch, Sequence, Symbol};
+
+    fn seq(text: &str) -> Sequence<Symbol> {
+        Sequence::new(text.chars().map(Symbol::from_char).collect())
+    }
+
+    fn planted_db(backend: IndexBackend) -> SubsequenceDatabase<Symbol, Levenshtein> {
+        let config = FrameworkConfig::new(8)
+            .with_max_shift(1)
+            .with_backend(backend);
+        SubsequenceDatabase::builder(config, Levenshtein::new())
+            .add_sequence(seq("MMMMMMMMACDEFGHIKLMNPQRSTVWYMMMMMMMM"))
+            .add_sequence(seq("WWWWWWWWWWWWWWWWWWWWWWWWWWWWWWWW"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_roundtrips_for_every_backend() {
+        for backend in [
+            IndexBackend::ReferenceNet,
+            IndexBackend::CoverTree,
+            IndexBackend::MvReference { references: 3 },
+            IndexBackend::LinearScan,
+        ] {
+            let db = planted_db(backend);
+            let bytes = db.snapshot_bytes();
+            let loaded = SubsequenceDatabase::<Symbol, Levenshtein>::from_snapshot_bytes(
+                bytes,
+                Levenshtein::new(),
+            )
+            .unwrap();
+            assert_eq!(loaded.window_count(), db.window_count());
+            assert_eq!(loaded.build_distance_calls(), db.build_distance_calls());
+            assert_eq!(loaded.query_distance_counter().get(), 0);
+
+            let query = seq("YYYYACDEFGHIKLMNPQRSTVWYYYYY");
+            let a = db.query_type1(&query, 3.0);
+            let b = loaded.query_type1(&query, 3.0);
+            assert_eq!(a.result, b.result, "backend {backend}");
+            assert_eq!(a.stats, b.stats, "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn manifest_is_readable_without_the_element_type() {
+        let db = planted_db(IndexBackend::ReferenceNet);
+        let snapshot = Snapshot::from_bytes(db.snapshot_bytes()).unwrap();
+        let manifest = SnapshotManifest::read(&snapshot).unwrap();
+        assert_eq!(manifest.element, "symbol");
+        assert_eq!(manifest.distance, "Levenshtein");
+        assert_eq!(manifest.config.lambda, 8);
+        assert_eq!(manifest.windows, db.window_count());
+        assert_eq!(manifest.build_distance_calls, db.build_distance_calls());
+        let names: Vec<&str> = snapshot
+            .sections()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["manifest", "dataset", "windows", "index"]);
+    }
+
+    #[test]
+    fn mismatched_element_and_distance_are_typed_errors() {
+        let db = planted_db(IndexBackend::ReferenceNet);
+        let bytes = db.snapshot_bytes();
+
+        let err = SubsequenceDatabase::<Pitch, Levenshtein>::from_snapshot_bytes(
+            bytes.clone(),
+            Levenshtein::new(),
+        )
+        .err()
+        .expect("element mismatch");
+        assert!(matches!(err, StorageError::ElementMismatch { .. }), "{err}");
+
+        let err =
+            SubsequenceDatabase::<Symbol, Hamming>::from_snapshot_bytes(bytes, Hamming::new())
+                .err()
+                .expect("distance mismatch");
+        assert!(
+            matches!(err, StorageError::DistanceMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn config_codec_roundtrips() {
+        let config = FrameworkConfig::new(20)
+            .with_max_shift(3)
+            .with_backend(IndexBackend::MvReference { references: 5 })
+            .with_epsilon_prime(0.5)
+            .with_max_parents(4);
+        let mut w = Writer::new();
+        config.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = FrameworkConfig::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.lambda, config.lambda);
+        assert_eq!(back.max_shift, config.max_shift);
+        assert_eq!(back.backend, config.backend);
+        assert_eq!(back.max_parents, config.max_parents);
+
+        // An invalid stored config (max_shift >= window length) is rejected.
+        let mut bad = FrameworkConfig::new(20);
+        bad.max_shift = 15;
+        let mut w = Writer::new();
+        bad.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            FrameworkConfig::decode(&mut Reader::new(&bytes)),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+}

@@ -96,8 +96,9 @@ proptest! {
         for backend in [IndexBackend::ReferenceNet, IndexBackend::CoverTree, IndexBackend::LinearScan] {
             let config = FrameworkConfig::new(8).with_max_shift(1).with_backend(backend);
             let Some(database) = db(config, &texts) else { return Ok(()); };
-            let (matches, _) = database.matching_segments(&query, epsilon);
-            let mut keys: Vec<(usize, usize, usize)> = matches
+            let scan = database.matching_segments(&query, epsilon);
+            let mut keys: Vec<(usize, usize, usize)> = scan
+                .matches
                 .iter()
                 .map(|m| (m.window.0, m.query_start, m.query_len))
                 .collect();

@@ -1,0 +1,121 @@
+//! Snapshot parity, mirroring `engine_parity`: a database loaded from a
+//! snapshot must be **query-parity-identical** to the database it was saved
+//! from — same results, same per-query statistics (including index
+//! distance-call counts, which depend on the exact index structure and
+//! reference-visit order) — for Type I/II/III queries, at every thread
+//! count. This is the property that makes cold-starting from disk safe: a
+//! restart may never change what the system answers or how it accounts for
+//! the work.
+
+use proptest::prelude::*;
+
+use ssr_core::{FrameworkConfig, QueryEngine, SubsequenceDatabase};
+use ssr_distance::Levenshtein;
+use ssr_sequence::{Sequence, Symbol};
+
+fn sym_seq(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec(
+        (0u8..4).prop_map(|i| Symbol::from_char(b"ACGT"[i as usize] as char)),
+        16..max_len,
+    )
+}
+
+fn db(texts: &[Vec<Symbol>]) -> Option<SubsequenceDatabase<Symbol, Levenshtein>> {
+    let config = FrameworkConfig::new(8).with_max_shift(1);
+    let mut builder = SubsequenceDatabase::builder(config, Levenshtein::new());
+    for t in texts {
+        builder = builder.add_sequence(Sequence::new(t.clone()));
+    }
+    builder.build().ok()
+}
+
+fn roundtrip(
+    database: &SubsequenceDatabase<Symbol, Levenshtein>,
+) -> SubsequenceDatabase<Symbol, Levenshtein> {
+    SubsequenceDatabase::from_snapshot_bytes(database.snapshot_bytes(), Levenshtein::new())
+        .expect("a freshly saved snapshot always loads")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn loaded_databases_answer_all_query_types_identically(
+        texts in prop::collection::vec(sym_seq(60), 1..4),
+        queries in prop::collection::vec(sym_seq(40), 1..4),
+        epsilon in 0.0f64..4.0,
+    ) {
+        let Some(database) = db(&texts) else { return Ok(()); };
+        let loaded = roundtrip(&database);
+        prop_assert_eq!(loaded.window_count(), database.window_count());
+        prop_assert_eq!(
+            loaded.build_distance_calls(),
+            database.build_distance_calls()
+        );
+
+        for query in queries.iter().map(|q| Sequence::new(q.clone())) {
+            let a1 = database.query_type1(&query, epsilon);
+            let b1 = loaded.query_type1(&query, epsilon);
+            prop_assert_eq!(&a1.result, &b1.result);
+            prop_assert_eq!(&a1.stats, &b1.stats);
+
+            let a2 = database.query_type2(&query, epsilon);
+            let b2 = loaded.query_type2(&query, epsilon);
+            prop_assert_eq!(&a2.result, &b2.result);
+            prop_assert_eq!(&a2.stats, &b2.stats);
+
+            let a3 = database.query_type3(&query, 4.0, 1.0);
+            let b3 = loaded.query_type3(&query, 4.0, 1.0);
+            prop_assert_eq!(&a3.result, &b3.result);
+            prop_assert_eq!(&a3.stats, &b3.stats);
+        }
+    }
+
+    #[test]
+    fn loaded_databases_are_batch_identical_at_every_thread_count(
+        texts in prop::collection::vec(sym_seq(60), 1..4),
+        queries in prop::collection::vec(sym_seq(40), 1..5),
+        epsilon in 0.0f64..4.0,
+    ) {
+        let Some(database) = db(&texts) else { return Ok(()); };
+        let loaded = roundtrip(&database);
+        let queries: Vec<Sequence<Symbol>> =
+            queries.into_iter().map(Sequence::new).collect();
+
+        let reference = QueryEngine::new(&database).batch_type1(&queries, epsilon);
+        for threads in [1usize, 2, 4] {
+            let batch = QueryEngine::new(&loaded)
+                .with_threads(threads)
+                .batch_type1(&queries, epsilon);
+            prop_assert_eq!(reference.outcomes.len(), batch.outcomes.len());
+            for (i, (a, b)) in reference.outcomes.iter().zip(&batch.outcomes).enumerate() {
+                prop_assert_eq!(&a.result, &b.result, "query {} threads {}", i, threads);
+                prop_assert_eq!(&a.stats, &b.stats, "query {} threads {}", i, threads);
+            }
+        }
+
+        let reference3 = QueryEngine::new(&database).batch_type3(&queries, 4.0, 1.0);
+        for threads in [2usize, 4] {
+            let batch = QueryEngine::new(&loaded)
+                .with_threads(threads)
+                .batch_type3(&queries, 4.0, 1.0);
+            for (a, b) in reference3.outcomes.iter().zip(&batch.outcomes) {
+                prop_assert_eq!(&a.result, &b.result);
+                prop_assert_eq!(&a.stats, &b.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_stable_across_a_reload_cycle(
+        texts in prop::collection::vec(sym_seq(50), 1..3),
+    ) {
+        let Some(database) = db(&texts) else { return Ok(()); };
+        let bytes = database.snapshot_bytes();
+        // Saving is deterministic…
+        prop_assert_eq!(&bytes, &database.snapshot_bytes());
+        // …and save → load → save is a fixed point.
+        let loaded = roundtrip(&database);
+        prop_assert_eq!(&bytes, &loaded.snapshot_bytes());
+    }
+}

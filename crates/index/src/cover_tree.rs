@@ -13,6 +13,8 @@
 
 use std::collections::BTreeMap;
 
+use ssr_storage::{Decode, DecodeWith, Encode, StorageError};
+
 use crate::metric::Metric;
 use crate::traits::{ItemId, RangeIndex, SpaceStats};
 
@@ -270,7 +272,115 @@ impl<T, M: Metric<T>> RangeIndex<T> for CoverTree<T, M> {
             levels: self.by_level.len(),
             avg_parents,
             estimated_bytes,
+            serialized_bytes: self.structure_encoded_len(),
         }
+    }
+}
+
+// -- snapshot codec ---------------------------------------------------------
+
+impl Encode for Node {
+    fn encode(&self, w: &mut ssr_storage::Writer) {
+        w.put_i32(self.level);
+        self.parent.encode(w);
+        self.children.encode(w);
+    }
+}
+
+impl Decode for Node {
+    fn decode(r: &mut ssr_storage::Reader<'_>) -> Result<Self, StorageError> {
+        Ok(Node {
+            level: r.take_i32()?,
+            parent: Option::<usize>::decode(r)?,
+            children: Vec::<usize>::decode(r)?,
+        })
+    }
+}
+
+impl<T, M> CoverTree<T, M> {
+    /// Encodes the tree bookkeeping — everything except the items and the
+    /// metric. As for the Reference Net, the `by_level` buckets are stored
+    /// verbatim so that a loaded tree visits references in the same order and
+    /// reproduces per-query distance-call counts exactly.
+    fn encode_structure(&self, w: &mut ssr_storage::Writer) {
+        w.put_f64(self.epsilon_prime);
+        self.nodes.encode(w);
+        let levels: Vec<(i32, Vec<usize>)> = self
+            .by_level
+            .iter()
+            .map(|(&level, ids)| (level, ids.clone()))
+            .collect();
+        levels.encode(w);
+        self.root.encode(w);
+    }
+
+    /// Exact byte size of [`Self::encode_structure`]'s output.
+    fn structure_encoded_len(&self) -> usize {
+        ssr_storage::Writer::measure(|w| self.encode_structure(w))
+    }
+}
+
+impl<T: Encode, M> Encode for CoverTree<T, M> {
+    fn encode(&self, w: &mut ssr_storage::Writer) {
+        self.items.encode(w);
+        self.encode_structure(w);
+    }
+}
+
+impl<T: Decode, M: Metric<T>> DecodeWith<M> for CoverTree<T, M> {
+    fn decode_with(r: &mut ssr_storage::Reader<'_>, metric: M) -> Result<Self, StorageError> {
+        let items = Vec::<T>::decode(r)?;
+        let epsilon_prime = r.take_f64()?;
+        if !(epsilon_prime > 0.0 && epsilon_prime.is_finite()) {
+            return Err(StorageError::Malformed(
+                "cover tree epsilon_prime must be positive and finite".into(),
+            ));
+        }
+        let nodes = Vec::<Node>::decode(r)?;
+        if nodes.len() != items.len() {
+            return Err(StorageError::Malformed(format!(
+                "cover tree has {} nodes for {} items",
+                nodes.len(),
+                items.len()
+            )));
+        }
+        let in_range = |idx: &usize| *idx < nodes.len();
+        if !nodes
+            .iter()
+            .all(|n| n.parent.iter().all(in_range) && n.children.iter().all(in_range))
+        {
+            return Err(StorageError::Malformed(
+                "cover tree edge index out of range".into(),
+            ));
+        }
+        let levels = Vec::<(i32, Vec<usize>)>::decode(r)?;
+        let mut by_level = BTreeMap::new();
+        for (level, ids) in levels {
+            if !ids.iter().all(in_range) {
+                return Err(StorageError::Malformed(
+                    "cover tree level bucket index out of range".into(),
+                ));
+            }
+            if by_level.insert(level, ids).is_some() {
+                return Err(StorageError::Malformed(format!(
+                    "duplicate cover tree level {level}"
+                )));
+            }
+        }
+        let root = Option::<usize>::decode(r)?;
+        if root.is_some_and(|root| root >= nodes.len()) {
+            return Err(StorageError::Malformed(
+                "cover tree root out of range".into(),
+            ));
+        }
+        Ok(CoverTree {
+            epsilon_prime,
+            metric,
+            items,
+            nodes,
+            by_level,
+            root,
+        })
     }
 }
 

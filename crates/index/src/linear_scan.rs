@@ -1,5 +1,7 @@
 //! Naive linear scan baseline.
 
+use ssr_storage::{Decode, DecodeWith, Encode, StorageError};
+
 use crate::metric::Metric;
 use crate::traits::{ItemId, RangeIndex, SpaceStats};
 
@@ -73,7 +75,25 @@ impl<T, M: Metric<T>> RangeIndex<T> for LinearScan<T, M> {
             levels: 1,
             avg_parents: 0.0,
             estimated_bytes: 0,
+            serialized_bytes: 0,
         }
+    }
+}
+
+// -- snapshot codec ---------------------------------------------------------
+
+impl<T: Encode, M> Encode for LinearScan<T, M> {
+    fn encode(&self, w: &mut ssr_storage::Writer) {
+        self.items.encode(w);
+    }
+}
+
+impl<T: Decode, M: Metric<T>> DecodeWith<M> for LinearScan<T, M> {
+    fn decode_with(r: &mut ssr_storage::Reader<'_>, metric: M) -> Result<Self, StorageError> {
+        Ok(LinearScan {
+            metric,
+            items: Vec::<T>::decode(r)?,
+        })
     }
 }
 

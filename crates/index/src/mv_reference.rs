@@ -20,6 +20,8 @@
 //! paper uses MV (rather than the more expensive Maximum Pruning variant)
 //! because it needs no training queries; we follow suit.
 
+use ssr_storage::{Decode, DecodeWith, Encode, StorageError};
+
 use crate::metric::Metric;
 use crate::par::fanout_map;
 use crate::traits::{ItemId, RangeIndex, SpaceStats};
@@ -218,7 +220,83 @@ impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for MvReferenceIndex<T, M> {
             avg_parents: self.references.len() as f64,
             estimated_bytes: entries * std::mem::size_of::<f64>()
                 + self.references.len() * std::mem::size_of::<usize>(),
+            serialized_bytes: self.structure_encoded_len(),
         }
+    }
+}
+
+// -- snapshot codec ---------------------------------------------------------
+
+impl<T, M> MvReferenceIndex<T, M> {
+    /// Encodes the pivot bookkeeping — everything except the items and the
+    /// metric (which is runtime context reattached on decode).
+    fn encode_structure(&self, w: &mut ssr_storage::Writer) {
+        w.put_usize(self.num_references);
+        w.put_usize(self.selection_sample);
+        self.references.encode(w);
+        self.table.encode(w);
+    }
+
+    /// Exact byte size of [`Self::encode_structure`]'s output.
+    fn structure_encoded_len(&self) -> usize {
+        ssr_storage::Writer::measure(|w| self.encode_structure(w))
+    }
+}
+
+impl<T: Encode, M> Encode for MvReferenceIndex<T, M> {
+    /// # Panics
+    ///
+    /// Panics if items were inserted ad hoc without a [`Self::rebuild`]:
+    /// snapshotting a stale pivot table is a programming error.
+    fn encode(&self, w: &mut ssr_storage::Writer) {
+        assert!(
+            !self.dirty,
+            "MvReferenceIndex::rebuild must be called before snapshotting"
+        );
+        self.items.encode(w);
+        self.encode_structure(w);
+    }
+}
+
+impl<T: Decode + Send + Sync, M: Metric<T>> DecodeWith<M> for MvReferenceIndex<T, M> {
+    fn decode_with(r: &mut ssr_storage::Reader<'_>, metric: M) -> Result<Self, StorageError> {
+        let items = Vec::<T>::decode(r)?;
+        let num_references = r.take_usize()?;
+        if num_references == 0 {
+            return Err(StorageError::Malformed(
+                "MV index with zero references".into(),
+            ));
+        }
+        let selection_sample = r.take_usize()?;
+        let references = Vec::<usize>::decode(r)?;
+        let table = Vec::<Vec<f64>>::decode(r)?;
+        if references.iter().any(|&r| r >= items.len()) {
+            return Err(StorageError::Malformed(
+                "MV reference index out of range".into(),
+            ));
+        }
+        if table.len() != items.len() {
+            return Err(StorageError::Malformed(format!(
+                "MV pivot table has {} rows for {} items",
+                table.len(),
+                items.len()
+            )));
+        }
+        if table.iter().any(|row| row.len() != references.len()) {
+            return Err(StorageError::Malformed(
+                "MV pivot table row width disagrees with reference count".into(),
+            ));
+        }
+        Ok(MvReferenceIndex {
+            metric,
+            num_references,
+            build_threads: 1,
+            selection_sample,
+            items,
+            references,
+            table,
+            dirty: false,
+        })
     }
 }
 

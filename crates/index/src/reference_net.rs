@@ -24,6 +24,8 @@
 
 use std::collections::BTreeMap;
 
+use ssr_storage::{Decode, DecodeWith, Encode, StorageError};
+
 use crate::metric::Metric;
 use crate::traits::{ItemId, RangeIndex, SpaceStats};
 
@@ -645,7 +647,137 @@ impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for ReferenceNet<T, M> {
             levels: self.by_level.len(),
             avg_parents: self.avg_parents(),
             estimated_bytes,
+            serialized_bytes: self.structure_encoded_len(),
         }
+    }
+}
+
+// -- snapshot codec ---------------------------------------------------------
+
+impl Encode for Node {
+    fn encode(&self, w: &mut ssr_storage::Writer) {
+        w.put_i32(self.level);
+        self.parents.encode(w);
+        self.children.encode(w);
+        w.put_bool(self.alive);
+    }
+}
+
+impl Decode for Node {
+    fn decode(r: &mut ssr_storage::Reader<'_>) -> Result<Self, StorageError> {
+        Ok(Node {
+            level: r.take_i32()?,
+            parents: Vec::<usize>::decode(r)?,
+            children: Vec::<usize>::decode(r)?,
+            alive: r.take_bool()?,
+        })
+    }
+}
+
+impl<T, M> ReferenceNet<T, M> {
+    /// Encodes the hierarchy bookkeeping — everything except the items and
+    /// the metric. The `by_level` buckets are stored verbatim (not rebuilt
+    /// from the nodes) because their *within-level order* determines the
+    /// order range queries visit references, and therefore the per-query
+    /// distance-call counts a loaded net must reproduce bit-identically.
+    fn encode_structure(&self, w: &mut ssr_storage::Writer) {
+        w.put_f64(self.config.epsilon_prime);
+        self.config.max_parents.encode(w);
+        self.nodes.encode(w);
+        let levels: Vec<(i32, Vec<usize>)> = self
+            .by_level
+            .iter()
+            .map(|(&level, ids)| (level, ids.clone()))
+            .collect();
+        levels.encode(w);
+        self.root.encode(w);
+        w.put_usize(self.live_count);
+    }
+
+    /// Exact byte size of [`Self::encode_structure`]'s output.
+    fn structure_encoded_len(&self) -> usize {
+        ssr_storage::Writer::measure(|w| self.encode_structure(w))
+    }
+}
+
+impl<T: Encode, M> Encode for ReferenceNet<T, M> {
+    fn encode(&self, w: &mut ssr_storage::Writer) {
+        self.items.encode(w);
+        self.encode_structure(w);
+    }
+}
+
+impl<T: Decode + Send + Sync, M: Metric<T>> DecodeWith<M> for ReferenceNet<T, M> {
+    fn decode_with(r: &mut ssr_storage::Reader<'_>, metric: M) -> Result<Self, StorageError> {
+        let items = Vec::<T>::decode(r)?;
+        let epsilon_prime = r.take_f64()?;
+        if !(epsilon_prime > 0.0 && epsilon_prime.is_finite()) {
+            return Err(StorageError::Malformed(
+                "reference net epsilon_prime must be positive and finite".into(),
+            ));
+        }
+        let max_parents = Option::<usize>::decode(r)?;
+        if max_parents == Some(0) {
+            return Err(StorageError::Malformed(
+                "reference net max_parents must be at least 1".into(),
+            ));
+        }
+        let nodes = Vec::<Node>::decode(r)?;
+        if nodes.len() != items.len() {
+            return Err(StorageError::Malformed(format!(
+                "reference net has {} nodes for {} items",
+                nodes.len(),
+                items.len()
+            )));
+        }
+        let in_range = |idx: &usize| *idx < nodes.len();
+        if !nodes
+            .iter()
+            .all(|n| n.parents.iter().all(in_range) && n.children.iter().all(in_range))
+        {
+            return Err(StorageError::Malformed(
+                "reference net edge index out of range".into(),
+            ));
+        }
+        let levels = Vec::<(i32, Vec<usize>)>::decode(r)?;
+        let mut by_level = BTreeMap::new();
+        for (level, ids) in levels {
+            if !ids.iter().all(in_range) {
+                return Err(StorageError::Malformed(
+                    "reference net level bucket index out of range".into(),
+                ));
+            }
+            if by_level.insert(level, ids).is_some() {
+                return Err(StorageError::Malformed(format!(
+                    "duplicate reference net level {level}"
+                )));
+            }
+        }
+        let root = Option::<usize>::decode(r)?;
+        if root.is_some_and(|root| root >= nodes.len()) {
+            return Err(StorageError::Malformed(
+                "reference net root out of range".into(),
+            ));
+        }
+        let live_count = r.take_usize()?;
+        if live_count != nodes.iter().filter(|n| n.alive).count() {
+            return Err(StorageError::Malformed(
+                "reference net live count disagrees with node liveness".into(),
+            ));
+        }
+        Ok(ReferenceNet {
+            config: ReferenceNetConfig {
+                epsilon_prime,
+                max_parents,
+            },
+            metric,
+            items,
+            nodes,
+            by_level,
+            root,
+            live_count,
+            build_threads: 1,
+        })
     }
 }
 

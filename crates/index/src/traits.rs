@@ -34,6 +34,11 @@ pub struct SpaceStats {
     /// Estimated in-memory footprint of the index bookkeeping in bytes,
     /// excluding the items' own payload.
     pub estimated_bytes: usize,
+    /// Exact byte size of the index's structural bookkeeping when encoded in
+    /// the `ssr-storage` snapshot format, excluding the item payloads
+    /// (measured by running the snapshot encoder over the structure). Zero
+    /// for structures that persist no bookkeeping (linear scan).
+    pub serialized_bytes: usize,
 }
 
 impl SpaceStats {
@@ -86,6 +91,7 @@ mod tests {
             levels: 3,
             avg_parents: 2.0,
             estimated_bytes: 2 * 1024 * 1024,
+            serialized_bytes: 0,
         };
         assert!((stats.estimated_mib() - 2.0).abs() < 1e-12);
     }

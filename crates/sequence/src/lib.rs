@@ -30,6 +30,7 @@ pub mod alphabet;
 pub mod element;
 pub mod segment;
 pub mod sequence;
+pub mod storage;
 pub mod window;
 
 pub use alphabet::{Alphabet, DNA_ALPHABET, PITCH_ALPHABET, PROTEIN_ALPHABET};

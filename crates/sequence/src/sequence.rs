@@ -106,7 +106,7 @@ impl<E: Element> std::ops::Index<usize> for Sequence<E> {
 ///
 /// This is the "database" side of the framework; the total database length
 /// `Σ|X|` drives the number of windows stored in the metric index.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct SequenceDataset<E> {
     sequences: Vec<Sequence<E>>,
 }

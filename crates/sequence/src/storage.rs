@@ -1,0 +1,310 @@
+//! Snapshot codecs ([`Encode`]/[`Decode`]) for the sequence substrate.
+//!
+//! Everything here round-trips bit-exactly: `f64` coordinates are stored as
+//! IEEE-754 bit patterns, labels and provenance verbatim. Decoding is total —
+//! structurally impossible inputs (a window whose data length disagrees with
+//! the store's window length, an out-of-range pitch) surface as
+//! [`StorageError::Malformed`] rather than panicking, so the container-level
+//! CRCs of `ssr-storage` are a second line of defence, not the only one.
+
+use ssr_storage::{Decode, Encode, Reader, StorableElement, StorageError, Writer};
+
+use crate::element::{Pitch, Point2D, Point3D, Symbol};
+use crate::sequence::{Sequence, SequenceDataset, SequenceId};
+use crate::window::{Window, WindowId, WindowStore};
+
+impl Encode for Symbol {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.0);
+    }
+}
+
+impl Decode for Symbol {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok(Symbol(r.take_u8()?))
+    }
+}
+
+impl StorableElement for Symbol {
+    const TAG: &'static str = "symbol";
+}
+
+impl Encode for Pitch {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i32(i32::from(self.0));
+    }
+}
+
+impl Decode for Pitch {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        let raw = r.take_i32()?;
+        let value = i16::try_from(raw)
+            .map_err(|_| StorageError::Malformed(format!("pitch value {raw} out of range")))?;
+        Ok(Pitch(value))
+    }
+}
+
+impl StorableElement for Pitch {
+    const TAG: &'static str = "pitch";
+}
+
+impl Encode for Point2D {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.x);
+        w.put_f64(self.y);
+    }
+}
+
+impl Decode for Point2D {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok(Point2D {
+            x: r.take_f64()?,
+            y: r.take_f64()?,
+        })
+    }
+}
+
+impl StorableElement for Point2D {
+    const TAG: &'static str = "point2d";
+}
+
+impl Encode for Point3D {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.x);
+        w.put_f64(self.y);
+        w.put_f64(self.z);
+    }
+}
+
+impl Decode for Point3D {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok(Point3D {
+            x: r.take_f64()?,
+            y: r.take_f64()?,
+            z: r.take_f64()?,
+        })
+    }
+}
+
+impl StorableElement for Point3D {
+    const TAG: &'static str = "point3d";
+}
+
+impl Encode for SequenceId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.0);
+    }
+}
+
+impl Decode for SequenceId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok(SequenceId(r.take_usize()?))
+    }
+}
+
+impl Encode for WindowId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.0);
+    }
+}
+
+impl Decode for WindowId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok(WindowId(r.take_usize()?))
+    }
+}
+
+impl<E: crate::Element + Encode> Encode for Sequence<E> {
+    fn encode(&self, w: &mut Writer) {
+        self.elements().to_vec().encode(w);
+        self.label().map(str::to_string).encode(w);
+    }
+}
+
+impl<E: crate::Element + Decode> Decode for Sequence<E> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        let elements = Vec::<E>::decode(r)?;
+        let label = Option::<String>::decode(r)?;
+        let mut sequence = Sequence::new(elements);
+        if let Some(label) = label {
+            sequence.set_label(label);
+        }
+        Ok(sequence)
+    }
+}
+
+impl<E: crate::Element + Encode> Encode for SequenceDataset<E> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for (_, sequence) in self.iter() {
+            sequence.encode(w);
+        }
+    }
+}
+
+impl<E: crate::Element + Decode> Decode for SequenceDataset<E> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        let len = r.take_len(1)?;
+        let mut sequences = Vec::with_capacity(len);
+        for _ in 0..len {
+            sequences.push(Sequence::decode(r)?);
+        }
+        Ok(SequenceDataset::from_sequences(sequences))
+    }
+}
+
+impl<E: crate::Element + Encode> Encode for Window<E> {
+    fn encode(&self, w: &mut Writer) {
+        self.sequence.encode(w);
+        w.put_usize(self.window_index);
+        w.put_usize(self.start);
+        self.data.encode(w);
+    }
+}
+
+impl<E: crate::Element + Decode> Decode for Window<E> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok(Window {
+            sequence: SequenceId::decode(r)?,
+            window_index: r.take_usize()?,
+            start: r.take_usize()?,
+            data: Vec::<E>::decode(r)?,
+        })
+    }
+}
+
+impl<E: crate::Element + Encode> Encode for WindowStore<E> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.window_len());
+        w.put_usize(self.len());
+        for (_, window) in self.iter() {
+            window.encode(w);
+        }
+    }
+}
+
+impl<E: crate::Element + Decode> Decode for WindowStore<E> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        let window_len = r.take_usize()?;
+        if window_len == 0 {
+            return Err(StorageError::Malformed(
+                "window length must be positive".into(),
+            ));
+        }
+        let count = r.take_len(1)?;
+        let mut store = WindowStore::new(window_len);
+        for _ in 0..count {
+            let window = Window::<E>::decode(r)?;
+            // Validate before `push`, whose length assertion would panic.
+            if window.len() != window_len {
+                return Err(StorageError::Malformed(format!(
+                    "window of length {} in a store of window length {window_len}",
+                    window.len()
+                )));
+            }
+            store.push(window);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::partition_windows_dataset;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let mut w = Writer::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = T::decode(&mut r).unwrap();
+        r.expect_empty("value").unwrap();
+        assert_eq!(back, value);
+    }
+
+    fn seq(text: &str) -> Sequence<Symbol> {
+        Sequence::new(text.chars().map(Symbol::from_char).collect())
+    }
+
+    #[test]
+    fn elements_roundtrip() {
+        roundtrip(Symbol::from_char('Q'));
+        roundtrip(<Symbol as crate::Element>::gap());
+        roundtrip(Pitch(11));
+        roundtrip(Pitch(-3));
+        roundtrip(Point2D::new(1.5, -2.25));
+        roundtrip(Point3D::new(0.1, 0.2, 0.3));
+        roundtrip(SequenceId(42));
+        roundtrip(WindowId(7));
+    }
+
+    #[test]
+    fn sequences_and_datasets_roundtrip() {
+        roundtrip(seq("GATTACA"));
+        let mut labelled = seq("ACGT");
+        labelled.set_label("chr1");
+        roundtrip(labelled);
+        roundtrip(Sequence::<Symbol>::new(vec![]));
+        let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB"), seq("CCCC")].into_iter().collect();
+        roundtrip(ds);
+    }
+
+    #[test]
+    fn window_stores_roundtrip_with_provenance() {
+        let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB"), seq("CCCCDDDD"), seq("EE")]
+            .into_iter()
+            .collect();
+        let store = partition_windows_dataset(&ds, 4);
+        let mut w = Writer::new();
+        store.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = WindowStore::<Symbol>::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.window_len(), store.window_len());
+        assert_eq!(back.len(), store.len());
+        for ((_, a), (_, b)) in back.iter().zip(store.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn malformed_window_store_is_rejected_not_panicked() {
+        // A store claiming window length 0.
+        let mut w = Writer::new();
+        w.put_usize(0);
+        w.put_usize(0);
+        assert!(matches!(
+            WindowStore::<Symbol>::decode(&mut Reader::new(w.bytes())),
+            Err(StorageError::Malformed(_))
+        ));
+
+        // A window whose data disagrees with the store's window length.
+        let mut w = Writer::new();
+        w.put_usize(4); // store window_len
+        w.put_usize(1); // one window
+        SequenceId(0).encode(&mut w);
+        w.put_usize(0); // window_index
+        w.put_usize(0); // start
+        vec![Symbol(b'A'); 3].encode(&mut w); // wrong length
+        assert!(matches!(
+            WindowStore::<Symbol>::decode(&mut Reader::new(w.bytes())),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn element_tags_are_distinct() {
+        let tags = [
+            Symbol::TAG,
+            Pitch::TAG,
+            <f64 as StorableElement>::TAG,
+            Point2D::TAG,
+            Point3D::TAG,
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

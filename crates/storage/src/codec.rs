@@ -1,0 +1,514 @@
+//! Binary codec: a byte-oriented [`Writer`]/[`Reader`] pair and the
+//! [`Encode`]/[`Decode`] traits the rest of the workspace implements for its
+//! types.
+//!
+//! The encoding is deliberately boring: fixed-width little-endian integers,
+//! `f64` as IEEE-754 bits, length-prefixed strings and vectors. There is no
+//! compression and no varint cleverness — snapshots are bulk data whose cost
+//! is dominated by `f64` tables and element payloads, and a fixed layout
+//! keeps both the encoder and the *total* (panic-free) decoder trivially
+//! auditable.
+//!
+//! Decoding is strict: every read is bounds-checked (truncation surfaces as
+//! [`StorageError::Truncated`]), booleans must be exactly `0` or `1`, length
+//! prefixes may not exceed the bytes actually remaining, and strings must be
+//! valid UTF-8. Combined with the per-section CRCs of
+//! [`crate::snapshot`], a damaged snapshot always yields a typed error.
+
+use crate::error::StorageError;
+
+/// An append-only byte buffer with typed `put_*` helpers.
+#[derive(Default, Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Runs `fill` against a scratch writer and returns how many bytes it
+    /// wrote. The measuring primitive behind [`Encode::encoded_len`] and the
+    /// indexes' structural space accounting.
+    pub fn measure(fill: impl FnOnce(&mut Writer)) -> usize {
+        let mut w = Writer::new();
+        fill(&mut w);
+        w.len()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact round-trip,
+    /// NaN payloads and signed zeros included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a boolean as one byte (`0` or `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.put_raw(s.as_bytes());
+    }
+}
+
+/// A bounds-checked cursor over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Number of bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes, or fails with [`StorageError::Truncated`].
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StorageError> {
+        if n > self.remaining() {
+            return Err(StorageError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, StorageError> {
+        let b = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, StorageError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, StorageError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn take_i32(&mut self) -> Result<i32, StorageError> {
+        let b = self.take(4, "i32")?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64, StorageError> {
+        let b = self.take(8, "i64")?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, StorageError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values that do not fit the
+    /// host word size.
+    pub fn take_usize(&mut self) -> Result<usize, StorageError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| StorageError::Malformed("usize value exceeds host word size".into()))
+    }
+
+    /// Reads a boolean, rejecting any byte other than `0` or `1`.
+    pub fn take_bool(&mut self) -> Result<bool, StorageError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Malformed(format!(
+                "invalid boolean byte {other}"
+            ))),
+        }
+    }
+
+    /// Reads a length to be consumed from this reader, rejecting prefixes
+    /// that exceed the bytes remaining. `min_item_bytes` is the smallest
+    /// possible encoding of one of the `len` items that follow (1 for
+    /// variable payloads); the check caps pathological prefixes in damaged
+    /// input before any allocation happens.
+    pub fn take_len(&mut self, min_item_bytes: usize) -> Result<usize, StorageError> {
+        let len = self.take_usize()?;
+        let needed = len
+            .checked_mul(min_item_bytes.max(1))
+            .ok_or_else(|| StorageError::Malformed("length prefix overflows".into()))?;
+        if needed > self.remaining() {
+            return Err(StorageError::Truncated {
+                context: "length-prefixed payload",
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, StorageError> {
+        let len = self.take_len(1)?;
+        let bytes = self.take(len, "string payload")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Malformed("string is not valid UTF-8".into()))
+    }
+
+    /// Fails with [`StorageError::TrailingBytes`] unless everything was
+    /// consumed. Call after decoding a region that must be exact.
+    pub fn expect_empty(&self, region: &str) -> Result<(), StorageError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(StorageError::TrailingBytes {
+                region: region.to_string(),
+            })
+        }
+    }
+}
+
+/// A type that can write itself into a [`Writer`].
+///
+/// Encoding is infallible (the sink is memory). Every implementation must
+/// write **at least one byte** — [`Reader::take_len`] relies on that to bound
+/// length prefixes read from damaged input.
+pub trait Encode {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Number of bytes [`Self::encode`] would write, measured by encoding
+    /// into a scratch buffer. Intended for space accounting, not hot paths.
+    fn encoded_len(&self) -> usize {
+        Writer::measure(|w| self.encode(w))
+    }
+}
+
+/// A type that can reconstruct itself from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value, consuming exactly the bytes its encoding occupies.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError>;
+}
+
+/// A type that needs external context (a metric, a distance…) to
+/// reconstruct itself — the runtime half of values whose serialized form is
+/// pure data.
+pub trait DecodeWith<C>: Sized {
+    /// Reads one value, attaching `ctx` to the decoded structure.
+    fn decode_with(r: &mut Reader<'_>, ctx: C) -> Result<Self, StorageError>;
+}
+
+macro_rules! codec_for_primitive {
+    ($ty:ty, $put:ident, $take:ident) => {
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+        }
+
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+                r.$take()
+            }
+        }
+    };
+}
+
+codec_for_primitive!(u8, put_u8, take_u8);
+codec_for_primitive!(u16, put_u16, take_u16);
+codec_for_primitive!(u32, put_u32, take_u32);
+codec_for_primitive!(u64, put_u64, take_u64);
+codec_for_primitive!(i32, put_i32, take_i32);
+codec_for_primitive!(i64, put_i64, take_i64);
+codec_for_primitive!(f64, put_f64, take_f64);
+codec_for_primitive!(usize, put_usize, take_usize);
+codec_for_primitive!(bool, put_bool, take_bool);
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        r.take_str()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(StorageError::Malformed(format!(
+                "invalid Option tag {other}"
+            ))),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        let len = r.take_len(1)?;
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Every [`Decode`] type trivially supports context-free [`DecodeWith`].
+impl<T: Decode> DecodeWith<()> for T {
+    fn decode_with(r: &mut Reader<'_>, _ctx: ()) -> Result<Self, StorageError> {
+        T::decode(r)
+    }
+}
+
+/// An element type that can live inside a snapshot, tagged so that a loader
+/// can verify — before decoding any payload — that the file stores the
+/// element type the caller's generic instantiation expects.
+pub trait StorableElement: Encode + Decode {
+    /// Stable, human-readable tag written into snapshot manifests
+    /// (`"symbol"`, `"pitch"`, `"point2d"`, …).
+    const TAG: &'static str;
+}
+
+// `f64` is both a scalar element type (time series) and a codec primitive;
+// the orphan rule puts its element tag here rather than in `ssr-sequence`.
+impl StorableElement for f64 {
+    const TAG: &'static str = "f64";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let mut w = Writer::new();
+        value.encode(&mut w);
+        assert_eq!(w.len(), value.encoded_len());
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = T::decode(&mut r).unwrap();
+        r.expect_empty("test value").unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(-5i32);
+        roundtrip(i64::MIN);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(-0.0f64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip("héllo \u{1F980}".to_string());
+        roundtrip(String::new());
+        roundtrip(Some(42u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip((7usize, "pair".to_string()));
+        roundtrip(vec![(1u64, 2.5f64), (3, -0.25)]);
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = Writer::new();
+        nan.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = f64::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors_for_every_prefix() {
+        let mut w = Writer::new();
+        vec![(1u64, "ab".to_string()), (2, "cdef".to_string())].encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let err = Vec::<(u64, String)>::decode(&mut Reader::new(&bytes[..cut]))
+                .expect_err("prefix must fail");
+            assert!(
+                matches!(
+                    err,
+                    StorageError::Truncated { .. } | StorageError::Malformed(_)
+                ),
+                "cut={cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pathological_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims ~1.8e19 items
+        let bytes = w.into_bytes();
+        let err = Vec::<u8>::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::Truncated { .. } | StorageError::Malformed(_)
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn strict_booleans_options_and_utf8() {
+        assert!(matches!(
+            bool::decode(&mut Reader::new(&[2])),
+            Err(StorageError::Malformed(_))
+        ));
+        assert!(matches!(
+            Option::<u8>::decode(&mut Reader::new(&[7, 0])),
+            Err(StorageError::Malformed(_))
+        ));
+        let mut w = Writer::new();
+        w.put_usize(2);
+        w.put_raw(&[0xFF, 0xFE]);
+        assert!(matches!(
+            String::decode(&mut Reader::new(w.bytes())),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let _ = u8::decode(&mut r).unwrap();
+        let err = r.expect_empty("unit test region").unwrap_err();
+        assert!(
+            matches!(err, StorageError::TrailingBytes { region } if region == "unit test region")
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The typed error returned by every fallible storage operation.
+//!
+//! Loading is *total*: no input — truncated, bit-flipped, malicious or simply
+//! of the wrong type — may panic the decoder. Every failure mode surfaces as
+//! a [`StorageError`] variant so that callers (the `ssr` CLI, the cold-start
+//! path of a server) can distinguish "file is damaged" from "file is for a
+//! different configuration".
+
+use std::fmt;
+
+/// Any way reading or writing a snapshot can fail.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic,
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The input ended before the value being decoded was complete.
+    ///
+    /// `context` names what was being read (a primitive, a section table
+    /// entry, a section payload…).
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// The header (magic, version and section table) failed its checksum.
+    HeaderChecksumMismatch,
+    /// A section's payload failed its CRC-32 check.
+    ChecksumMismatch {
+        /// Name of the damaged section.
+        section: String,
+    },
+    /// A required section is absent from the snapshot.
+    MissingSection(String),
+    /// A region decoded successfully but left unconsumed bytes behind,
+    /// which a well-formed snapshot never does.
+    TrailingBytes {
+        /// Name of the region (a section name, `"section table"`, …).
+        region: String,
+    },
+    /// The bytes parsed but describe an impossible structure (an out-of-range
+    /// index, an invalid boolean, a length that exceeds the input, …).
+    Malformed(String),
+    /// The snapshot stores a different element type than the caller asked
+    /// to decode.
+    ElementMismatch {
+        /// Element tag the caller's type expects.
+        expected: String,
+        /// Element tag stored in the snapshot.
+        found: String,
+    },
+    /// The snapshot was built with a different distance measure than the one
+    /// supplied for loading.
+    DistanceMismatch {
+        /// Name of the distance supplied by the caller.
+        expected: String,
+        /// Name of the distance stored in the snapshot.
+        found: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            StorageError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            StorageError::Truncated { context } => {
+                write!(f, "truncated input while reading {context}")
+            }
+            StorageError::HeaderChecksumMismatch => {
+                write!(f, "snapshot header failed its checksum")
+            }
+            StorageError::ChecksumMismatch { section } => {
+                write!(f, "section '{section}' failed its CRC-32 check")
+            }
+            StorageError::MissingSection(name) => {
+                write!(f, "snapshot has no section named '{name}'")
+            }
+            StorageError::TrailingBytes { region } => {
+                write!(f, "unexpected trailing bytes after {region}")
+            }
+            StorageError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            StorageError::ElementMismatch { expected, found } => write!(
+                f,
+                "snapshot stores '{found}' elements, caller expected '{expected}'"
+            ),
+            StorageError::DistanceMismatch { expected, found } => write!(
+                f,
+                "snapshot was built with the '{found}' distance, caller supplied '{expected}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        assert!(StorageError::BadMagic.to_string().contains("magic"));
+        assert!(StorageError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+        assert!(StorageError::Truncated { context: "u64" }
+            .to_string()
+            .contains("u64"));
+        assert!(StorageError::ChecksumMismatch {
+            section: "index".into()
+        }
+        .to_string()
+        .contains("index"));
+        assert!(StorageError::ElementMismatch {
+            expected: "symbol".into(),
+            found: "pitch".into()
+        }
+        .to_string()
+        .contains("pitch"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_a_source() {
+        let err: StorageError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&StorageError::BadMagic).is_none());
+    }
+}

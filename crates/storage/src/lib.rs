@@ -1,0 +1,35 @@
+//! # ssr-storage
+//!
+//! Versioned, checksummed on-disk snapshots for the subsequence-retrieval
+//! framework — the build-time / serve-time separation that lets a database
+//! plus its prebuilt metric indexes cold-start by **loading** instead of
+//! rebuilding (minutes of index construction and millions of distance calls
+//! at production scale).
+//!
+//! The crate has three layers and zero dependencies:
+//!
+//! * [`codec`] — [`Writer`]/[`Reader`] plus the [`Encode`] / [`Decode`] /
+//!   [`DecodeWith`] traits that `ssr-sequence`, `ssr-index` and `ssr-core`
+//!   implement for their types. [`StorableElement`] tags element types so a
+//!   loader can check the file matches its generic instantiation before
+//!   decoding payloads.
+//! * [`crc32`](mod@crc32) — the CRC-32 used per section and over the header.
+//! * [`snapshot`] — the container format: magic, format version, section
+//!   table, per-section CRC ([`SnapshotBuilder`] to write, [`Snapshot`] to
+//!   read).
+//!
+//! Loading is strict and total: any truncation or byte flip anywhere in a
+//! snapshot yields a typed [`StorageError`]; the decoder never panics on
+//! damaged input.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc32;
+pub mod error;
+pub mod snapshot;
+
+pub use codec::{Decode, DecodeWith, Encode, Reader, StorableElement, Writer};
+pub use crc32::crc32;
+pub use error::StorageError;
+pub use snapshot::{SectionEntry, Snapshot, SnapshotBuilder, FORMAT_VERSION, MAGIC};

@@ -1,0 +1,101 @@
+//! Persistence round-trip: build a database, save it as a versioned
+//! snapshot, cold-start a second database by loading the file, and show that
+//! (a) loading is far cheaper than rebuilding and (b) the loaded database
+//! answers queries identically — results and statistics.
+//!
+//! ```text
+//! cargo run --release --example snapshot_roundtrip
+//! ```
+
+use std::time::Instant;
+
+use subsequence_retrieval::datagen::{
+    generate_proteins, plant_query, ProteinConfig, QueryConfig, SymbolMutator,
+};
+use subsequence_retrieval::prelude::*;
+
+fn main() {
+    // A synthetic protein database: ~400 windows of length λ/2 = 20.
+    let proteins = generate_proteins(&ProteinConfig::sized_for_windows(400, 20, 42));
+    let config = FrameworkConfig::new(40).with_max_shift(2);
+
+    // Steps 1–2: partition into windows and build the Reference Net. This is
+    // the expensive part a snapshot lets a restart skip.
+    let build_started = Instant::now();
+    let db = SubsequenceDatabase::builder(config, Levenshtein::new())
+        .add_dataset(&proteins)
+        .build()
+        .expect("database builds");
+    let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "built   {} windows in {build_ms:.1} ms ({} distance calls)",
+        db.window_count(),
+        db.build_distance_calls()
+    );
+
+    // Save the database — sequences, windows and the prebuilt index — as a
+    // checksummed snapshot.
+    let path = std::env::temp_dir().join("ssr-example.ssr");
+    let save_started = Instant::now();
+    db.save_snapshot(&path).expect("snapshot writes");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "saved   {} ({bytes} bytes) in {:.1} ms",
+        path.display(),
+        save_started.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Cold start: load instead of rebuild. Zero distance calls.
+    let load_started = Instant::now();
+    let loaded =
+        SubsequenceDatabase::<Symbol, Levenshtein>::load_snapshot(&path, Levenshtein::new())
+            .expect("snapshot loads");
+    let load_ms = load_started.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "loaded  {} windows in {load_ms:.1} ms ({} distance calls) — {:.0}x faster than rebuild",
+        loaded.window_count(),
+        loaded.query_distance_counter().get(),
+        build_ms / load_ms.max(1e-6)
+    );
+
+    // The snapshot manifest is readable without the element type — this is
+    // what `ssr info` prints.
+    let snapshot = Snapshot::open(&path).expect("snapshot re-opens");
+    let manifest = SnapshotManifest::read(&snapshot).expect("manifest decodes");
+    println!(
+        "format  element={} distance={} sections={:?}",
+        manifest.element,
+        manifest.distance,
+        snapshot
+            .sections()
+            .iter()
+            .map(|s| format!("{}:{}B", s.name, s.len))
+            .collect::<Vec<_>>()
+    );
+
+    // Query both databases: identical results AND identical work accounting.
+    let planted = plant_query(
+        &proteins,
+        &SymbolMutator,
+        &QueryConfig {
+            planted_len: 60,
+            context_len: 20,
+            perturbation_rate: 0.05,
+            seed: 7,
+        },
+    )
+    .expect("plants a query");
+    let a = db.query_type2(&planted.query, 8.0);
+    let b = loaded.query_type2(&planted.query, 8.0);
+    assert_eq!(a.result, b.result, "results must match");
+    assert_eq!(a.stats, b.stats, "statistics must match");
+    match &b.result {
+        Some(m) => println!(
+            "query   loaded db found {} db[{}..{}] at distance {:.1} — parity with built db ✓",
+            m.sequence, m.db_range.start, m.db_range.end, m.distance
+        ),
+        None => println!("query   no match found (unexpected for a planted query)"),
+    }
+
+    std::fs::remove_file(&path).ok();
+}

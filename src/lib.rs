@@ -24,7 +24,12 @@
 //!   query types (range, longest, nearest), and the parallel batched
 //!   [`QueryEngine`](crate::prelude::QueryEngine) that fans a batch of
 //!   queries out over a dependency-free worker pool with bit-identical
-//!   results at every thread count.
+//!   results at every thread count;
+//! * [`storage`] (`ssr-storage`) — versioned, checksummed on-disk snapshots:
+//!   a built database (windows + prebuilt index) round-trips through disk via
+//!   [`SubsequenceDatabase::save_snapshot`](crate::prelude::SubsequenceDatabase::save_snapshot)
+//!   / `load_snapshot`, so a restart cold-starts by loading in milliseconds
+//!   instead of rebuilding with millions of distance calls.
 //!
 //! ## Quick start
 //!
@@ -57,13 +62,14 @@ pub use ssr_datagen as datagen;
 pub use ssr_distance as distance;
 pub use ssr_index as index;
 pub use ssr_sequence as sequence;
+pub use ssr_storage as storage;
 
 /// The most commonly used types, re-exported for convenient glob import.
 pub mod prelude {
     pub use ssr_core::{
         BatchOutcome, BruteConstraints, DatabaseBuilder, FrameworkConfig, FrameworkError,
-        IndexBackend, QueryEngine, QueryOutcome, QueryStats, StageTimings, SubsequenceDatabase,
-        SubsequenceMatch,
+        IndexBackend, QueryEngine, QueryOutcome, QueryStats, SegmentScan, SnapshotManifest,
+        StageTimings, SubsequenceDatabase, SubsequenceMatch,
     };
     pub use ssr_distance::{
         CallCounter, DiscreteFrechet, Dtw, Erp, Euclidean, Hamming, Levenshtein, SequenceDistance,
@@ -74,4 +80,5 @@ pub mod prelude {
     pub use ssr_sequence::{
         Alphabet, Element, Pitch, Point2D, Point3D, Sequence, SequenceDataset, SequenceId, Symbol,
     };
+    pub use ssr_storage::{Snapshot, StorageError};
 }
