@@ -40,12 +40,17 @@ use ssr_storage::Snapshot;
 /// Fraction by which a gated metric may exceed its baseline value.
 const GATE_TOLERANCE: f64 = 0.10;
 
-/// Metrics compared against the baseline. All are deterministic counts.
-const GATED_METRICS: [&str; 4] = [
+/// Metrics compared against the baseline ("higher is worse"). All are
+/// deterministic counts: the distance-call counters are invariant under the
+/// threshold-aware pruning machinery by construction, and `dp_cells_evaluated`
+/// gates the pruning itself — a kernel regression that evaluates more cells
+/// fails here even when every call count is unchanged.
+const GATED_METRICS: [&str; 5] = [
     "index_distance_calls",
     "verification_calls",
     "segment_matches",
     "candidates",
+    "dp_cells_evaluated",
 ];
 
 struct Options {
@@ -58,13 +63,19 @@ struct Options {
     min_speedup: Option<f64>,
     snapshot: Option<String>,
     min_cold_start_speedup: f64,
+    /// Ablation: disable the threshold-aware pruning machinery entirely.
+    no_pruning: bool,
+    /// Gate: the pruned run must evaluate at least this factor fewer DP
+    /// cells than a pruning-disabled ablation run (0 disables the gate and
+    /// the extra ablation pass).
+    min_dp_pruning_ratio: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--scale smoke|small|medium] [--threads N] [--queries N] \
          [--out PATH] [--baseline PATH] [--min-speedup X] [--snapshot PATH] \
-         [--min-cold-start-speedup X]"
+         [--min-cold-start-speedup X] [--no-pruning] [--min-dp-pruning-ratio X]"
     );
     std::process::exit(2);
 }
@@ -81,6 +92,8 @@ fn parse_options() -> Options {
         min_speedup: None,
         snapshot: None,
         min_cold_start_speedup: 5.0,
+        no_pruning: false,
+        min_dp_pruning_ratio: 0.0,
     };
     let mut queries_override = None;
     let mut i = 0;
@@ -115,6 +128,10 @@ fn parse_options() -> Options {
             "--snapshot" => opts.snapshot = Some(value(&mut i)),
             "--min-cold-start-speedup" => {
                 opts.min_cold_start_speedup = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--no-pruning" => opts.no_pruning = true,
+            "--min-dp-pruning-ratio" => {
+                opts.min_dp_pruning_ratio = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -176,6 +193,10 @@ fn stage_object(batch: &BatchOutcome<Option<ssr_core::SubsequenceMatch>>) -> Jso
 fn main() {
     let opts = parse_options();
     let epsilon = 8.0;
+    if opts.no_pruning {
+        eprintln!("# ablation: threshold-aware pruning DISABLED");
+        ssr_distance::set_pruning_enabled(false);
+    }
 
     // Seeded workload: deterministic across machines, so the distance-call
     // counts gated by CI are reproducible everywhere.
@@ -262,6 +283,54 @@ fn main() {
         parallel.threads,
         speedup
     );
+    eprintln!(
+        "# dp cells {} ({} lower-bound prunes) across {} index + {} verification calls",
+        stats.dp_cells_evaluated,
+        stats.pruned_by_lower_bound,
+        stats.index_distance_calls,
+        stats.verification_calls
+    );
+
+    // DP-cell ablation: rerun the batch with pruning disabled, assert the
+    // outcomes are bit-identical apart from the work counters, and gate the
+    // in-repo saving. Skipped when the whole run is already an ablation.
+    let mut ablation_failures = 0usize;
+    let ablation = (!opts.no_pruning && opts.min_dp_pruning_ratio > 0.0).then(|| {
+        ssr_distance::set_pruning_enabled(false);
+        let unpruned = QueryEngine::new(&db).batch_type2(&queries, epsilon);
+        ssr_distance::set_pruning_enabled(true);
+        for (i, (a, b)) in sequential
+            .outcomes
+            .iter()
+            .zip(&unpruned.outcomes)
+            .enumerate()
+        {
+            if a.result != b.result {
+                eprintln!("ABLATION PARITY FAILURE on query {i}: pruning changed the result");
+                ablation_failures += 1;
+            }
+            if a.stats.verification_calls != b.stats.verification_calls
+                || a.stats.index_distance_calls != b.stats.index_distance_calls
+            {
+                eprintln!("ABLATION PARITY FAILURE on query {i}: pruning changed call counts");
+                ablation_failures += 1;
+            }
+        }
+        let full_cells = unpruned.total_stats().dp_cells_evaluated;
+        let ratio = full_cells as f64 / stats.dp_cells_evaluated.max(1) as f64;
+        eprintln!(
+            "# pruning ablation: {} dp cells without pruning vs {} with — {:.2}x fewer",
+            full_cells, stats.dp_cells_evaluated, ratio
+        );
+        if ratio < opts.min_dp_pruning_ratio {
+            eprintln!(
+                "FAIL dp-cell pruning ratio {ratio:.2}x below required {:.2}x",
+                opts.min_dp_pruning_ratio
+            );
+            ablation_failures += 1;
+        }
+        (full_cells, ratio)
+    });
 
     // Cold-start measurement: save → load → query parity → speedup gate.
     let mut snapshot_failures = 0usize;
@@ -391,6 +460,15 @@ fn main() {
             JsonValue::Number(stats.segment_matches as f64),
         ),
         ("candidates", JsonValue::Number(stats.candidates as f64)),
+        (
+            "dp_cells_evaluated",
+            JsonValue::Number(stats.dp_cells_evaluated as f64),
+        ),
+        (
+            "pruned_by_lower_bound",
+            JsonValue::Number(stats.pruned_by_lower_bound as f64),
+        ),
+        ("pruning_enabled", JsonValue::Bool(!opts.no_pruning)),
         ("sequential", stage_object(&sequential)),
         ("parallel", stage_object(&parallel)),
         (
@@ -425,6 +503,20 @@ fn main() {
         }
         (report, _) => report,
     };
+    let report = match (report, ablation) {
+        (JsonValue::Object(mut members), Some((full_cells, ratio))) => {
+            members.push((
+                "dp_cells_no_pruning".to_string(),
+                JsonValue::Number(full_cells as f64),
+            ));
+            members.push((
+                "dp_pruning_ratio".to_string(),
+                JsonValue::Number((ratio * 100.0).round() / 100.0),
+            ));
+            JsonValue::Object(members)
+        }
+        (report, _) => report,
+    };
 
     let out_path = opts
         .out
@@ -436,7 +528,7 @@ fn main() {
     });
     eprintln!("# wrote {out_path}");
 
-    let mut failures = parity_failures + snapshot_failures;
+    let mut failures = parity_failures + snapshot_failures + ablation_failures;
     if let Some(baseline_path) = &opts.baseline {
         failures += check_baseline(baseline_path, &report);
     }

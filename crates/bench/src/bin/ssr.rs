@@ -497,4 +497,8 @@ fn print_stats<R>(outcome: &QueryOutcome<R>, started: Instant) {
             ""
         }
     );
+    eprintln!(
+        "# pruning: dp cells {} | lower-bound prunes {}",
+        s.dp_cells_evaluated, s.pruned_by_lower_bound
+    );
 }

@@ -62,6 +62,48 @@ pub struct SegmentScan {
     pub matches: Vec<SegmentMatch>,
     /// Distance evaluations performed inside the index to produce them.
     pub distance_calls: u64,
+    /// Dynamic-program cells those evaluations actually filled. Thresholded
+    /// kernels cut this number without changing `distance_calls`.
+    pub dp_cells: u64,
+    /// Evaluations resolved by a cheap lower bound alone.
+    pub pruned_by_lower_bound: u64,
+}
+
+/// Prefix sums of a sequence's per-element ground distances to the gap
+/// element, plus whether those sums are exact (integral, below 2⁵³ — the
+/// precondition for pruning on a float comparison without ever misclassifying
+/// a borderline pair). Gives the `O(1)`-per-range inputs of the ERP gap-sum
+/// lower bound; built once per database sequence at build/load time and once
+/// per query at query time, fixing the old wart where `erp_lower_bound`
+/// rescanned both subsequences for every candidate pair.
+pub(crate) struct GapPrefix {
+    prefix: Vec<f64>,
+    exact: bool,
+}
+
+impl GapPrefix {
+    /// Scans `elements` once, accumulating in element order. The exactness
+    /// verdict comes from the same shared scan the ERP kernel uses
+    /// (`ssr_distance::scan_gap_costs_with`), so kernel and cascade can
+    /// never disagree on which pairs are prunable.
+    pub(crate) fn build<E: Element>(elements: &[E]) -> GapPrefix {
+        let mut prefix = Vec::with_capacity(elements.len() + 1);
+        prefix.push(0.0);
+        let scan = ssr_distance::scan_gap_costs_with(elements, |running| prefix.push(running));
+        GapPrefix {
+            prefix,
+            exact: scan.integral,
+        }
+    }
+
+    /// Gap sum of the half-open element range, or `None` when the sums are
+    /// not exact (pruning on them could flip a borderline comparison).
+    pub(crate) fn range_sum(&self, range: &std::ops::Range<usize>) -> Option<f64> {
+        if !self.exact {
+            return None;
+        }
+        Some(self.prefix[range.end] - self.prefix[range.start])
+    }
 }
 
 impl SegmentScan {
@@ -152,10 +194,12 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
             return Err(FrameworkError::EmptyDatabase);
         }
         let counter = CallCounter::new();
+        let cell_counter = ssr_distance::CellCounter::new();
         let metric = CountingMetric::new(
             SequenceMetricAdapter::new(Arc::clone(&self.distance)),
             counter.clone(),
-        );
+        )
+        .with_cell_counter(cell_counter.clone());
         let window_data: Vec<Vec<E>> = windows.iter().map(|(_, w)| w.data.clone()).collect();
         let index = match self.config.backend {
             IndexBackend::ReferenceNet => {
@@ -186,19 +230,42 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
                 WindowIndex::LinearScan(idx)
             }
         };
-        // Remember how much the build cost, then reset the shared counter so
+        // Remember how much the build cost, then reset the shared counters so
         // that subsequent reads reflect query-time work only.
         let build_distance_calls = counter.reset();
+        let build_dp_cells = cell_counter.reset();
+        let gap_prefixes = build_gap_prefixes(self.distance.as_ref(), &self.dataset);
         Ok(SubsequenceDatabase {
             index,
             counter,
+            cell_counter,
             build_distance_calls,
+            build_dp_cells,
+            gap_prefixes,
             config: self.config,
             distance: self.distance,
             dataset: self.dataset,
             windows,
         })
     }
+}
+
+/// Per-sequence gap prefix tables for the verification cascade, built only
+/// when the distance can prune on gap sums (ERP-style measures).
+pub(crate) fn build_gap_prefixes<E: Element, D: SequenceDistance<E>>(
+    distance: &D,
+    dataset: &SequenceDataset<E>,
+) -> Option<Vec<GapPrefix>> {
+    if !distance.uses_gap_sums() {
+        return None;
+    }
+    Some(
+        dataset
+            .sequences()
+            .iter()
+            .map(|s| GapPrefix::build(s.elements()))
+            .collect(),
+    )
 }
 
 /// A database of sequences prepared for subsequence retrieval: the sequences,
@@ -213,7 +280,12 @@ pub struct SubsequenceDatabase<E: Element, D: SequenceDistance<E>> {
     pub(crate) windows: WindowStore<E>,
     pub(crate) index: WindowIndex<E, D>,
     pub(crate) counter: CallCounter,
+    pub(crate) cell_counter: ssr_distance::CellCounter,
     pub(crate) build_distance_calls: u64,
+    pub(crate) build_dp_cells: u64,
+    /// Per-sequence gap prefix tables for the verification lower-bound
+    /// cascade; `None` when the distance cannot prune on gap sums.
+    pub(crate) gap_prefixes: Option<Vec<GapPrefix>>,
 }
 
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D> {
@@ -257,9 +329,21 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         self.build_distance_calls
     }
 
+    /// Number of DP cells those build-time evaluations filled.
+    pub fn build_dp_cells(&self) -> u64 {
+        self.build_dp_cells
+    }
+
     /// Shared counter of query-time distance evaluations made by the index.
     pub fn query_distance_counter(&self) -> &CallCounter {
         &self.counter
+    }
+
+    /// Shared counter of query-time DP cells evaluated inside the index
+    /// (alongside [`Self::query_distance_counter`]; verification cells are
+    /// attributed per query in [`crate::QueryStats::dp_cells_evaluated`]).
+    pub fn query_dp_cell_counter(&self) -> &ssr_distance::CellCounter {
+        &self.cell_counter
     }
 
     /// Step 4: matches every query segment (step 3) against the indexed
@@ -284,6 +368,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         ctx.timings.segment_ns += segment_started.elapsed().as_nanos() as u64;
         let filter_started = Instant::now();
         let before = CallCounter::thread_total();
+        let cells_before = ssr_distance::dp_cells_thread_total();
+        let prunes_before = ssr_distance::lower_bound_prunes_thread_total();
         let mut matches = Vec::new();
         for segment in &segments {
             for id in self.index.range_query(&segment.data, epsilon) {
@@ -292,7 +378,14 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                     .windows
                     .get(window_id)
                     .expect("index ids correspond to window ids");
-                let distance = self.distance.distance(&segment.data, &window.data);
+                // The index certified d ≤ ε, so the thresholded recompute
+                // always completes; the fallback covers the one legitimate
+                // exception — bulk-accepted items whose triangle-inequality
+                // certificate was rounded right at the radius boundary.
+                let distance = self
+                    .distance
+                    .distance_within(&segment.data, &window.data, epsilon)
+                    .unwrap_or_else(|| self.distance.distance(&segment.data, &window.data));
                 matches.push(SegmentMatch {
                     window: window_id,
                     sequence: window.sequence,
@@ -305,10 +398,14 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             }
         }
         let distance_calls = CallCounter::thread_total() - before;
+        let dp_cells = ssr_distance::dp_cells_thread_total() - cells_before;
+        let pruned_by_lower_bound = ssr_distance::lower_bound_prunes_thread_total() - prunes_before;
         ctx.timings.filter_ns += filter_started.elapsed().as_nanos() as u64;
         SegmentScan {
             matches,
             distance_calls,
+            dp_cells,
+            pruned_by_lower_bound,
         }
     }
 

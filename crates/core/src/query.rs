@@ -54,6 +54,15 @@ pub struct QueryStats {
     pub candidates: usize,
     /// Distance evaluations spent verifying candidate subsequence pairs.
     pub verification_calls: u64,
+    /// Dynamic-program cells evaluated by the distance kernels across the
+    /// whole query (index filtering **and** verification). Deterministic and
+    /// bit-identical at every thread count, like the call counts: pruning
+    /// (lower bounds, banded DP, early abandoning) shrinks this number while
+    /// `index_distance_calls` / `verification_calls` stay exactly the same.
+    pub dp_cells_evaluated: u64,
+    /// Distance evaluations resolved by a cheap lower bound alone, without
+    /// running any dynamic program.
+    pub pruned_by_lower_bound: u64,
     /// Whether the verification budget (`max_verifications`) was exhausted.
     pub budget_exhausted: bool,
 }
@@ -69,6 +78,8 @@ impl QueryStats {
         self.consecutive_windows += other.consecutive_windows;
         self.candidates += other.candidates;
         self.verification_calls += other.verification_calls;
+        self.dp_cells_evaluated += other.dp_cells_evaluated;
+        self.pruned_by_lower_bound += other.pruned_by_lower_bound;
         self.budget_exhausted |= other.budget_exhausted;
     }
 }
@@ -125,6 +136,13 @@ pub(crate) struct ExecCtx<'a> {
     pub timings: StageTimings,
     /// Shared verification memo and the key of the query being executed.
     pub memo: Option<(&'a VerificationMemo, usize)>,
+    /// Verification threshold override. A Type III ε-sweep with a shared memo
+    /// sets this to its `epsilon_max`: a verification outcome is memoised
+    /// across radii, so the threshold passed to the kernel must cover the
+    /// whole sweep — a pair beyond it can never match at any radius and is
+    /// safely recorded as `f64::INFINITY`. Without a memo each radius prunes
+    /// against its own `ε` (tighter bands, nothing cached).
+    pub verify_tau: Option<f64>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -133,6 +151,7 @@ impl<'a> ExecCtx<'a> {
         ExecCtx {
             timings: StageTimings::default(),
             memo: None,
+            verify_tau: None,
         }
     }
 
@@ -141,6 +160,7 @@ impl<'a> ExecCtx<'a> {
         ExecCtx {
             timings: StageTimings::default(),
             memo: Some((memo, query_key)),
+            verify_tau: None,
         }
     }
 
@@ -193,6 +213,10 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
     ) -> QueryOutcome<Vec<SubsequenceMatch>> {
         let (candidates, mut stats) = self.prepare_candidates(query, epsilon, ctx);
         let verify_started = Instant::now();
+        let cells_before = ssr_distance::dp_cells_thread_total();
+        let prunes_before = ssr_distance::lower_bound_prunes_thread_total();
+        let tau = ctx.verify_tau.unwrap_or(epsilon);
+        let query_gap = self.query_gap_prefix(query);
         let mut results = Vec::new();
         let mut budget = self.config().max_verifications as u64;
         // Expansion grids of overlapping candidates repeat the same pairs;
@@ -217,7 +241,14 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                         }
                         budget -= 1;
                         stats.verification_calls += 1;
-                        let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                        let d = self.verify_within(
+                            query,
+                            query_gap.as_ref(),
+                            candidate.sequence,
+                            &q_range,
+                            &x_range,
+                            tau,
+                        );
                         ctx.store(candidate.sequence, &q_range, &x_range, d);
                         d
                     }
@@ -245,6 +276,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
+        stats.dp_cells_evaluated += ssr_distance::dp_cells_thread_total() - cells_before;
+        stats.pruned_by_lower_bound +=
+            ssr_distance::lower_bound_prunes_thread_total() - prunes_before;
         ctx.timings.verify_ns += verify_started.elapsed().as_nanos() as u64;
         QueryOutcome {
             result: results,
@@ -274,6 +308,10 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
     ) -> QueryOutcome<Option<SubsequenceMatch>> {
         let (candidates, mut stats) = self.prepare_candidates(query, epsilon, ctx);
         let verify_started = Instant::now();
+        let cells_before = ssr_distance::dp_cells_thread_total();
+        let prunes_before = ssr_distance::lower_bound_prunes_thread_total();
+        let tau = ctx.verify_tau.unwrap_or(epsilon);
+        let query_gap = self.query_gap_prefix(query);
         let mut best: Option<SubsequenceMatch> = None;
         let mut budget = self.config().max_verifications as u64;
         let mut seen = PairSet::default();
@@ -312,7 +350,14 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                         }
                         budget -= 1;
                         stats.verification_calls += 1;
-                        let d = self.verify(query, candidate.sequence, &q_range, &x_range);
+                        let d = self.verify_within(
+                            query,
+                            query_gap.as_ref(),
+                            candidate.sequence,
+                            &q_range,
+                            &x_range,
+                            tau,
+                        );
                         ctx.store(candidate.sequence, &q_range, &x_range, d);
                         d
                     }
@@ -330,6 +375,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 break;
             }
         }
+        stats.dp_cells_evaluated += ssr_distance::dp_cells_thread_total() - cells_before;
+        stats.pruned_by_lower_bound +=
+            ssr_distance::lower_bound_prunes_thread_total() - prunes_before;
         ctx.timings.verify_ns += verify_started.elapsed().as_nanos() as u64;
         QueryOutcome {
             result: best,
@@ -370,12 +418,22 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             "epsilon_increment must be positive"
         );
         let mut total_stats = QueryStats::default();
+        // With a shared memo, verification outcomes survive from one radius
+        // to the next, so the kernels must be thresholded at the *sweep's*
+        // maximum — a pair beyond `epsilon_max` can never match at any radius
+        // of this sweep and is memoised as `f64::INFINITY`. Without a memo
+        // every radius re-verifies from scratch and prunes at its own `ε`.
+        if ctx.memo.is_some() {
+            ctx.verify_tau = Some(epsilon_max);
+        }
 
         // Binary search for the smallest epsilon with a non-empty shortlist.
         let mut lo = 0.0f64;
         let mut hi = epsilon_max;
         let scan_at_max = self.matching_segments_ctx(query, epsilon_max, ctx);
         total_stats.index_distance_calls += scan_at_max.distance_calls;
+        total_stats.dp_cells_evaluated += scan_at_max.dp_cells;
+        total_stats.pruned_by_lower_bound += scan_at_max.pruned_by_lower_bound;
         if scan_at_max.is_empty() {
             return QueryOutcome {
                 result: None,
@@ -389,6 +447,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             let mid = (lo + hi) / 2.0;
             let scan = self.matching_segments_ctx(query, mid, ctx);
             total_stats.index_distance_calls += scan.distance_calls;
+            total_stats.dp_cells_evaluated += scan.dp_cells;
+            total_stats.pruned_by_lower_bound += scan.pruned_by_lower_bound;
             if scan.is_empty() {
                 lo = mid;
             } else {
@@ -411,6 +471,8 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             total_stats.consecutive_windows = outcome.stats.consecutive_windows;
             total_stats.candidates = outcome.stats.candidates;
             total_stats.verification_calls += outcome.stats.verification_calls;
+            total_stats.dp_cells_evaluated += outcome.stats.dp_cells_evaluated;
+            total_stats.pruned_by_lower_bound += outcome.stats.pruned_by_lower_bound;
             total_stats.budget_exhausted |= outcome.stats.budget_exhausted;
             if let Some(best) = outcome.result.into_iter().min_by(|a, b| {
                 a.distance
@@ -467,25 +529,78 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             consecutive_windows,
             candidates: candidates.len(),
             verification_calls: 0,
+            dp_cells_evaluated: scan.dp_cells,
+            pruned_by_lower_bound: scan.pruned_by_lower_bound,
             budget_exhausted: false,
         };
         (candidates, stats)
     }
 
-    /// Computes the verified distance of one candidate subsequence pair.
-    fn verify(
+    /// Computes the verified distance of one candidate subsequence pair,
+    /// running the pruning cascade first: an exact length lower bound, then
+    /// an exact gap-sum lower bound from the precomputed prefix tables (both
+    /// `O(1)` per pair), then the threshold-aware kernel with `tau` clamped
+    /// to the measure's `max_distance` so short pairs never get pointlessly
+    /// wide bands. Returns `f64::INFINITY` for any pair whose distance
+    /// exceeds `tau` — by construction such a pair can never be reported as
+    /// a match, so the substitution is invisible in results.
+    fn verify_within(
         &self,
         query: &Sequence<E>,
+        query_gap: Option<&crate::database::GapPrefix>,
         sequence: SequenceId,
         q_range: &Range<usize>,
         x_range: &Range<usize>,
+        tau: f64,
     ) -> f64 {
         let db_seq = self
             .sequence(sequence)
             .expect("candidate references a stored sequence");
+        let q_len = q_range.end - q_range.start;
+        let x_len = x_range.end - x_range.start;
+        // Clamp: distances never exceed max_distance(len), so a wider band
+        // cannot admit anything more (exactness argument in ISSUE/docs: a
+        // prune against the clamped threshold implies a prune against the
+        // unclamped one, because every distance is ≤ the clamp).
+        let tau = match self.distance.max_distance(q_len.max(x_len)) {
+            Some(bound) => tau.min(bound),
+            None => tau,
+        };
+        if ssr_distance::pruning_enabled() {
+            let mut lower = self.distance.length_lower_bound(q_len, x_len);
+            if let (Some(qg), Some(prefixes)) = (query_gap, self.gap_prefixes.as_ref()) {
+                if let (Some(sum_q), Some(sum_x)) = (
+                    qg.range_sum(q_range),
+                    prefixes.get(sequence.0).and_then(|p| p.range_sum(x_range)),
+                ) {
+                    lower = lower.max(self.distance.gap_sum_lower_bound(sum_q, sum_x));
+                }
+            }
+            // `partial_cmp` spelled out so a NaN threshold prunes rather
+            // than silently accepting.
+            let within = matches!(
+                lower.partial_cmp(&tau),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
+            if !within {
+                ssr_distance::record_lower_bound_prune();
+                return f64::INFINITY;
+            }
+        }
         let sq = &query.elements()[q_range.clone()];
         let sx = &db_seq.elements()[x_range.clone()];
-        self.distance().distance(sq, sx)
+        self.distance()
+            .distance_within(sq, sx, tau)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Prefix gap sums of the query, when the distance can exploit them
+    /// (computed once per query execution, reused across every candidate
+    /// pair — the database-side counterpart is built once at index time).
+    fn query_gap_prefix(&self, query: &Sequence<E>) -> Option<crate::database::GapPrefix> {
+        self.gap_prefixes
+            .as_ref()
+            .map(|_| crate::database::GapPrefix::build(query.elements()))
     }
 }
 

@@ -124,6 +124,8 @@ pub struct SnapshotManifest {
     /// Distance evaluations the original build spent constructing the index —
     /// the work a cold start skips by loading this snapshot.
     pub build_distance_calls: u64,
+    /// Dynamic-program cells those build evaluations filled.
+    pub build_dp_cells: u64,
 }
 
 impl Encode for SnapshotManifest {
@@ -134,6 +136,7 @@ impl Encode for SnapshotManifest {
         w.put_usize(self.sequences);
         w.put_usize(self.windows);
         w.put_u64(self.build_distance_calls);
+        w.put_u64(self.build_dp_cells);
     }
 }
 
@@ -146,6 +149,7 @@ impl Decode for SnapshotManifest {
             sequences: r.take_usize()?,
             windows: r.take_usize()?,
             build_distance_calls: r.take_u64()?,
+            build_dp_cells: r.take_u64()?,
         })
     }
 }
@@ -181,6 +185,7 @@ where
             sequences: self.dataset.len(),
             windows: self.windows.len(),
             build_distance_calls: self.build_distance_calls,
+            build_dp_cells: self.build_dp_cells,
         };
         let mut builder = SnapshotBuilder::new();
         builder.section(SECTION_MANIFEST, |w| manifest.encode(w));
@@ -261,10 +266,12 @@ where
 
         let distance = Arc::new(distance);
         let counter = CallCounter::new();
+        let cell_counter = ssr_distance::CellCounter::new();
         let metric: WindowMetric<D> = CountingMetric::new(
             SequenceMetricAdapter::new(Arc::clone(&distance)),
             counter.clone(),
-        );
+        )
+        .with_cell_counter(cell_counter.clone());
         let mut r = snapshot.section_reader(SECTION_INDEX)?;
         let backend = IndexBackend::decode(&mut r)?;
         if backend != config.backend {
@@ -301,6 +308,12 @@ where
             )));
         }
 
+        // The gap prefix tables are runtime context like the counting metric:
+        // rebuilt from the loaded elements (ground-distance scans, zero
+        // *distance* calls), not stored — the serialized per-window gap sums
+        // in the `windows` section cover the windows themselves.
+        let gap_prefixes = crate::database::build_gap_prefixes(distance.as_ref(), &dataset);
+
         // No counter reset here: the counter was created fresh above, so a
         // non-zero value after loading means decoding evaluated distances —
         // exactly the regression the bench `--snapshot` zero-calls gate
@@ -312,7 +325,10 @@ where
             windows,
             index,
             counter,
+            cell_counter,
             build_distance_calls: manifest.build_distance_calls,
+            build_dp_cells: manifest.build_dp_cells,
+            gap_prefixes,
         })
     }
 }

@@ -8,7 +8,7 @@
 //! counted transparently.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ssr_sequence::Element;
@@ -19,6 +19,117 @@ thread_local! {
     /// Monotone per-thread tally of distance evaluations recorded by *any*
     /// [`CallCounter`] on the current thread (see [`CallCounter::thread_total`]).
     static THREAD_CALLS: Cell<u64> = const { Cell::new(0) };
+
+    /// Monotone per-thread tally of dynamic-program cells evaluated by the
+    /// distance kernels (see [`dp_cells_thread_total`]).
+    static THREAD_DP_CELLS: Cell<u64> = const { Cell::new(0) };
+
+    /// Monotone per-thread tally of distance evaluations resolved by a cheap
+    /// lower bound alone (see [`lower_bound_prunes_thread_total`]).
+    static THREAD_LB_PRUNES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-global switch for the threshold-aware pruning machinery (lower
+/// bounds, banded DP, early abandoning). Enabled by default; the bench
+/// harness's `--no-pruning` ablation disables it to measure the saving
+/// in-repo. Disabling never changes results — kernels fall back to the full
+/// dynamic program and apply the threshold to the finished value — it only
+/// changes how many DP cells they evaluate.
+static PRUNING_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables threshold-aware pruning process-wide (ablation knob).
+///
+/// Results are identical either way; only [`dp_cells_thread_total`] and
+/// [`lower_bound_prunes_thread_total`] are affected. Intended for benchmarks
+/// and dedicated ablation tests — flipping it while other threads measure
+/// pruning ratios makes those measurements meaningless (but never wrong).
+pub fn set_pruning_enabled(enabled: bool) {
+    PRUNING_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether threshold-aware pruning is currently enabled (see
+/// [`set_pruning_enabled`]).
+pub fn pruning_enabled() -> bool {
+    PRUNING_ENABLED.load(Ordering::Relaxed)
+}
+
+/// `true` when `value` does **not** satisfy `value ≤ tau`: either it exceeds
+/// the threshold or the comparison is undefined (NaN threshold). The kernels
+/// prune on this predicate so that a NaN `tau` — for which `d ≤ tau` can
+/// never hold — yields `None` rather than a bogus acceptance.
+#[inline]
+pub(crate) fn exceeds(value: f64, tau: f64) -> bool {
+    !matches!(
+        value.partial_cmp(&tau),
+        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+    )
+}
+
+/// Records `n` dynamic-program cell evaluations on the current thread's tally.
+///
+/// The distance kernels call this once per evaluation with the number of
+/// recurrence cells they actually filled (elements processed, for the
+/// lockstep distances), so `dp_cells_evaluated` statistics are deterministic
+/// and bit-reproducible at every thread count when read as before/after
+/// deltas of [`dp_cells_thread_total`] — the same attribution scheme as
+/// [`CallCounter::thread_total`].
+pub fn record_dp_cells(n: u64) {
+    THREAD_DP_CELLS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Monotone tally of DP cells evaluated by distance kernels on the **current
+/// thread**, ever. Read before/after a block of work to attribute cells to it
+/// exactly (see [`record_dp_cells`]).
+pub fn dp_cells_thread_total() -> u64 {
+    THREAD_DP_CELLS.with(|c| c.get())
+}
+
+/// Records one distance evaluation that was resolved by a cheap lower bound
+/// (or an equal-length requirement) without running the dynamic program.
+pub fn record_lower_bound_prune() {
+    THREAD_LB_PRUNES.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Monotone per-thread tally of lower-bound prunes (see
+/// [`record_lower_bound_prune`]).
+pub fn lower_bound_prunes_thread_total() -> u64 {
+    THREAD_LB_PRUNES.with(|c| c.get())
+}
+
+/// A shared counter of dynamic-program cells, mirroring [`CallCounter`] for
+/// the cell tallies: cloning yields a handle to the same underlying count.
+///
+/// Unlike [`record_dp_cells`] it has no thread-local component — it is an
+/// aggregate sink the index layer's `CountingMetric` feeds with per-call
+/// deltas, so a database can report how many cells its index spent overall
+/// (e.g. during the build) alongside its distance-call count.
+#[derive(Clone, Debug, Default)]
+pub struct CellCounter {
+    count: Arc<AtomicU64>,
+}
+
+impl CellCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        CellCounter::default()
+    }
+
+    /// Adds `n` cells.
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.count.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current number of recorded cells.
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.count.swap(0, Ordering::Relaxed)
+    }
 }
 
 /// A shared counter of distance evaluations.
@@ -101,6 +212,11 @@ impl<E: Element, D: SequenceDistance<E>> SequenceDistance<E> for CountingDistanc
         self.inner.distance(a, b)
     }
 
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
+        self.counter.record();
+        self.inner.distance_within(a, b, tau)
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -111,6 +227,18 @@ impl<E: Element, D: SequenceDistance<E>> SequenceDistance<E> for CountingDistanc
 
     fn max_distance(&self, len: usize) -> Option<f64> {
         self.inner.max_distance(len)
+    }
+
+    fn length_lower_bound(&self, a_len: usize, b_len: usize) -> f64 {
+        self.inner.length_lower_bound(a_len, b_len)
+    }
+
+    fn uses_gap_sums(&self) -> bool {
+        self.inner.uses_gap_sums()
+    }
+
+    fn gap_sum_lower_bound(&self, sum_a: f64, sum_b: f64) -> f64 {
+        self.inner.gap_sum_lower_bound(sum_a, sum_b)
     }
 }
 

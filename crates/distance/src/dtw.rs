@@ -3,7 +3,9 @@
 use ssr_sequence::Element;
 
 use crate::alignment::{Alignment, Coupling};
+use crate::counting::{pruning_enabled, record_dp_cells};
 use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+use crate::workspace::DistanceWorkspace;
 
 /// Dynamic Time Warping: the minimum, over all warping paths, of the sum of
 /// ground distances of coupled elements.
@@ -15,6 +17,14 @@ use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
 /// consistency) still applies to DTW when paired with a linear scan; this
 /// implementation exists both for that configuration and as a reference point
 /// in the distance benchmarks.
+///
+/// [`SequenceDistance::distance_within`] adds row-minimum early abandoning:
+/// every warping path crosses every row of the DP matrix, and accumulated
+/// costs never decrease along a path (IEEE addition of non-negative costs is
+/// monotone), so a row whose minimum exceeds `τ` proves the final value does
+/// too. There is no band — constraining the warping path would change DTW's
+/// semantics — and no cheap lower bound from lengths, since DTW can couple
+/// sequences of very different lengths at zero cost.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Dtw;
 
@@ -27,26 +37,49 @@ impl Dtw {
 
 impl<E: Element> SequenceDistance<E> for Dtw {
     fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        self.distance_within(a, b, f64::INFINITY)
+            .expect("every distance is within an infinite threshold")
+    }
+
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
         if a.is_empty() && b.is_empty() {
-            return 0.0;
+            return if 0.0 <= tau { Some(0.0) } else { None };
         }
         if a.is_empty() || b.is_empty() {
-            return f64::INFINITY;
+            let d = f64::INFINITY;
+            return if d <= tau { Some(d) } else { None };
         }
+        let prune = pruning_enabled();
         let m = b.len();
-        let mut prev = vec![f64::INFINITY; m + 1];
-        let mut curr = vec![f64::INFINITY; m + 1];
-        prev[0] = 0.0;
-        for ai in a.iter() {
-            curr[0] = f64::INFINITY;
-            for (j, bj) in b.iter().enumerate() {
-                let cost = ai.ground_distance(bj);
-                let best_prev = prev[j].min(prev[j + 1]).min(curr[j]);
-                curr[j + 1] = cost + best_prev;
+        DistanceWorkspace::with(|ws| {
+            let (prev, curr) = ws.f64_rows(m + 1, f64::INFINITY);
+            prev[0] = 0.0;
+            let mut cells = 0u64;
+            for ai in a.iter() {
+                curr[0] = f64::INFINITY;
+                let mut row_min = f64::INFINITY;
+                for (j, bj) in b.iter().enumerate() {
+                    let cost = ai.ground_distance(bj);
+                    let best_prev = prev[j].min(prev[j + 1]).min(curr[j]);
+                    let value = cost + best_prev;
+                    curr[j + 1] = value;
+                    row_min = row_min.min(value);
+                }
+                cells += m as u64;
+                if prune && crate::counting::exceeds(row_min, tau) {
+                    record_dp_cells(cells);
+                    return None;
+                }
+                std::mem::swap(prev, curr);
             }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        prev[m]
+            record_dp_cells(cells);
+            let d = prev[m];
+            if d <= tau {
+                Some(d)
+            } else {
+                None
+            }
+        })
     }
 
     fn name(&self) -> &'static str {

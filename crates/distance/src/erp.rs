@@ -3,7 +3,10 @@
 use ssr_sequence::Element;
 
 use crate::alignment::{Alignment, Coupling};
+use crate::counting::{pruning_enabled, record_dp_cells, record_lower_bound_prune};
+use crate::lower_bounds::{erp_lower_bound_from_sums, scan_gap_costs};
 use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+use crate::workspace::DistanceWorkspace;
 
 /// ERP: an edit-style distance whose substitution cost is the ground distance
 /// between the coupled elements, and whose gap cost is the ground distance of
@@ -14,6 +17,16 @@ use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
 /// tolerates local time shifting and gaps. Together with the discrete Fréchet
 /// distance it is the time-series distance used throughout the paper's
 /// evaluation (Figures 4, 6, 7, 9 and 10).
+///
+/// [`SequenceDistance::distance_within`] prunes in three exact stages: the
+/// gap-sum lower bound `ERP(a, b) ≥ |Σ g(aᵢ, gap) − Σ g(bⱼ, gap)|` (applied
+/// only when both sums are exact integers, so the comparison cannot
+/// misclassify a borderline pair), a Ukkonen-style band (a path that strays
+/// `w` cells off the diagonal performs at least `w` gap operations, each
+/// costing at least the smallest per-element gap cost — again only under
+/// integral costs, where banded and full DP agree bit-for-bit), and
+/// row-minimum early abandoning (exact for any ground distance: IEEE addition
+/// of non-negative costs is monotone, so path values never decrease).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Erp;
 
@@ -26,29 +39,100 @@ impl Erp {
 
 impl<E: Element> SequenceDistance<E> for Erp {
     fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        self.distance_within(a, b, f64::INFINITY)
+            .expect("every distance is within an infinite threshold")
+    }
+
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
         let gap = E::gap();
         let n = a.len();
         let m = b.len();
         if n == 0 && m == 0 {
-            return 0.0;
+            return if 0.0 <= tau { Some(0.0) } else { None };
         }
-        // DP over the (n+1) x (m+1) grid with rolling rows.
-        let mut prev = vec![0.0f64; m + 1];
-        for j in 1..=m {
-            prev[j] = prev[j - 1] + b[j - 1].ground_distance(&gap);
-        }
-        let mut curr = vec![0.0f64; m + 1];
-        for i in 1..=n {
-            curr[0] = prev[0] + a[i - 1].ground_distance(&gap);
-            for j in 1..=m {
-                let match_cost = prev[j - 1] + a[i - 1].ground_distance(&b[j - 1]);
-                let gap_a = prev[j] + a[i - 1].ground_distance(&gap);
-                let gap_b = curr[j - 1] + b[j - 1].ground_distance(&gap);
-                curr[j] = match_cost.min(gap_a).min(gap_b);
+        let prune = pruning_enabled();
+        // The lower bound and the band both come from one gap-cost scan of
+        // each input; with pruning disabled — or an infinite threshold,
+        // against which neither can ever trigger — the scan's outputs would
+        // all be unused, so skip it entirely.
+        let mut k = n.max(m);
+        if prune && tau.is_finite() {
+            let scan_a = scan_gap_costs(a);
+            let scan_b = scan_gap_costs(b);
+            let exact_sums = scan_a.integral && scan_b.integral;
+            if exact_sums
+                && crate::counting::exceeds(erp_lower_bound_from_sums(scan_a.sum, scan_b.sum), tau)
+            {
+                record_lower_bound_prune();
+                return None;
             }
-            std::mem::swap(&mut prev, &mut curr);
+            // Band half-width: a path at diagonal offset w has made at least
+            // w gap operations, each costing at least `min_gap`, so cells
+            // with |i − j| > τ / min_gap cannot lie on a path of cost ≤ τ.
+            // Only sound to *restrict* the DP when the arithmetic is exact
+            // (integral costs).
+            let min_gap = scan_a.min_cost.min(scan_b.min_cost);
+            if exact_sums && min_gap > 0.0 && tau >= 0.0 && tau.is_finite() {
+                k = ((tau / min_gap).floor() as usize).min(k);
+            }
         }
-        prev[m]
+        DistanceWorkspace::with(|ws| {
+            let (prev, curr) = ws.f64_rows(m + 1, f64::INFINITY);
+            // Row 0: prefix gap sums of `b`, restricted to the band.
+            prev[0] = 0.0;
+            let mut acc = 0.0f64;
+            for j in 1..=m.min(k) {
+                acc += b[j - 1].ground_distance(&gap);
+                prev[j] = acc;
+            }
+            let mut a_prefix = 0.0f64;
+            let mut cells = 0u64;
+            for (i, ai) in a.iter().enumerate() {
+                let i = i + 1;
+                a_prefix += ai.ground_distance(&gap);
+                let lo = i.saturating_sub(k).max(1);
+                let hi = m.min(i + k);
+                curr[lo - 1] = if lo == 1 && i <= k {
+                    a_prefix
+                } else {
+                    f64::INFINITY
+                };
+                let mut row_min = curr[lo - 1];
+                for j in lo..=hi {
+                    let bj = &b[j - 1];
+                    let match_cost = prev[j - 1] + ai.ground_distance(bj);
+                    let gap_a = prev[j] + ai.ground_distance(&gap);
+                    let gap_b = curr[j - 1] + bj.ground_distance(&gap);
+                    let value = match_cost.min(gap_a).min(gap_b);
+                    curr[j] = value;
+                    row_min = row_min.min(value);
+                }
+                cells += (hi + 1 - lo) as u64;
+                if hi < m {
+                    curr[hi + 1] = f64::INFINITY;
+                }
+                if prune && crate::counting::exceeds(row_min, tau) {
+                    record_dp_cells(cells);
+                    return None;
+                }
+                std::mem::swap(prev, curr);
+            }
+            record_dp_cells(cells);
+            let d = prev[m];
+            if d <= tau {
+                Some(d)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn uses_gap_sums(&self) -> bool {
+        true
+    }
+
+    fn gap_sum_lower_bound(&self, sum_a: f64, sum_b: f64) -> f64 {
+        erp_lower_bound_from_sums(sum_a, sum_b)
     }
 
     fn name(&self) -> &'static str {

@@ -2,6 +2,7 @@
 
 use ssr_sequence::Element;
 
+use crate::counting::{pruning_enabled, record_dp_cells, record_lower_bound_prune};
 use crate::traits::{DistanceProperties, SequenceDistance};
 
 /// The Euclidean distance `δE(Q, X) = (Σ_m ground(q_m, x_m)²)^(1/2)`.
@@ -28,18 +29,55 @@ impl Euclidean {
 
 impl<E: Element> SequenceDistance<E> for Euclidean {
     fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        self.distance_within(a, b, f64::INFINITY)
+            .expect("every distance is within an infinite threshold")
+    }
+
+    /// Running-sum early abandoning: the partial sum of squares only grows
+    /// (IEEE addition of non-negative terms is monotone), and `sqrt` is
+    /// monotone too, so `√partial > τ` already proves `distance > τ`. The
+    /// cheap squared comparison `partial > τ²` only *gates* the exact `sqrt`
+    /// check — it never abandons on its own, so boundary rounding of `τ²`
+    /// cannot misclassify a pair.
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
+        let prune = pruning_enabled();
         if a.len() != b.len() {
-            return f64::INFINITY;
+            let d = f64::INFINITY;
+            if d <= tau {
+                return Some(d);
+            }
+            if prune {
+                record_lower_bound_prune();
+            }
+            return None;
         }
-        let sum_sq: f64 = a
-            .iter()
-            .zip(b.iter())
-            .map(|(x, y)| {
-                let g = x.ground_distance(y);
-                g * g
-            })
-            .sum();
-        sum_sq.sqrt()
+        let tau_sq = tau * tau;
+        let mut sum_sq = 0.0f64;
+        let mut cells = 0u64;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let g = x.ground_distance(y);
+            sum_sq += g * g;
+            cells += 1;
+            if prune && sum_sq > tau_sq && crate::counting::exceeds(sum_sq.sqrt(), tau) {
+                record_dp_cells(cells);
+                return None;
+            }
+        }
+        record_dp_cells(cells);
+        let d = sum_sq.sqrt();
+        if d <= tau {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    fn length_lower_bound(&self, a_len: usize, b_len: usize) -> f64 {
+        if a_len != b_len {
+            f64::INFINITY
+        } else {
+            0.0
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -3,7 +3,9 @@
 use ssr_sequence::Element;
 
 use crate::alignment::{Alignment, Coupling};
+use crate::counting::{pruning_enabled, record_dp_cells};
 use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+use crate::workspace::DistanceWorkspace;
 
 /// The discrete Fréchet distance: the minimum, over all couplings (warping
 /// paths), of the **maximum** ground distance of any coupled pair.
@@ -13,6 +15,12 @@ use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
 /// subset of couplings cannot exceed the maximum over all of them), and it
 /// tolerates temporal misalignment — which is why the paper pairs it with ERP
 /// for the SONGS and TRAJ experiments.
+///
+/// [`SequenceDistance::distance_within`] adds reachability early abandoning:
+/// reach values aggregate by `max`, so they never decrease along a coupling,
+/// every coupling crosses every row, and a row whose minimum reach exceeds
+/// `τ` proves the final bottleneck cost does too. The check is exact for any
+/// ground distance (`max` involves no rounding at all).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DiscreteFrechet;
 
@@ -25,38 +33,60 @@ impl DiscreteFrechet {
 
 impl<E: Element> SequenceDistance<E> for DiscreteFrechet {
     fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        self.distance_within(a, b, f64::INFINITY)
+            .expect("every distance is within an infinite threshold")
+    }
+
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
         if a.is_empty() && b.is_empty() {
-            return 0.0;
+            return if 0.0 <= tau { Some(0.0) } else { None };
         }
         if a.is_empty() || b.is_empty() {
-            return f64::INFINITY;
+            let d = f64::INFINITY;
+            return if d <= tau { Some(d) } else { None };
         }
+        let prune = pruning_enabled();
         let m = b.len();
-        let mut prev = vec![f64::INFINITY; m];
-        let mut curr = vec![f64::INFINITY; m];
-        for (i, ai) in a.iter().enumerate() {
-            for (j, bj) in b.iter().enumerate() {
-                let cost = ai.ground_distance(bj);
-                let reach = if i == 0 && j == 0 {
-                    cost
-                } else {
-                    let mut best = f64::INFINITY;
-                    if i > 0 {
-                        best = best.min(prev[j]);
-                    }
-                    if j > 0 {
-                        best = best.min(curr[j - 1]);
-                    }
-                    if i > 0 && j > 0 {
-                        best = best.min(prev[j - 1]);
-                    }
-                    best.max(cost)
-                };
-                curr[j] = reach;
+        DistanceWorkspace::with(|ws| {
+            let (prev, curr) = ws.f64_rows(m, f64::INFINITY);
+            let mut cells = 0u64;
+            for (i, ai) in a.iter().enumerate() {
+                let mut row_min = f64::INFINITY;
+                for (j, bj) in b.iter().enumerate() {
+                    let cost = ai.ground_distance(bj);
+                    let reach = if i == 0 && j == 0 {
+                        cost
+                    } else {
+                        let mut best = f64::INFINITY;
+                        if i > 0 {
+                            best = best.min(prev[j]);
+                        }
+                        if j > 0 {
+                            best = best.min(curr[j - 1]);
+                        }
+                        if i > 0 && j > 0 {
+                            best = best.min(prev[j - 1]);
+                        }
+                        best.max(cost)
+                    };
+                    curr[j] = reach;
+                    row_min = row_min.min(reach);
+                }
+                cells += m as u64;
+                if prune && crate::counting::exceeds(row_min, tau) {
+                    record_dp_cells(cells);
+                    return None;
+                }
+                std::mem::swap(prev, curr);
             }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        prev[m - 1]
+            record_dp_cells(cells);
+            let d = prev[m - 1];
+            if d <= tau {
+                Some(d)
+            } else {
+                None
+            }
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -2,6 +2,7 @@
 
 use ssr_sequence::Element;
 
+use crate::counting::{pruning_enabled, record_dp_cells, record_lower_bound_prune};
 use crate::traits::{DistanceProperties, SequenceDistance};
 
 /// The Hamming distance: the number of positions at which two equal-length
@@ -10,6 +11,9 @@ use crate::traits::{DistanceProperties, SequenceDistance};
 /// Pairs of different lengths are reported as `f64::INFINITY`. Hamming
 /// distance is metric and consistent but, like the Euclidean distance, cannot
 /// tolerate shifts or gaps (Section 5 of the paper).
+///
+/// [`SequenceDistance::distance_within`] abandons the scan as soon as the
+/// running mismatch count exceeds `τ` — exact, since the count only grows.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Hamming;
 
@@ -22,10 +26,47 @@ impl Hamming {
 
 impl<E: Element> SequenceDistance<E> for Hamming {
     fn distance(&self, a: &[E], b: &[E]) -> f64 {
+        self.distance_within(a, b, f64::INFINITY)
+            .expect("every distance is within an infinite threshold")
+    }
+
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
+        let prune = pruning_enabled();
         if a.len() != b.len() {
-            return f64::INFINITY;
+            let d = f64::INFINITY;
+            if d <= tau {
+                return Some(d);
+            }
+            if prune {
+                record_lower_bound_prune();
+            }
+            return None;
         }
-        a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() as f64
+        let mut mismatches = 0u64;
+        let mut cells = 0u64;
+        for (x, y) in a.iter().zip(b.iter()) {
+            mismatches += u64::from(x != y);
+            cells += 1;
+            if prune && crate::counting::exceeds(mismatches as f64, tau) {
+                record_dp_cells(cells);
+                return None;
+            }
+        }
+        record_dp_cells(cells);
+        let d = mismatches as f64;
+        if d <= tau {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    fn length_lower_bound(&self, a_len: usize, b_len: usize) -> f64 {
+        if a_len != b_len {
+            f64::INFINITY
+        } else {
+            0.0
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -3,7 +3,14 @@
 use ssr_sequence::Element;
 
 use crate::alignment::{Alignment, Coupling};
+use crate::counting::{pruning_enabled, record_dp_cells, record_lower_bound_prune};
+use crate::lower_bounds::length_difference_lower_bound;
 use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+use crate::workspace::DistanceWorkspace;
+
+/// Sentinel for DP cells outside the Ukkonen band. Half of `u32::MAX` so that
+/// `BAND_INF + 1` can never wrap.
+const BAND_INF: u32 = u32::MAX / 2;
 
 /// The Levenshtein distance: the minimum number of single-element insertions,
 /// deletions and substitutions needed to transform one sequence into another.
@@ -12,9 +19,14 @@ use crate::traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
 /// (Figures 4, 5, 8 and 12). It is metric and consistent, and tolerates gaps,
 /// which makes it suitable for the framework on string data (Section 5).
 ///
-/// The implementation is the standard `O(|a|·|b|)` dynamic program with two
-/// rolling rows for [`SequenceDistance::distance`], and a full matrix with
-/// traceback for [`AlignmentDistance::alignment`].
+/// [`SequenceDistance::distance_within`] is the threshold-aware kernel: a
+/// length-difference lower bound, then a Ukkonen-style banded dynamic program
+/// (cells with `|i − j| > ⌊τ⌋` cost more than `τ` because every off-diagonal
+/// step is an indel) with row-minimum early abandoning. All values are exact
+/// integers, so the banded result equals the full DP bit-for-bit whenever the
+/// distance is within the threshold. [`SequenceDistance::distance`] is the
+/// same kernel with `τ = ∞` (full band, no abandoning);
+/// [`AlignmentDistance::alignment`] keeps a full matrix with traceback.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Levenshtein;
 
@@ -27,24 +39,80 @@ impl Levenshtein {
 
 impl<E: Element> SequenceDistance<E> for Levenshtein {
     fn distance(&self, a: &[E], b: &[E]) -> f64 {
-        if a.is_empty() {
-            return b.len() as f64;
+        self.distance_within(a, b, f64::INFINITY)
+            .expect("every distance is within an infinite threshold")
+    }
+
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
+        let n = a.len();
+        let m = b.len();
+        if n == 0 || m == 0 {
+            let d = n.max(m) as f64;
+            return if d <= tau { Some(d) } else { None };
         }
-        if b.is_empty() {
-            return a.len() as f64;
+        let prune = pruning_enabled();
+        // Lower bound: every length difference needs at least one indel.
+        if prune && crate::counting::exceeds(length_difference_lower_bound(n, m), tau) {
+            record_lower_bound_prune();
+            return None;
         }
-        // Rolling single row of the (|a|+1) x (|b|+1) DP matrix.
-        let mut prev: Vec<u32> = (0..=b.len() as u32).collect();
-        let mut curr: Vec<u32> = vec![0; b.len() + 1];
-        for (i, ai) in a.iter().enumerate() {
-            curr[0] = (i + 1) as u32;
-            for (j, bj) in b.iter().enumerate() {
-                let sub_cost = if ai == bj { 0 } else { 1 };
-                curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        // Ukkonen band half-width: any cell with |i − j| > k has value > τ,
+        // so an optimal path of cost ≤ τ never leaves the band. k ≥ |n − m|
+        // holds because the lower bound above passed.
+        let k = if prune && tau >= 0.0 && tau.is_finite() {
+            (tau.floor() as usize).min(n.max(m))
+        } else {
+            n.max(m)
+        };
+        DistanceWorkspace::with(|ws| {
+            let (prev, curr) = ws.u32_rows(m + 1, BAND_INF);
+            // Row 0 of the (n+1) × (m+1) matrix, restricted to the band.
+            for (j, cell) in prev.iter_mut().enumerate().take(m.min(k) + 1) {
+                *cell = j as u32;
             }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        f64::from(prev[b.len()])
+            let mut cells = 0u64;
+            for (i, ai) in a.iter().enumerate() {
+                let i = i + 1;
+                let lo = i.saturating_sub(k).max(1);
+                let hi = m.min(i + k);
+                curr[lo - 1] = if lo == 1 && i <= k {
+                    i as u32
+                } else {
+                    BAND_INF
+                };
+                let mut row_min = BAND_INF;
+                for j in lo..=hi {
+                    let sub_cost = if *ai == b[j - 1] { 0 } else { 1 };
+                    let value = (prev[j - 1] + sub_cost)
+                        .min(prev[j] + 1)
+                        .min(curr[j - 1] + 1);
+                    curr[j] = value;
+                    row_min = row_min.min(value);
+                }
+                cells += (hi + 1 - lo) as u64;
+                if hi < m {
+                    curr[hi + 1] = BAND_INF;
+                }
+                // Every alignment path crosses row i, and values only grow
+                // along a path, so the final value is at least the row min.
+                if prune && crate::counting::exceeds(f64::from(row_min), tau) {
+                    record_dp_cells(cells);
+                    return None;
+                }
+                std::mem::swap(prev, curr);
+            }
+            record_dp_cells(cells);
+            let d = f64::from(prev[m]);
+            if d <= tau {
+                Some(d)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn length_lower_bound(&self, a_len: usize, b_len: usize) -> f64 {
+        length_difference_lower_bound(a_len, b_len)
     }
 
     fn name(&self) -> &'static str {

@@ -22,6 +22,19 @@
 //! All distances are generic over the element type through
 //! [`ssr_sequence::Element`], whose `ground_distance` supplies the per-coupling
 //! cost.
+//!
+//! ## Threshold-aware evaluation
+//!
+//! Every measure implements [`SequenceDistance::distance_within`], an exact
+//! threshold kernel that returns `Some(d)` precisely when `d ≤ τ`: a cheap
+//! lower bound first ([`lower_bounds`]), then a Ukkonen-style banded dynamic
+//! program (Levenshtein, and ERP under integral gap costs) with row-minimum
+//! early abandoning (all DP measures), or a running-sum abandon (Euclidean,
+//! Hamming). Scratch rows live in a per-thread [`DistanceWorkspace`], so the
+//! hot loop performs no allocation. The work is observable through
+//! deterministic per-thread tallies ([`dp_cells_thread_total`],
+//! [`lower_bound_prunes_thread_total`]) and can be switched off globally for
+//! ablations ([`set_pruning_enabled`]) without changing any result.
 
 pub mod alignment;
 pub mod counting;
@@ -33,14 +46,22 @@ pub mod hamming;
 pub mod levenshtein;
 pub mod lower_bounds;
 pub mod traits;
+pub mod workspace;
 
 pub use alignment::{Alignment, Coupling};
-pub use counting::{CallCounter, CountingDistance};
+pub use counting::{
+    dp_cells_thread_total, lower_bound_prunes_thread_total, pruning_enabled, record_dp_cells,
+    record_lower_bound_prune, set_pruning_enabled, CallCounter, CellCounter, CountingDistance,
+};
 pub use dtw::Dtw;
 pub use erp::Erp;
 pub use euclidean::Euclidean;
 pub use frechet::DiscreteFrechet;
 pub use hamming::Hamming;
 pub use levenshtein::Levenshtein;
-pub use lower_bounds::{erp_lower_bound, length_difference_lower_bound};
+pub use lower_bounds::{
+    erp_gap_sum, erp_lower_bound, erp_lower_bound_from_sums, length_difference_lower_bound,
+    scan_gap_costs, scan_gap_costs_with, GapCostScan, EXACT_INT_SUM_LIMIT,
+};
 pub use traits::{AlignmentDistance, DistanceProperties, SequenceDistance};
+pub use workspace::DistanceWorkspace;

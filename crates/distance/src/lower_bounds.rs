@@ -14,16 +14,82 @@ pub fn length_difference_lower_bound(a_len: usize, b_len: usize) -> f64 {
     a_len.abs_diff(b_len) as f64
 }
 
+/// Largest magnitude up to which every `f64` addition of integer-valued terms
+/// is exact (2⁵³). This is the shared exactness rule for pruning on gap sums:
+/// a float comparison against a sum may only discard a pair when every term
+/// was integral (`fract() == 0`) **and** the total stays below this limit —
+/// otherwise rounding could flip a borderline comparison. Both the ERP kernel
+/// and the verification cascade's prefix tables apply the same rule.
+pub const EXACT_INT_SUM_LIMIT: f64 = 9_007_199_254_740_992.0;
+
+/// Total ground distance of a sequence's elements to the gap element — the
+/// quantity the ERP lower bound compares. Hot paths avoid re-scanning both
+/// inputs per pair: the ERP kernel folds a single scan into its lower-bound /
+/// band decisions and DP boundary rows, the verification cascade uses
+/// per-sequence prefix sums (`O(1)` per range), and the window store keeps
+/// one precomputed sum per indexed window for gap-sum-aware consumers
+/// (diagnostics, future index backends).
+pub fn erp_gap_sum<E: Element>(xs: &[E]) -> f64 {
+    let gap = E::gap();
+    xs.iter().map(|x| x.ground_distance(&gap)).sum()
+}
+
+/// [`erp_lower_bound`] given precomputed gap sums (see [`erp_gap_sum`]).
+pub fn erp_lower_bound_from_sums(sum_a: f64, sum_b: f64) -> f64 {
+    (sum_a - sum_b).abs()
+}
+
+/// Result of [`scan_gap_costs`]: the gap-cost total, whether pruning on it
+/// is exact (every term integral and the total below
+/// [`EXACT_INT_SUM_LIMIT`]), and the smallest per-element gap cost (which
+/// bounds the cost of leaving the DP diagonal, i.e. the Ukkonen band width).
+#[derive(Clone, Copy, Debug)]
+pub struct GapCostScan {
+    /// Total ground distance to the gap element ([`erp_gap_sum`]).
+    pub sum: f64,
+    /// Whether comparisons against the sum (and any of its prefixes) are
+    /// exact, so a lower bound may prune on them.
+    pub integral: bool,
+    /// Minimum per-element gap cost (`∞` for an empty input).
+    pub min_cost: f64,
+}
+
+/// Scans a sequence's gap costs once, invoking `visit` with the running sum
+/// after each element (so callers can build prefix tables from the same
+/// accumulation the exactness verdict describes). This is the **single**
+/// implementation of the exactness rule — the ERP kernel and the
+/// verification cascade's prefix tables both use it, so they can never
+/// disagree on which pairs are prunable.
+pub fn scan_gap_costs_with<E: Element>(xs: &[E], mut visit: impl FnMut(f64)) -> GapCostScan {
+    let gap = E::gap();
+    let mut scan = GapCostScan {
+        sum: 0.0,
+        integral: true,
+        min_cost: f64::INFINITY,
+    };
+    for x in xs {
+        let cost = x.ground_distance(&gap);
+        scan.integral &= cost.fract() == 0.0;
+        scan.sum += cost;
+        scan.min_cost = scan.min_cost.min(cost);
+        visit(scan.sum);
+    }
+    scan.integral &= scan.sum.abs() < EXACT_INT_SUM_LIMIT;
+    scan
+}
+
+/// [`scan_gap_costs_with`] without a prefix consumer.
+pub fn scan_gap_costs<E: Element>(xs: &[E]) -> GapCostScan {
+    scan_gap_costs_with(xs, |_| {})
+}
+
 /// Lower bound for the ERP distance (Chen & Ng): the absolute difference of
 /// the sequences' total ground distances to the gap element.
 ///
 /// `ERP(a, b) ≥ |Σ_i g(a_i, gap) − Σ_j g(b_j, gap)|` follows from the triangle
 /// inequality applied to each coupling of the optimal ERP alignment.
 pub fn erp_lower_bound<E: Element>(a: &[E], b: &[E]) -> f64 {
-    let gap = E::gap();
-    let sum_a: f64 = a.iter().map(|x| x.ground_distance(&gap)).sum();
-    let sum_b: f64 = b.iter().map(|x| x.ground_distance(&gap)).sum();
-    (sum_a - sum_b).abs()
+    erp_lower_bound_from_sums(erp_gap_sum(a), erp_gap_sum(b))
 }
 
 #[cfg(test)]

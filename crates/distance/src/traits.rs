@@ -36,6 +36,59 @@ pub trait SequenceDistance<E: Element>: Send + Sync {
     /// lengths differ, so that such pairs are never reported as similar.
     fn distance(&self, a: &[E], b: &[E]) -> f64;
 
+    /// Threshold-aware evaluation: returns `Some(d)` with
+    /// `d == self.distance(a, b)` **exactly** when `distance(a, b) ≤ tau`,
+    /// and `None` exactly when `distance(a, b) > tau`. Never approximate.
+    ///
+    /// Every caller in the framework already knows a threshold — the index
+    /// range radius, or the verification `ε` — and a kernel that knows `tau`
+    /// can skip most of its `O(n·m)` dynamic program: a cheap lower bound may
+    /// already exceed `tau` ([`crate::lower_bounds`]), the DP can be
+    /// restricted to a Ukkonen-style band around the diagonal, and a row
+    /// whose minimum exceeds `tau` proves the final value will too (every
+    /// monotone alignment path crosses every row, and path costs only grow).
+    /// The default implementation runs the full distance and applies the
+    /// threshold afterwards, so the method is always safe to call.
+    ///
+    /// The work performed is observable through
+    /// [`crate::counting::dp_cells_thread_total`] and
+    /// [`crate::counting::lower_bound_prunes_thread_total`]; pruning can be
+    /// disabled globally for ablations via
+    /// [`crate::counting::set_pruning_enabled`] without changing any result.
+    fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
+        let d = self.distance(a, b);
+        if d <= tau {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// An **exact** lower bound on `distance(a, b)` computable from the input
+    /// lengths alone; `0.0` when the measure admits none. Used by the
+    /// verification cascade to discard candidate pairs before touching their
+    /// elements.
+    fn length_lower_bound(&self, a_len: usize, b_len: usize) -> f64 {
+        let _ = (a_len, b_len);
+        0.0
+    }
+
+    /// Whether [`Self::gap_sum_lower_bound`] can prune for this measure
+    /// (ERP-style measures whose gap costs bound the distance from below).
+    fn uses_gap_sums(&self) -> bool {
+        false
+    }
+
+    /// A lower bound on `distance(a, b)` given the total ground distances of
+    /// `a` and `b` to the gap element. Only meaningful when
+    /// [`Self::uses_gap_sums`] returns `true`; callers must ensure the sums
+    /// are exact (e.g. integral ground distances accumulated in `f64`) before
+    /// pruning on the bound.
+    fn gap_sum_lower_bound(&self, sum_a: f64, sum_b: f64) -> f64 {
+        let _ = (sum_a, sum_b);
+        0.0
+    }
+
     /// A short human-readable name ("Levenshtein", "ERP", …).
     fn name(&self) -> &'static str;
 
@@ -66,6 +119,22 @@ macro_rules! forward_sequence_distance {
         impl<E: Element, D: SequenceDistance<E> + ?Sized> SequenceDistance<E> for $wrapper {
             fn distance(&self, a: &[E], b: &[E]) -> f64 {
                 (**self).distance(a, b)
+            }
+
+            fn distance_within(&self, a: &[E], b: &[E], tau: f64) -> Option<f64> {
+                (**self).distance_within(a, b, tau)
+            }
+
+            fn length_lower_bound(&self, a_len: usize, b_len: usize) -> f64 {
+                (**self).length_lower_bound(a_len, b_len)
+            }
+
+            fn uses_gap_sums(&self) -> bool {
+                (**self).uses_gap_sums()
+            }
+
+            fn gap_sum_lower_bound(&self, sum_a: f64, sum_b: f64) -> f64 {
+                (**self).gap_sum_lower_bound(sum_a, sum_b)
             }
 
             fn name(&self) -> &'static str {

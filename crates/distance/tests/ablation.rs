@@ -1,0 +1,66 @@
+//! The `--no-pruning` ablation knob: disabling pruning must change **only**
+//! the amount of DP work, never a result. Lives in its own test binary (own
+//! process) because the knob is process-global.
+
+use ssr_distance::{
+    dp_cells_thread_total, lower_bound_prunes_thread_total, set_pruning_enabled, Dtw, Erp,
+    Levenshtein, SequenceDistance,
+};
+use ssr_sequence::Symbol;
+
+fn sym(text: &str) -> Vec<Symbol> {
+    text.chars().map(Symbol::from_char).collect()
+}
+
+#[test]
+fn disabling_pruning_changes_work_but_never_results() {
+    let a = sym("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY");
+    let b = sym("WYACMMMMGHIKLMNPQRSTVWYACDEFGHIMMMMQRSTV");
+    let lev = Levenshtein::new();
+    let erp = Erp::new();
+    let dtw = Dtw::new();
+    let taus = [0.0, 1.0, 4.0, 10.0, 40.0, f64::INFINITY];
+
+    let pruned: Vec<_> = taus
+        .iter()
+        .map(|&tau| {
+            (
+                lev.distance_within(&a, &b, tau),
+                erp.distance_within(&a, &b, tau),
+                dtw.distance_within(&a, &b, tau),
+            )
+        })
+        .collect();
+    let cells_pruned_before = dp_cells_thread_total();
+    let _ = lev.distance_within(&a, &b, 2.0);
+    let cells_pruned = dp_cells_thread_total() - cells_pruned_before;
+
+    set_pruning_enabled(false);
+    let unpruned: Vec<_> = taus
+        .iter()
+        .map(|&tau| {
+            (
+                lev.distance_within(&a, &b, tau),
+                erp.distance_within(&a, &b, tau),
+                dtw.distance_within(&a, &b, tau),
+            )
+        })
+        .collect();
+    let prunes_before = lower_bound_prunes_thread_total();
+    let cells_before = dp_cells_thread_total();
+    let _ = lev.distance_within(&a, &b, 2.0);
+    let cells_unpruned = dp_cells_thread_total() - cells_before;
+    set_pruning_enabled(true);
+
+    assert_eq!(pruned, unpruned, "pruning changed a result");
+    assert_eq!(
+        lower_bound_prunes_thread_total() - prunes_before,
+        0,
+        "disabled pruning must not record lower-bound prunes"
+    );
+    assert_eq!(cells_unpruned, (a.len() * b.len()) as u64);
+    assert!(
+        cells_pruned * 3 <= cells_unpruned,
+        "ablation shows no saving: {cells_pruned} vs {cells_unpruned} cells"
+    );
+}

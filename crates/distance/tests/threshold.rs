@@ -1,0 +1,190 @@
+//! Property coverage for the threshold-aware kernels: for every distance and
+//! every element type, `distance_within(a, b, τ)` must return `Some(d)` with
+//! `d` **bit-identical** to `distance(a, b)` whenever the distance is within
+//! `τ`, and `None` must imply the distance exceeds `τ` — including at the
+//! adversarial band boundary `|len(a) − len(b)| ≈ τ` where an off-by-one in
+//! the Ukkonen band would first show.
+
+use proptest::prelude::*;
+
+use ssr_distance::{DiscreteFrechet, Dtw, Erp, Euclidean, Hamming, Levenshtein, SequenceDistance};
+use ssr_sequence::{Element, Pitch, Point2D, Symbol};
+
+/// Thresholds worth probing for a pair whose true distance is `d`: below,
+/// exactly at, and above the distance, plus degenerate values.
+fn probe_taus(d: f64) -> Vec<f64> {
+    let mut taus = vec![0.0, f64::INFINITY, -1.0, f64::NAN];
+    if d.is_finite() {
+        taus.extend([d, d / 2.0, d - 0.5, d - 1e-9, d + 1e-9, d + 0.5, d * 2.0]);
+    }
+    taus
+}
+
+/// The exact contract: `Some(d)` (bitwise equal to the full distance) iff
+/// `distance(a, b) ≤ τ`, `None` iff not.
+fn assert_threshold_contract<E, D>(dist: &D, a: &[E], b: &[E])
+where
+    E: Element,
+    D: SequenceDistance<E>,
+{
+    let full = dist.distance(a, b);
+    for tau in probe_taus(full) {
+        match dist.distance_within(a, b, tau) {
+            Some(d) => {
+                assert!(
+                    full <= tau,
+                    "{}: Some({d}) returned although full {full} > tau {tau}",
+                    dist.name()
+                );
+                assert!(
+                    d == full || (d.is_nan() && full.is_nan()),
+                    "{}: thresholded value {d} differs from full {full} (tau {tau})",
+                    dist.name()
+                );
+            }
+            None => {
+                // `None` must mean "not within": full > tau, or tau is NaN
+                // (in which case `d ≤ tau` can never hold).
+                let within = matches!(
+                    full.partial_cmp(&tau),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                );
+                assert!(
+                    !within,
+                    "{}: None returned although full {full} <= tau {tau}",
+                    dist.name()
+                );
+            }
+        }
+    }
+}
+
+fn check_all_distances<E: Element>(a: &[E], b: &[E]) {
+    assert_threshold_contract(&Levenshtein::new(), a, b);
+    assert_threshold_contract(&Erp::new(), a, b);
+    assert_threshold_contract(&Dtw::new(), a, b);
+    assert_threshold_contract(&DiscreteFrechet::new(), a, b);
+    assert_threshold_contract(&Euclidean::new(), a, b);
+    assert_threshold_contract(&Hamming::new(), a, b);
+}
+
+fn symbol_seq(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec(
+        (0u8..6).prop_map(|i| Symbol::from_char(b"ACGTWY"[i as usize] as char)),
+        0..max_len,
+    )
+}
+
+fn pitch_seq(max_len: usize) -> impl Strategy<Value = Vec<Pitch>> {
+    prop::collection::vec((0i16..=11).prop_map(Pitch), 0..max_len)
+}
+
+fn scalar_seq(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-8.0f64..8.0, 0..max_len)
+}
+
+fn point_seq(max_len: usize) -> impl Strategy<Value = Vec<Point2D>> {
+    prop::collection::vec(
+        (-5.0f64..5.0, -5.0f64..5.0).prop_map(|(x, y)| Point2D::new(x, y)),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn threshold_contract_on_symbols(a in symbol_seq(14), b in symbol_seq(14)) {
+        check_all_distances(&a, &b);
+    }
+
+    #[test]
+    fn threshold_contract_on_pitches(a in pitch_seq(12), b in pitch_seq(12)) {
+        check_all_distances(&a, &b);
+    }
+
+    #[test]
+    fn threshold_contract_on_scalars(a in scalar_seq(10), b in scalar_seq(10)) {
+        check_all_distances(&a, &b);
+    }
+
+    #[test]
+    fn threshold_contract_on_trajectories(a in point_seq(10), b in point_seq(10)) {
+        check_all_distances(&a, &b);
+    }
+
+    #[test]
+    fn band_boundary_length_differences(base in symbol_seq(10), extra in 0usize..6) {
+        // |len(a) − len(b)| = extra, probed with taus straddling it: the
+        // length-difference lower bound and the band edge coincide here.
+        let mut b: Vec<Symbol> = base.clone();
+        b.extend(std::iter::repeat_n(Symbol::from_char('A'), extra));
+        for tau in [
+            extra as f64 - 1.0,
+            extra as f64 - 1e-9,
+            extra as f64,
+            extra as f64 + 1e-9,
+            extra as f64 + 1.0,
+        ] {
+            let lev = Levenshtein::new();
+            let erp = Erp::new();
+            let full_lev = lev.distance(&base, &b);
+            let full_erp = erp.distance(&base, &b);
+            prop_assert_eq!(lev.distance_within(&base, &b, tau), (full_lev <= tau).then_some(full_lev));
+            prop_assert_eq!(erp.distance_within(&base, &b, tau), (full_erp <= tau).then_some(full_erp));
+        }
+    }
+}
+
+#[test]
+fn fixed_band_boundary_cases() {
+    fn sym(text: &str) -> Vec<Symbol> {
+        text.chars().map(Symbol::from_char).collect()
+    }
+    let lev = Levenshtein::new();
+    // d = 3 (three appended characters): the band of width ⌊τ⌋ must still
+    // reach the corner cell exactly at τ = 3.
+    let a = sym("AAAA");
+    let b = sym("AAAAAAA");
+    assert_eq!(lev.distance_within(&a, &b, 3.0), Some(3.0));
+    assert_eq!(lev.distance_within(&a, &b, 2.999), None);
+    assert_eq!(lev.distance_within(&a, &b, 2.0), None);
+    // Substitutions only: band 0 suffices for equal-length inputs at τ < 1.
+    let c = sym("ACGT");
+    let d = sym("ACGA");
+    assert_eq!(lev.distance_within(&c, &d, 1.0), Some(1.0));
+    assert_eq!(lev.distance_within(&c, &d, 0.5), None);
+    assert_eq!(lev.distance_within(&c, &c, 0.0), Some(0.0));
+    // ERP on symbols: unit gap costs make the band exact at τ = |Δlen|.
+    let erp = Erp::new();
+    assert_eq!(erp.distance_within(&a, &b, 3.0), Some(3.0));
+    assert_eq!(erp.distance_within(&a, &b, 2.5), None);
+    // Empty inputs.
+    let empty: Vec<Symbol> = Vec::new();
+    assert_eq!(lev.distance_within(&empty, &b, 7.0), Some(7.0));
+    assert_eq!(lev.distance_within(&empty, &b, 6.0), None);
+    assert_eq!(lev.distance_within(&empty, &empty, 0.0), Some(0.0));
+}
+
+#[test]
+fn dp_cell_tallies_shrink_under_tight_thresholds() {
+    use ssr_distance::dp_cells_thread_total;
+    fn sym(text: &str) -> Vec<Symbol> {
+        text.chars().map(Symbol::from_char).collect()
+    }
+    let lev = Levenshtein::new();
+    let a = sym("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY");
+    let b = sym("WYACMMMMGHIKLMNPQRSTVWYACDEFGHIMMMMQRSTV");
+    let before = dp_cells_thread_total();
+    let full = lev.distance(&a, &b);
+    let full_cells = dp_cells_thread_total() - before;
+    assert_eq!(full_cells, (a.len() * b.len()) as u64);
+    assert!(full > 2.0, "workload must not be trivially similar");
+    let before = dp_cells_thread_total();
+    assert_eq!(lev.distance_within(&a, &b, 2.0), None);
+    let banded_cells = dp_cells_thread_total() - before;
+    assert!(
+        banded_cells * 3 <= full_cells,
+        "banded + abandoned run used {banded_cells} of {full_cells} cells"
+    );
+}

@@ -241,16 +241,31 @@ impl<T, M: Metric<T>> RangeIndex<T> for CoverTree<T, M> {
         let mut decided: Vec<Option<bool>> = vec![None; self.nodes.len()];
         for (&level, ids) in self.by_level.iter().rev() {
             let r_sub = self.radius(level + 1);
+            // The only decisions that need the exact distance are those with
+            // d ≤ radius + r_sub: anything farther is pruned together with
+            // its whole subtree. Passing that threshold to the metric lets a
+            // threshold-aware kernel abandon early; the triangle-inequality
+            // residual r_sub is exactly what the pruning rule already uses.
+            let tau = radius + r_sub;
             for &n in ids {
                 if decided[n].is_some() {
                     continue;
                 }
-                let d = self.metric.dist(query, &self.items[n]);
-                decided[n] = Some(d <= radius);
-                if d + r_sub <= radius {
-                    self.mark_subtree(n, true, &mut decided);
-                } else if d - r_sub > radius {
-                    self.mark_subtree(n, false, &mut decided);
+                match self.metric.dist_within(query, &self.items[n], tau) {
+                    Some(d) => {
+                        decided[n] = Some(d <= radius);
+                        if d + r_sub <= radius {
+                            self.mark_subtree(n, true, &mut decided);
+                        } else if d - r_sub > radius {
+                            self.mark_subtree(n, false, &mut decided);
+                        }
+                    }
+                    None => {
+                        // d > radius + r_sub: the node and everything below
+                        // it lie outside the query ball.
+                        decided[n] = Some(false);
+                        self.mark_subtree(n, false, &mut decided);
+                    }
                 }
             }
         }

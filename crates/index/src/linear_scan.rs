@@ -34,13 +34,18 @@ impl<T, M: Metric<T>> LinearScan<T, M> {
     }
 
     /// Range query that also returns the distance of each reported item.
+    ///
+    /// Every item is still *visited* (and counted as one distance call by a
+    /// counting metric), but the threshold-aware evaluation lets the kernel
+    /// abandon each non-matching item after a fraction of its DP cells.
     pub fn range_query_with_distances(&self, query: &T, radius: f64) -> Vec<(ItemId, f64)> {
         self.items
             .iter()
             .enumerate()
             .filter_map(|(i, item)| {
-                let d = self.metric.dist(query, item);
-                (d <= radius).then_some((ItemId(i), d))
+                self.metric
+                    .dist_within(query, item, radius)
+                    .map(|d| (ItemId(i), d))
             })
             .collect()
     }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use ssr_distance::{CallCounter, SequenceDistance};
+use ssr_distance::{CallCounter, CellCounter, SequenceDistance};
 use ssr_sequence::Element;
 
 /// A distance over items of type `T` that is symmetric and satisfies the
@@ -20,17 +20,42 @@ use ssr_sequence::Element;
 pub trait Metric<T>: Send + Sync {
     /// Distance between two items.
     fn dist(&self, a: &T, b: &T) -> f64;
+
+    /// Threshold-aware distance: `Some(d)` with `d == self.dist(a, b)`
+    /// exactly when `dist(a, b) ≤ tau`, `None` otherwise — never approximate.
+    ///
+    /// Range queries always know such a threshold (the query radius, widened
+    /// by the triangle-inequality residual of the level being visited), and
+    /// threshold-aware sequence kernels can cut most of their DP work when
+    /// they know it. The default runs the full distance, so any metric is
+    /// automatically correct.
+    fn dist_within(&self, a: &T, b: &T, tau: f64) -> Option<f64> {
+        let d = self.dist(a, b);
+        if d <= tau {
+            Some(d)
+        } else {
+            None
+        }
+    }
 }
 
 impl<T, M: Metric<T> + ?Sized> Metric<T> for Arc<M> {
     fn dist(&self, a: &T, b: &T) -> f64 {
         (**self).dist(a, b)
     }
+
+    fn dist_within(&self, a: &T, b: &T, tau: f64) -> Option<f64> {
+        (**self).dist_within(a, b, tau)
+    }
 }
 
 impl<T, M: Metric<T> + ?Sized> Metric<T> for &M {
     fn dist(&self, a: &T, b: &T) -> f64 {
         (**self).dist(a, b)
+    }
+
+    fn dist_within(&self, a: &T, b: &T, tau: f64) -> Option<f64> {
+        (**self).dist_within(a, b, tau)
     }
 }
 
@@ -79,25 +104,52 @@ where
     fn dist(&self, a: &Vec<E>, b: &Vec<E>) -> f64 {
         self.distance.distance(a, b)
     }
+
+    fn dist_within(&self, a: &Vec<E>, b: &Vec<E>, tau: f64) -> Option<f64> {
+        self.distance.distance_within(a, b, tau)
+    }
 }
 
 /// A metric wrapper that counts every distance evaluation on a shared
-/// [`CallCounter`]. Used to measure the pruning ratios of Figures 8–11.
+/// [`CallCounter`] — used to measure the pruning ratios of Figures 8–11 —
+/// and mirrors the DP cells the underlying kernels evaluate into a shared
+/// [`CellCounter`], so the *depth* of each evaluation is accounted for
+/// alongside its mere occurrence. A thresholded evaluation counts as exactly
+/// one call whether or not it was pruned: pruning saves cells, never calls,
+/// which is what keeps distance-call statistics bit-identical when the
+/// threshold path is enabled.
 #[derive(Clone, Debug)]
 pub struct CountingMetric<M> {
     inner: M,
     counter: CallCounter,
+    cells: CellCounter,
 }
 
 impl<M> CountingMetric<M> {
-    /// Wraps `inner`, recording calls on `counter`.
+    /// Wraps `inner`, recording calls on `counter` (with a fresh cell
+    /// counter; see [`Self::with_cell_counter`]).
     pub fn new(inner: M, counter: CallCounter) -> Self {
-        CountingMetric { inner, counter }
+        CountingMetric {
+            inner,
+            counter,
+            cells: CellCounter::new(),
+        }
+    }
+
+    /// Records DP cells on the given shared counter instead of a fresh one.
+    pub fn with_cell_counter(mut self, cells: CellCounter) -> Self {
+        self.cells = cells;
+        self
     }
 
     /// The shared call counter.
     pub fn counter(&self) -> &CallCounter {
         &self.counter
+    }
+
+    /// The shared DP-cell counter.
+    pub fn cell_counter(&self) -> &CellCounter {
+        &self.cells
     }
 
     /// The wrapped metric.
@@ -109,7 +161,20 @@ impl<M> CountingMetric<M> {
 impl<T, M: Metric<T>> Metric<T> for CountingMetric<M> {
     fn dist(&self, a: &T, b: &T) -> f64 {
         self.counter.record();
-        self.inner.dist(a, b)
+        let before = ssr_distance::dp_cells_thread_total();
+        let d = self.inner.dist(a, b);
+        self.cells
+            .add(ssr_distance::dp_cells_thread_total() - before);
+        d
+    }
+
+    fn dist_within(&self, a: &T, b: &T, tau: f64) -> Option<f64> {
+        self.counter.record();
+        let before = ssr_distance::dp_cells_thread_total();
+        let d = self.inner.dist_within(a, b, tau);
+        self.cells
+            .add(ssr_distance::dp_cells_thread_total() - before);
+        d
     }
 }
 

@@ -182,8 +182,15 @@ impl<T: Send + Sync, M: Metric<T>> MvReferenceIndex<T, M> {
                 result.push(ItemId(i));
                 continue;
             }
+            // Verification only needs to know whether d ≤ radius, so the
+            // query radius itself is the kernel's threshold; the pivot
+            // bounds above already absorbed the triangle-inequality slack.
             calls += 1;
-            if self.metric.dist(query, &self.items[i]) <= radius {
+            if self
+                .metric
+                .dist_within(query, &self.items[i], radius)
+                .is_some()
+            {
                 result.push(ItemId(i));
             }
         }

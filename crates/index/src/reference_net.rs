@@ -596,28 +596,42 @@ impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for ReferenceNet<T, M> {
         for (&level, ids) in self.by_level.iter().rev() {
             let r_list = self.radius(level);
             let r_sub = self.radius(level + 1);
+            // Per Lemma 4, a reference farther than radius + r_sub excludes
+            // all its derived references, so no decision below needs the
+            // exact distance beyond that threshold — pass it to the metric
+            // and let a threshold-aware kernel abandon early.
+            let tau = radius + r_sub;
             for &n in ids {
                 if !self.nodes[n].alive || decided[n].is_some() {
                     continue;
                 }
-                let d = self.metric.dist(query, &self.items[n]);
-                decided[n] = Some(d <= radius);
-                if d + r_sub <= radius {
-                    self.mark_descendants(n, true, &mut decided);
-                } else if d + r_list <= radius {
-                    for &c in &self.nodes[n].children {
-                        if decided[c].is_none() {
-                            decided[c] = Some(true);
+                match self.metric.dist_within(query, &self.items[n], tau) {
+                    Some(d) => {
+                        decided[n] = Some(d <= radius);
+                        if d + r_sub <= radius {
+                            self.mark_descendants(n, true, &mut decided);
+                        } else if d + r_list <= radius {
+                            for &c in &self.nodes[n].children {
+                                if decided[c].is_none() {
+                                    decided[c] = Some(true);
+                                }
+                            }
+                        }
+                        if d - r_sub > radius {
+                            self.mark_descendants(n, false, &mut decided);
+                        } else if d - r_list > radius {
+                            for &c in &self.nodes[n].children {
+                                if decided[c].is_none() {
+                                    decided[c] = Some(false);
+                                }
+                            }
                         }
                     }
-                }
-                if d - r_sub > radius {
-                    self.mark_descendants(n, false, &mut decided);
-                } else if d - r_list > radius {
-                    for &c in &self.nodes[n].children {
-                        if decided[c].is_none() {
-                            decided[c] = Some(false);
-                        }
+                    None => {
+                        // d > radius + r_sub (Lemma 4): prune the reference
+                        // and everything derived from it.
+                        decided[n] = Some(false);
+                        self.mark_descendants(n, false, &mut decided);
                     }
                 }
             }

@@ -5,10 +5,10 @@
 
 use proptest::prelude::*;
 
-use ssr_distance::Levenshtein;
+use ssr_distance::{CallCounter, Levenshtein, SequenceDistance};
 use ssr_index::{
-    CoverTree, FnMetric, ItemId, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
-    ReferenceNetConfig, SequenceMetricAdapter,
+    CountingMetric, CoverTree, FnMetric, ItemId, LinearScan, MvReferenceIndex, RangeIndex,
+    ReferenceNet, ReferenceNetConfig, SequenceMetricAdapter,
 };
 use ssr_sequence::Symbol;
 
@@ -115,6 +115,59 @@ proptest! {
         prop_assert_eq!(sorted_ids(net.range_query(&query, radius)), expected.clone());
         prop_assert_eq!(sorted_ids(tree.range_query(&query, radius)), expected.clone());
         prop_assert_eq!(sorted_ids(mv.range_query(&query, radius)), expected);
+    }
+
+    #[test]
+    fn threshold_path_preserves_results_and_distance_call_counts(
+        windows in prop::collection::vec(symbol_window(8), 1..40),
+        query in symbol_window(8),
+        radius in 0.0f64..8.0,
+    ) {
+        // The same indexes built twice: once over the threshold-aware
+        // sequence kernel (banded + early-abandoning `dist_within`), once
+        // over a plain closure metric whose default `dist_within` runs the
+        // full DP. Results AND per-query distance-call counts must agree
+        // exactly — pruning saves DP cells, never calls or answers.
+        let kernel = || SequenceMetricAdapter::new(Levenshtein::new());
+        let full = || {
+            FnMetric(|a: &Vec<Symbol>, b: &Vec<Symbol>| {
+                SequenceDistance::<Symbol>::distance(&Levenshtein::new(), a, b)
+            })
+        };
+        macro_rules! compare {
+            ($build:expr) => {{
+                let kc = CallCounter::new();
+                let fc = CallCounter::new();
+                let with_kernel = $build(CountingMetric::new(kernel(), kc.clone()));
+                let with_full = $build(CountingMetric::new(full(), fc.clone()));
+                kc.reset();
+                fc.reset();
+                let a = sorted_ids(with_kernel.range_query(&query, radius));
+                let b = sorted_ids(with_full.range_query(&query, radius));
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(kc.get(), fc.get(), "distance-call counts diverged");
+            }};
+        }
+        compare!(|m| {
+            let mut idx = ReferenceNet::new(m);
+            idx.extend(windows.iter().cloned());
+            idx
+        });
+        compare!(|m| {
+            let mut idx = CoverTree::new(m);
+            idx.extend(windows.iter().cloned());
+            idx
+        });
+        compare!(|m| {
+            let mut idx = MvReferenceIndex::new(m, 4);
+            idx.extend(windows.iter().cloned());
+            idx
+        });
+        compare!(|m| {
+            let mut idx = LinearScan::new(m);
+            idx.extend(windows.iter().cloned());
+            idx
+        });
     }
 
     #[test]

@@ -180,6 +180,12 @@ impl<E: crate::Element + Encode> Encode for WindowStore<E> {
         for (_, window) in self.iter() {
             window.encode(w);
         }
+        // Per-window gap-distance sums (snapshot format version 2): stored so
+        // a loaded database has the ERP lower-bound inputs without rescanning
+        // any window.
+        for &sum in self.gap_sums() {
+            w.put_f64(sum);
+        }
     }
 }
 
@@ -204,6 +210,22 @@ impl<E: crate::Element + Decode> Decode for WindowStore<E> {
             }
             store.push(window);
         }
+        // Stored sums are restored verbatim rather than compared bit-for-bit
+        // against a recompute: ground distances (e.g. `hypot` for points)
+        // are not bit-reproducible across libm implementations, and the
+        // container CRCs already guarantee the bytes themselves. The codec
+        // validates structure only: one finite, non-negative sum per window.
+        let mut gap_sums = Vec::with_capacity(count);
+        for i in 0..count {
+            let sum = r.take_f64()?;
+            if !(sum >= 0.0 && sum.is_finite()) {
+                return Err(StorageError::Malformed(format!(
+                    "window {i} gap sum {sum} is not a finite non-negative value"
+                )));
+            }
+            gap_sums.push(sum);
+        }
+        store.restore_gap_sums(gap_sums);
         Ok(store)
     }
 }
@@ -290,6 +312,37 @@ mod tests {
             WindowStore::<Symbol>::decode(&mut Reader::new(w.bytes())),
             Err(StorageError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn structurally_invalid_gap_sums_are_rejected() {
+        let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB")].into_iter().collect();
+        let store = partition_windows_dataset(&ds, 4);
+        let mut w = Writer::new();
+        store.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // The two gap sums are the trailing 16 bytes; set the sign bit of
+        // the last sum (its most significant byte in LE encoding), making it
+        // negative — structurally impossible for a sum of ground distances.
+        // (Bit-level integrity of plausible values is the container CRC's
+        // job, not the codec's: sums are restored verbatim by design.)
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        assert!(matches!(
+            WindowStore::<Symbol>::decode(&mut Reader::new(&bytes)),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn gap_sums_roundtrip_verbatim() {
+        let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB"), seq("CCCC")].into_iter().collect();
+        let store = partition_windows_dataset(&ds, 4);
+        let mut w = Writer::new();
+        store.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = WindowStore::<Symbol>::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.gap_sums(), store.gap_sums());
     }
 
     #[test]

@@ -107,6 +107,15 @@ pub fn partition_windows_dataset<E: Element>(
 pub struct WindowStore<E> {
     window_len: usize,
     windows: Vec<Window<E>>,
+    /// Per-window total ground distance to the gap element, computed once at
+    /// [`Self::push`] time and serialized with the store, so a loaded
+    /// snapshot has it for free. ERP-style lower bounds compare exactly this
+    /// sum; keeping it beside the window spares any gap-sum-aware consumer
+    /// (diagnostics, future index backends) an `O(l)` rescan per pair. The
+    /// current query pipeline does not read it: the filter step's
+    /// distance-call statistics are frozen, so its pruning lives inside the
+    /// kernels, and verification uses per-sequence prefix tables.
+    gap_sums: Vec<f64>,
 }
 
 impl<E: Element> WindowStore<E> {
@@ -120,6 +129,7 @@ impl<E: Element> WindowStore<E> {
         WindowStore {
             window_len,
             windows: Vec::new(),
+            gap_sums: Vec::new(),
         }
     }
 
@@ -142,6 +152,14 @@ impl<E: Element> WindowStore<E> {
             window.len()
         );
         let id = WindowId(self.windows.len());
+        let gap = E::gap();
+        self.gap_sums.push(
+            window
+                .data
+                .iter()
+                .map(|e| e.ground_distance(&gap))
+                .sum::<f64>(),
+        );
         self.windows.push(window);
         id
     }
@@ -159,6 +177,36 @@ impl<E: Element> WindowStore<E> {
     /// Looks up a window by id.
     pub fn get(&self, id: WindowId) -> Option<&Window<E>> {
         self.windows.get(id.0)
+    }
+
+    /// Total ground distance of the window's elements to the gap element,
+    /// precomputed at [`Self::push`] time (the quantity ERP-style lower
+    /// bounds compare; see `ssr-distance`'s `erp_lower_bound_from_sums`).
+    pub fn gap_sum(&self, id: WindowId) -> Option<f64> {
+        self.gap_sums.get(id.0).copied()
+    }
+
+    /// All per-window gap sums (index position == `WindowId.0`).
+    pub fn gap_sums(&self) -> &[f64] {
+        &self.gap_sums
+    }
+
+    /// Replaces the per-window gap sums with values restored from a snapshot
+    /// (the codec's decode path). Stored sums are taken verbatim — like
+    /// every other serialized float in the format — so a snapshot written on
+    /// one platform loads on another even when `ground_distance` is not
+    /// bit-reproducible across libm implementations (e.g. `hypot`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of sums differs from the number of windows.
+    pub(crate) fn restore_gap_sums(&mut self, gap_sums: Vec<f64>) {
+        assert_eq!(
+            gap_sums.len(),
+            self.windows.len(),
+            "one gap sum per window required"
+        );
+        self.gap_sums = gap_sums;
     }
 
     /// Iterates over `(id, window)` pairs.
@@ -252,6 +300,34 @@ mod tests {
         assert_eq!(store.get(WindowId(0)).unwrap().sequence, SequenceId(0));
         assert_eq!(store.get(WindowId(2)).unwrap().sequence, SequenceId(1));
         assert!(store.get(WindowId(3)).is_none());
+    }
+
+    #[test]
+    fn gap_sums_are_precomputed_per_window() {
+        use crate::element::{Element, Pitch};
+        let mut store: WindowStore<Pitch> = WindowStore::new(3);
+        store.push(Window {
+            sequence: SequenceId(0),
+            window_index: 0,
+            start: 0,
+            data: vec![Pitch(1), Pitch(4), Pitch(0)],
+        });
+        store.push(Window {
+            sequence: SequenceId(0),
+            window_index: 1,
+            start: 3,
+            data: vec![Pitch(11), Pitch(11), Pitch(11)],
+        });
+        // Pitch's gap element is Pitch(0), so the sums are plain totals.
+        assert_eq!(store.gap_sum(WindowId(0)), Some(5.0));
+        assert_eq!(store.gap_sum(WindowId(1)), Some(33.0));
+        assert_eq!(store.gap_sum(WindowId(2)), None);
+        assert_eq!(store.gap_sums().len(), 2);
+        let gap = Pitch::gap();
+        for (id, w) in store.iter() {
+            let expected: f64 = w.data.iter().map(|e| e.ground_distance(&gap)).sum();
+            assert_eq!(store.gap_sum(id), Some(expected));
+        }
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! The snapshot container: magic, format version, section table, CRCs.
 //!
-//! ## File layout (format version 1)
+//! ## File layout (format version 2)
+//!
+//! Version 2 kept the container layout of version 1 and changed only the
+//! `windows` section's content (per-window gap-distance sums appended by the
+//! `ssr-sequence` codec); version-1 files are rejected with
+//! [`StorageError::UnsupportedVersion`] rather than misparsed.
 //!
 //! ```text
 //! offset 0   magic               8 bytes  b"SSRSNAP\0"
-//! offset 8   format version      u32 LE   (currently 1)
+//! offset 8   format version      u32 LE   (currently 2)
 //! offset 12  table length        u32 LE   byte length of the section table
 //! offset 16  section table       (see below)
 //! ...        header CRC-32       u32 LE   over bytes [0, 16 + table length)
@@ -39,7 +44,10 @@ use crate::error::StorageError;
 pub const MAGIC: [u8; 8] = *b"SSRSNAP\0";
 
 /// Snapshot format version written by this build.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * 1 — initial format.
+/// * 2 — the `windows` section carries per-window gap-distance sums.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Byte offset where the section table starts (after magic, version and the
 /// table-length word).
