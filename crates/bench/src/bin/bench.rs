@@ -42,16 +42,34 @@ const GATE_TOLERANCE: f64 = 0.10;
 
 /// Metrics compared against the baseline ("higher is worse"). All are
 /// deterministic counts: the distance-call counters are invariant under the
-/// threshold-aware pruning machinery by construction, and `dp_cells_evaluated`
+/// threshold-aware pruning machinery by construction, `dp_cells_evaluated`
 /// gates the pruning itself — a kernel regression that evaluates more cells
-/// fails here even when every call count is unchanged.
-const GATED_METRICS: [&str; 5] = [
+/// fails here even when every call count is unchanged — and the two byte
+/// counters gate the flat arena layout: they are computed from lengths and
+/// `size_of`, identical on every machine, and a change that reintroduces
+/// per-window copies (or fattens the view/handle types) regresses them.
+const GATED_METRICS: [&str; 7] = [
     "index_distance_calls",
     "verification_calls",
     "segment_matches",
     "candidates",
     "dp_cells_evaluated",
+    "arena_bytes",
+    "bytes_per_window",
 ];
+
+/// Resident bytes the pre-arena (format v2) layout spent on windows and
+/// index items: every window owned its elements **twice** — once in the
+/// window store (provenance + `Vec<E>` header + payload + serialized gap
+/// sum) and once cloned into the index as a bare `Vec<E>`. Used only to
+/// report the reduction ratio the arena layout achieves; the gated numbers
+/// are the measured ones.
+fn owned_layout_bytes(windows: usize, window_len: usize, elem_size: usize) -> usize {
+    let vec_bytes = std::mem::size_of::<Vec<u8>>() + window_len * elem_size;
+    let provenance = 3 * std::mem::size_of::<usize>(); // sequence, window_index, start
+    let gap_sum = std::mem::size_of::<f64>();
+    windows * (provenance + vec_bytes + gap_sum + vec_bytes)
+}
 
 struct Options {
     scale: &'static str,
@@ -69,13 +87,18 @@ struct Options {
     /// cells than a pruning-disabled ablation run (0 disables the gate and
     /// the extra ablation pass).
     min_dp_pruning_ratio: f64,
+    /// Gate: resident window/index bytes (arena + views + item handles) must
+    /// be at least this factor smaller than the owned Vec-of-Vec layout the
+    /// arena replaced (0 disables the gate; the ratio is always reported).
+    min_bytes_reduction: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--scale smoke|small|medium] [--threads N] [--queries N] \
          [--out PATH] [--baseline PATH] [--min-speedup X] [--snapshot PATH] \
-         [--min-cold-start-speedup X] [--no-pruning] [--min-dp-pruning-ratio X]"
+         [--min-cold-start-speedup X] [--no-pruning] [--min-dp-pruning-ratio X] \
+         [--min-bytes-reduction X]"
     );
     std::process::exit(2);
 }
@@ -94,6 +117,7 @@ fn parse_options() -> Options {
         min_cold_start_speedup: 5.0,
         no_pruning: false,
         min_dp_pruning_ratio: 0.0,
+        min_bytes_reduction: 0.0,
     };
     let mut queries_override = None;
     let mut i = 0;
@@ -132,6 +156,9 @@ fn parse_options() -> Options {
             "--no-pruning" => opts.no_pruning = true,
             "--min-dp-pruning-ratio" => {
                 opts.min_dp_pruning_ratio = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--min-bytes-reduction" => {
+                opts.min_bytes_reduction = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -420,7 +447,37 @@ fn main() {
         ])
     });
 
+    // Memory layout accounting: all deterministic (lengths × size_of, never
+    // allocator capacities), so CI can gate them like the call counters.
     let index_space = db.index_space_stats();
+    let view_bytes = db.windows().view_bytes();
+    let resident_window_bytes = db.resident_window_bytes();
+    let bytes_per_window = resident_window_bytes as f64 / db.window_count().max(1) as f64;
+    let owned_bytes = owned_layout_bytes(
+        db.window_count(),
+        db.windows().window_len(),
+        std::mem::size_of::<Symbol>(),
+    );
+    let bytes_reduction = owned_bytes as f64 / resident_window_bytes.max(1) as f64;
+    eprintln!(
+        "# memory: arena {} B + views {} B + index handles {} B = {} B resident \
+         ({:.1} B/window) vs {} B owned layout — {:.2}x smaller",
+        index_space.arena_bytes,
+        view_bytes,
+        index_space.item_bytes,
+        resident_window_bytes,
+        bytes_per_window,
+        owned_bytes,
+        bytes_reduction
+    );
+    let mut bytes_failures = 0usize;
+    if opts.min_bytes_reduction > 0.0 && bytes_reduction < opts.min_bytes_reduction {
+        eprintln!(
+            "FAIL resident-bytes reduction {bytes_reduction:.2}x below required {:.2}x",
+            opts.min_bytes_reduction
+        );
+        bytes_failures += 1;
+    }
     let report = JsonValue::object(vec![
         (
             "schema",
@@ -469,6 +526,23 @@ fn main() {
             JsonValue::Number(stats.pruned_by_lower_bound as f64),
         ),
         ("pruning_enabled", JsonValue::Bool(!opts.no_pruning)),
+        (
+            "arena_bytes",
+            JsonValue::Number(index_space.arena_bytes as f64),
+        ),
+        (
+            "bytes_per_window",
+            JsonValue::Number((bytes_per_window * 100.0).round() / 100.0),
+        ),
+        (
+            "resident_window_bytes",
+            JsonValue::Number(resident_window_bytes as f64),
+        ),
+        ("owned_layout_bytes", JsonValue::Number(owned_bytes as f64)),
+        (
+            "bytes_reduction",
+            JsonValue::Number((bytes_reduction * 100.0).round() / 100.0),
+        ),
         ("sequential", stage_object(&sequential)),
         ("parallel", stage_object(&parallel)),
         (
@@ -493,6 +567,11 @@ fn main() {
                     "serialized_bytes",
                     JsonValue::Number(index_space.serialized_bytes as f64),
                 ),
+                (
+                    "item_bytes",
+                    JsonValue::Number(index_space.item_bytes as f64),
+                ),
+                ("view_bytes", JsonValue::Number(view_bytes as f64)),
             ]),
         ),
     ]);
@@ -528,7 +607,7 @@ fn main() {
     });
     eprintln!("# wrote {out_path}");
 
-    let mut failures = parity_failures + snapshot_failures + ablation_failures;
+    let mut failures = parity_failures + snapshot_failures + ablation_failures + bytes_failures;
     if let Some(baseline_path) = &opts.baseline {
         failures += check_baseline(baseline_path, &report);
     }

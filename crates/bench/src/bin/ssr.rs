@@ -215,7 +215,9 @@ fn cmd_info(args: &[String]) {
         );
     }
     // Loading the typed database additionally surfaces the index's exact
-    // serialized structural footprint (SpaceStats::serialized_bytes).
+    // serialized structural footprint (SpaceStats::serialized_bytes) and the
+    // resident memory layout: the shared element arena, the window views and
+    // the index's per-item id handles.
     with_database(&snapshot, &manifest, |db| {
         let stats = db.index_space_stats();
         println!(
@@ -227,6 +229,16 @@ fn cmd_info(args: &[String]) {
             stats.avg_parents,
             stats.serialized_bytes,
             stats.estimated_bytes
+        );
+        let resident = db.resident_window_bytes();
+        println!(
+            "memory        arena_bytes={} view_bytes={} item_bytes={} \
+             resident_window_bytes={} bytes_per_window={:.1}",
+            stats.arena_bytes,
+            db.window_view_bytes(),
+            stats.item_bytes,
+            resident,
+            resident as f64 / stats.items.max(1) as f64
         );
     });
 }
@@ -332,6 +344,12 @@ fn with_database(
 /// erase the element and distance types.
 trait DatabaseStats {
     fn index_space_stats(&self) -> ssr_index::SpaceStats;
+    /// Resident bytes of the window view table (provenance words, no
+    /// elements — those are the arena's).
+    fn window_view_bytes(&self) -> usize;
+    /// Total resident window/index bytes — the framework's own definition,
+    /// so this always agrees with the CI-gated `bytes_per_window`.
+    fn resident_window_bytes(&self) -> usize;
 }
 
 impl<E, D> DatabaseStats for SubsequenceDatabase<E, D>
@@ -341,6 +359,14 @@ where
 {
     fn index_space_stats(&self) -> ssr_index::SpaceStats {
         SubsequenceDatabase::index_space_stats(self)
+    }
+
+    fn window_view_bytes(&self) -> usize {
+        self.windows().view_bytes()
+    }
+
+    fn resident_window_bytes(&self) -> usize {
+        SubsequenceDatabase::resident_window_bytes(self)
     }
 }
 

@@ -74,7 +74,7 @@ pub fn protein_windows(target: usize, seed: u64) -> Vec<Vec<Symbol>> {
     store
         .iter()
         .take(target)
-        .map(|(_, w)| w.data.clone())
+        .map(|(id, _)| store.slice(id).expect("store views resolve").to_vec())
         .collect()
 }
 
@@ -86,7 +86,7 @@ pub fn song_windows(target: usize, seed: u64) -> Vec<Vec<Pitch>> {
     store
         .iter()
         .take(target)
-        .map(|(_, w)| w.data.clone())
+        .map(|(id, _)| store.slice(id).expect("store views resolve").to_vec())
         .collect()
 }
 
@@ -98,7 +98,7 @@ pub fn traj_windows(target: usize, seed: u64) -> Vec<Vec<Point2D>> {
     store
         .iter()
         .take(target)
-        .map(|(_, w)| w.data.clone())
+        .map(|(id, _)| store.slice(id).expect("store views resolve").to_vec())
         .collect()
 }
 

@@ -10,7 +10,7 @@ use std::ops::Range;
 use ssr_distance::SequenceDistance;
 use ssr_sequence::{Element, Sequence, SequenceDataset, SequenceId};
 
-use crate::query::SubsequenceMatch;
+use crate::query::{pair_slices, SubsequenceMatch};
 
 /// Constraints shared by all brute-force searches: minimum length `λ` and
 /// maximum length difference `λ0`.
@@ -55,10 +55,8 @@ pub fn all_similar_pairs<E: Element, D: SequenceDistance<E>>(
     let mut results = Vec::new();
     for (id, db_seq) in dataset.iter() {
         for (q_range, x_range) in pairs(query, db_seq, constraints) {
-            let d = distance.distance(
-                &query.elements()[q_range.clone()],
-                &db_seq.elements()[x_range.clone()],
-            );
+            let (sq, sx) = pair_slices(query, db_seq, &q_range, &x_range);
+            let d = distance.distance(sq, sx);
             if d <= epsilon {
                 results.push(SubsequenceMatch {
                     sequence: id,
@@ -103,10 +101,8 @@ pub fn nearest_pair<E: Element, D: SequenceDistance<E>>(
     let mut best: Option<(SequenceId, Range<usize>, Range<usize>, f64)> = None;
     for (id, db_seq) in dataset.iter() {
         for (q_range, x_range) in pairs(query, db_seq, constraints) {
-            let d = distance.distance(
-                &query.elements()[q_range.clone()],
-                &db_seq.elements()[x_range.clone()],
-            );
+            let (sq, sx) = pair_slices(query, db_seq, &q_range, &x_range);
+            let d = distance.distance(sq, sx);
             if best.as_ref().is_none_or(|(_, _, _, bd)| d < *bd) {
                 best = Some((id, q_range, x_range, d));
             }

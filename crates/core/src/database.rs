@@ -5,32 +5,53 @@ use std::time::Instant;
 
 use ssr_distance::{CallCounter, SequenceDistance};
 use ssr_index::{
-    CountingMetric, CoverTree, ItemId, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
-    ReferenceNetConfig, SequenceMetricAdapter, SpaceStats,
+    CountingMetric, CoverTree, ItemId, LinearScan, MvReferenceIndex, QueryMetric, RangeIndex,
+    ReferenceNet, ReferenceNetConfig, SpaceStats, WindowSliceMetric,
 };
-use ssr_sequence::{Element, Sequence, SequenceDataset, SequenceId, WindowId, WindowStore};
+use ssr_sequence::{
+    Element, ElementArena, Sequence, SequenceDataset, SequenceId, WindowId, WindowStore,
+};
 
 use crate::candidates::SegmentMatch;
 use crate::config::{FrameworkConfig, FrameworkError, IndexBackend};
 
-/// The metric the window index operates with: the user's sequence distance,
-/// adapted to `Vec<E>` items and counted.
-pub(crate) type WindowMetric<D> = CountingMetric<SequenceMetricAdapter<Arc<D>>>;
+/// The metric the window index operates with: the user's sequence distance
+/// over id-addressed window items, resolved to borrowed slices of the shared
+/// element arena, and counted.
+pub(crate) type WindowMetric<E, D> = CountingMetric<WindowSliceMetric<E, Arc<D>>>;
 
+/// The four index backends over [`WindowId`] items. No backend owns a single
+/// element: each stores one machine word per window and resolves it through
+/// the [`WindowMetric`]'s shared [`WindowStore`] on every evaluation.
 pub(crate) enum WindowIndex<E: Element, D: SequenceDistance<E>> {
-    ReferenceNet(ReferenceNet<Vec<E>, WindowMetric<D>>),
-    CoverTree(CoverTree<Vec<E>, WindowMetric<D>>),
-    MvReference(MvReferenceIndex<Vec<E>, WindowMetric<D>>),
-    LinearScan(LinearScan<Vec<E>, WindowMetric<D>>),
+    ReferenceNet(ReferenceNet<WindowId, WindowMetric<E, D>>),
+    CoverTree(CoverTree<WindowId, WindowMetric<E, D>>),
+    MvReference(MvReferenceIndex<WindowId, WindowMetric<E, D>>),
+    LinearScan(LinearScan<WindowId, WindowMetric<E, D>>),
 }
 
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
-    fn range_query(&self, query: &Vec<E>, radius: f64) -> Vec<ItemId> {
+    /// Range query with a raw query-segment slice probing the id-addressed
+    /// items: the counting metric resolves each visited item against the
+    /// arena and charges the evaluation exactly as the owned-item layout
+    /// did, so results and per-query call counts are bit-identical to it.
+    fn range_query(&self, query: &[E], radius: f64) -> Vec<ItemId> {
+        // One probe shape for all four backends; a divergence here would
+        // silently skew per-backend counts, so keep it in one place.
+        macro_rules! probe {
+            ($idx:expr) => {{
+                let metric = $idx.metric();
+                $idx.range_query_with(
+                    |item, tau| metric.query_dist_within(query, item, tau),
+                    radius,
+                )
+            }};
+        }
         match self {
-            WindowIndex::ReferenceNet(idx) => idx.range_query(query, radius),
-            WindowIndex::CoverTree(idx) => idx.range_query(query, radius),
-            WindowIndex::MvReference(idx) => idx.range_query(query, radius),
-            WindowIndex::LinearScan(idx) => idx.range_query(query, radius),
+            WindowIndex::ReferenceNet(idx) => probe!(idx),
+            WindowIndex::CoverTree(idx) => probe!(idx),
+            WindowIndex::MvReference(idx) => probe!(idx),
+            WindowIndex::LinearScan(idx) => probe!(idx),
         }
     }
 
@@ -43,12 +64,23 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             WindowIndex::ReferenceNet(idx) => idx.len(),
             WindowIndex::CoverTree(idx) => idx.len(),
             WindowIndex::MvReference(idx) => idx.len(),
             WindowIndex::LinearScan(idx) => idx.len(),
+        }
+    }
+
+    /// Stored item handles in id order (dead Reference-Net nodes included),
+    /// for snapshot validation.
+    pub(crate) fn stored_items(&self) -> &[WindowId] {
+        match self {
+            WindowIndex::ReferenceNet(idx) => idx.items(),
+            WindowIndex::CoverTree(idx) => idx.items(),
+            WindowIndex::MvReference(idx) => idx.items(),
+            WindowIndex::LinearScan(idx) => idx.items(),
         }
     }
 }
@@ -137,13 +169,14 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
         }
     }
 
-    /// Number of worker threads used for the build (steps 1 and 2): window
-    /// partitioning is parallelised across database sequences, and the index
+    /// Number of worker threads used for the index build (step 2): the
     /// backends that support deterministic parallel construction (MV pivot
-    /// tables, Reference Net child-distance fan-out) use the same count.
-    /// `0` means one worker per available hardware thread; the default of `1`
-    /// builds sequentially. The resulting database is identical at every
-    /// thread count.
+    /// tables, Reference Net child-distance fan-out) use this count. Window
+    /// partitioning (step 1) needs no workers at all anymore — windows are
+    /// `(sequence, start, len)` views derived from the arena's boundaries,
+    /// so producing them copies nothing. `0` means one worker per available
+    /// hardware thread; the default of `1` builds sequentially. The
+    /// resulting database is identical at every thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.build_threads = crate::parallel::resolve_threads(threads);
         self
@@ -163,44 +196,32 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
         self
     }
 
-    /// Validates the configuration, partitions the sequences into windows of
-    /// length `λ/2` and builds the chosen metric index over them.
+    /// Validates the configuration, gathers every dataset element into one
+    /// flat [`ElementArena`], derives the `λ/2` window views over it and
+    /// builds the chosen metric index over their ids.
     pub fn build(self) -> Result<SubsequenceDatabase<E, D>, FrameworkError> {
         self.config.validate()?;
         self.config
             .validate_distance::<E, _>(self.distance.as_ref())?;
-        // Step 1: each sequence partitions independently on the build pool
-        // (inline when build_threads = 1); concatenating the per-sequence
-        // window lists in dataset order assigns the same window ids as
-        // `partition_windows_dataset`.
-        let per_sequence = crate::parallel::parallel_map(
-            self.build_threads,
-            self.dataset.sequences(),
-            |i, seq| -> Vec<ssr_sequence::Window<E>> {
-                ssr_sequence::partition_windows(
-                    ssr_sequence::SequenceId(i),
-                    seq,
-                    self.config.window_len(),
-                )
-            },
-        );
-        let mut windows = WindowStore::new(self.config.window_len());
-        for sequence_windows in per_sequence {
-            for w in sequence_windows {
-                windows.push(w);
-            }
-        }
+        // Step 1: one contiguous copy of all elements; the window views are
+        // derived from the arena's sequence boundaries without touching a
+        // single element, so there is nothing left to parallelise here.
+        let arena = Arc::new(ElementArena::from_dataset(&self.dataset));
+        let windows = Arc::new(WindowStore::partition(arena, self.config.window_len()));
         if windows.is_empty() {
             return Err(FrameworkError::EmptyDatabase);
         }
         let counter = CallCounter::new();
         let cell_counter = ssr_distance::CellCounter::new();
         let metric = CountingMetric::new(
-            SequenceMetricAdapter::new(Arc::clone(&self.distance)),
+            WindowSliceMetric::new(Arc::clone(&self.distance), Arc::clone(&windows)),
             counter.clone(),
         )
         .with_cell_counter(cell_counter.clone());
-        let window_data: Vec<Vec<E>> = windows.iter().map(|(_, w)| w.data.clone()).collect();
+        // Step 2: the index stores one WindowId per window — the old
+        // per-window `Vec<E>` clone is gone; every build-time distance
+        // resolves both ids to arena slices through the metric.
+        let window_ids = (0..windows.len()).map(WindowId);
         let index = match self.config.backend {
             IndexBackend::ReferenceNet => {
                 let mut rn_config =
@@ -210,23 +231,23 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
                 }
                 let mut idx = ReferenceNet::with_config(metric, rn_config)
                     .with_build_threads(self.build_threads);
-                idx.extend(window_data);
+                idx.extend(window_ids);
                 WindowIndex::ReferenceNet(idx)
             }
             IndexBackend::CoverTree => {
                 let mut idx = CoverTree::with_epsilon_prime(metric, self.config.epsilon_prime);
-                idx.extend(window_data);
+                idx.extend(window_ids);
                 WindowIndex::CoverTree(idx)
             }
             IndexBackend::MvReference { references } => {
                 let mut idx = MvReferenceIndex::new(metric, references)
                     .with_build_threads(self.build_threads);
-                idx.extend(window_data);
+                idx.extend(window_ids);
                 WindowIndex::MvReference(idx)
             }
             IndexBackend::LinearScan => {
                 let mut idx = LinearScan::new(metric);
-                idx.extend(window_data);
+                idx.extend(window_ids);
                 WindowIndex::LinearScan(idx)
             }
         };
@@ -234,7 +255,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
         // that subsequent reads reflect query-time work only.
         let build_distance_calls = counter.reset();
         let build_dp_cells = cell_counter.reset();
-        let gap_prefixes = build_gap_prefixes(self.distance.as_ref(), &self.dataset);
+        let gap_prefixes = build_gap_prefixes(self.distance.as_ref(), windows.arena());
         Ok(SubsequenceDatabase {
             index,
             counter,
@@ -251,19 +272,25 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
 }
 
 /// Per-sequence gap prefix tables for the verification cascade, built only
-/// when the distance can prune on gap sums (ERP-style measures).
+/// when the distance can prune on gap sums (ERP-style measures). The scans
+/// run over the arena's borrowed sequence slices — the same elements the
+/// kernels see — so cascade and kernel can never disagree.
 pub(crate) fn build_gap_prefixes<E: Element, D: SequenceDistance<E>>(
     distance: &D,
-    dataset: &SequenceDataset<E>,
+    arena: &ElementArena<E>,
 ) -> Option<Vec<GapPrefix>> {
     if !distance.uses_gap_sums() {
         return None;
     }
     Some(
-        dataset
-            .sequences()
-            .iter()
-            .map(|s| GapPrefix::build(s.elements()))
+        (0..arena.sequence_count())
+            .map(|i| {
+                GapPrefix::build(
+                    arena
+                        .sequence_slice(SequenceId(i))
+                        .expect("sequence ids are dense"),
+                )
+            })
             .collect(),
     )
 }
@@ -277,7 +304,9 @@ pub struct SubsequenceDatabase<E: Element, D: SequenceDistance<E>> {
     pub(crate) config: FrameworkConfig,
     pub(crate) distance: Arc<D>,
     pub(crate) dataset: SequenceDataset<E>,
-    pub(crate) windows: WindowStore<E>,
+    /// Shared with the index metric: the store (and its arena) is the single
+    /// resident copy of every window's elements.
+    pub(crate) windows: Arc<WindowStore<E>>,
     pub(crate) index: WindowIndex<E, D>,
     pub(crate) counter: CallCounter,
     pub(crate) cell_counter: ssr_distance::CellCounter,
@@ -319,9 +348,26 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         self.index.len()
     }
 
-    /// Space accounting of the underlying index (Figures 5–7).
+    /// Space accounting of the underlying index (Figures 5–7), with the
+    /// shared element arena's bytes attributed — the index only borrows the
+    /// arena through its metric, so the framework layer, which owns it,
+    /// fills in `arena_bytes`. All byte counters are computed from lengths,
+    /// never allocator capacities, and are therefore identical on every
+    /// machine (the bench gates them in CI).
     pub fn index_space_stats(&self) -> SpaceStats {
-        self.index.space_stats()
+        let mut stats = self.index.space_stats();
+        stats.arena_bytes = self.windows.arena().resident_bytes();
+        stats
+    }
+
+    /// Total deterministic resident bytes of the window/index layout: the
+    /// shared element arena, the window store's view table and the index's
+    /// per-item handles. The single definition of the footprint behind the
+    /// CI-gated `bytes_per_window` — `bench` and `ssr info` both report it
+    /// from here, so the gated and the printed figure cannot diverge.
+    pub fn resident_window_bytes(&self) -> usize {
+        let stats = self.index_space_stats();
+        stats.arena_bytes + stats.item_bytes + self.windows.view_bytes()
     }
 
     /// Number of distance evaluations spent building the index.
@@ -378,18 +424,22 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                     .windows
                     .get(window_id)
                     .expect("index ids correspond to window ids");
+                let window_slice = self
+                    .windows
+                    .resolve(&window)
+                    .expect("window views resolve against their own arena");
                 // The index certified d ≤ ε, so the thresholded recompute
                 // always completes; the fallback covers the one legitimate
                 // exception — bulk-accepted items whose triangle-inequality
                 // certificate was rounded right at the radius boundary.
                 let distance = self
                     .distance
-                    .distance_within(&segment.data, &window.data, epsilon)
-                    .unwrap_or_else(|| self.distance.distance(&segment.data, &window.data));
+                    .distance_within(&segment.data, window_slice, epsilon)
+                    .unwrap_or_else(|| self.distance.distance(&segment.data, window_slice));
                 matches.push(SegmentMatch {
                     window: window_id,
                     sequence: window.sequence,
-                    window_index: window.window_index,
+                    window_index: window.window_index(self.windows.window_len()),
                     db_start: window.start,
                     query_start: segment.start,
                     query_len: segment.len(),

@@ -36,6 +36,23 @@ impl SubsequenceMatch {
     }
 }
 
+/// Borrows the two element slices of one candidate pair `(SQ, SX)`: the
+/// query subsequence and the database subsequence, both as views into their
+/// owning sequences. The single extraction point shared by the verification
+/// step and the brute-force ground truths — every kernel invocation on a
+/// candidate pair goes through here, and nothing is copied.
+pub(crate) fn pair_slices<'a, E: Element>(
+    query: &'a Sequence<E>,
+    db_seq: &'a Sequence<E>,
+    q_range: &Range<usize>,
+    x_range: &Range<usize>,
+) -> (&'a [E], &'a [E]) {
+    (
+        &query.elements()[q_range.clone()],
+        &db_seq.elements()[x_range.clone()],
+    )
+}
+
 /// Accounting of the work a query performed, mirroring the quantities the
 /// paper's evaluation reports.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -587,8 +604,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                 return f64::INFINITY;
             }
         }
-        let sq = &query.elements()[q_range.clone()];
-        let sx = &db_seq.elements()[x_range.clone()];
+        let (sq, sx) = pair_slices(query, db_seq, q_range, x_range);
         self.distance()
             .distance_within(sq, sx, tau)
             .unwrap_or(f64::INFINITY)

@@ -1,34 +1,43 @@
 //! Database snapshots: save a built [`SubsequenceDatabase`] (steps 1–2 of the
 //! framework, i.e. the expensive part) to disk and cold-start by loading it.
 //!
-//! A snapshot holds four sections in the `ssr-storage` container format
-//! (magic + format version + section table + CRC per section):
+//! A snapshot (format version 3) holds four sections in the `ssr-storage`
+//! container format (magic + format version + section table + CRC per
+//! section):
 //!
 //! | section    | contents                                                    |
 //! |------------|-------------------------------------------------------------|
 //! | `manifest` | element tag, distance name, [`FrameworkConfig`], counts      |
-//! | `dataset`  | the stored sequences (verification needs their elements)     |
-//! | `windows`  | the window store with per-window provenance                  |
-//! | `index`    | backend tag + the full index structure                       |
+//! | `arena`    | **every** element, one contiguous run + sequence boundaries  |
+//! | `dataset`  | per-sequence labels (elements live in the arena)             |
+//! | `index`    | backend tag + structure over `WindowId` item handles         |
+//!
+//! Elements are serialized exactly once: the arena section is the single
+//! contiguous element store, sequences borrow ranges of it and windows are
+//! `(sequence, start, len)` views derived from the arena's boundaries and
+//! the configured window length — no per-window data exists on disk at all,
+//! and loading performs **one** element-buffer allocation (plus per-sequence
+//! label bookkeeping), never a per-window one. Earlier format versions,
+//! which stored every window's elements twice (window store + index items),
+//! are rejected with [`StorageError::UnsupportedVersion`].
 //!
 //! The `manifest` section is decodable without knowing the element type, so
 //! tooling (the `ssr` CLI) can inspect any snapshot and dispatch to the right
 //! generic instantiation. Loading re-attaches the runtime context — the
-//! user-supplied distance, wrapped in a fresh counting metric — and restores
-//! the index **bit-identically**, including the reference-visit order that
-//! determines per-query distance-call counts; the `snapshot_parity` property
-//! test holds a loaded database to "same results AND same stats" as the
-//! freshly built one.
+//! user-supplied distance, wrapped in a fresh counting metric over the shared
+//! window store — and restores the index **bit-identically**, including the
+//! reference-visit order that determines per-query distance-call counts; the
+//! `snapshot_parity` property test holds a loaded database to "same results
+//! AND same stats" as the freshly built one.
 
 use std::path::Path;
 use std::sync::Arc;
 
 use ssr_distance::{CallCounter, SequenceDistance};
 use ssr_index::{
-    CountingMetric, CoverTree, LinearScan, MvReferenceIndex, RangeIndex, ReferenceNet,
-    SequenceMetricAdapter,
+    CountingMetric, CoverTree, LinearScan, MvReferenceIndex, ReferenceNet, WindowSliceMetric,
 };
-use ssr_sequence::{Element, SequenceDataset, WindowStore};
+use ssr_sequence::{Element, ElementArena, Sequence, SequenceDataset, SequenceId, WindowStore};
 use ssr_storage::{
     Decode, DecodeWith, Encode, Reader, Snapshot, SnapshotBuilder, StorableElement, StorageError,
     Writer,
@@ -39,10 +48,11 @@ use crate::database::{SubsequenceDatabase, WindowIndex, WindowMetric};
 
 /// Section holding the element/distance tags, configuration and counts.
 pub const SECTION_MANIFEST: &str = "manifest";
-/// Section holding the stored sequences.
+/// Section holding the contiguous element arena (all elements, once).
+pub const SECTION_ARENA: &str = "arena";
+/// Section holding per-sequence labels; sequence elements are ranges of the
+/// arena section.
 pub const SECTION_DATASET: &str = "dataset";
-/// Section holding the window store.
-pub const SECTION_WINDOWS: &str = "windows";
 /// Section holding the metric index.
 pub const SECTION_INDEX: &str = "index";
 
@@ -189,8 +199,15 @@ where
         };
         let mut builder = SnapshotBuilder::new();
         builder.section(SECTION_MANIFEST, |w| manifest.encode(w));
-        builder.section(SECTION_DATASET, |w| self.dataset.encode(w));
-        builder.section(SECTION_WINDOWS, |w| self.windows.encode(w));
+        builder.section(SECTION_ARENA, |w| self.windows.arena().encode(w));
+        builder.section(SECTION_DATASET, |w| {
+            // Labels only: the elements were already written — once — to the
+            // arena section, and the window views are derived, not stored.
+            w.put_usize(self.dataset.len());
+            for (_, sequence) in self.dataset.iter() {
+                sequence.label().map(str::to_string).encode(w);
+            }
+        });
         builder.section(SECTION_INDEX, |w| match &self.index {
             WindowIndex::ReferenceNet(idx) => {
                 IndexBackend::ReferenceNet.encode(w);
@@ -249,15 +266,35 @@ where
             .validate_distance::<E, D>(&distance)
             .map_err(|e| StorageError::Malformed(e.to_string()))?;
 
-        let dataset: SequenceDataset<E> = snapshot.decode_section(SECTION_DATASET)?;
-        let windows: WindowStore<E> = snapshot.decode_section(SECTION_WINDOWS)?;
-        if windows.window_len() != config.window_len() {
+        // One contiguous element decode for the whole database: the arena is
+        // the only section carrying element payloads, and reconstructing the
+        // window store from it is pure arithmetic over the boundaries — no
+        // per-window allocation anywhere on this path.
+        let arena: ElementArena<E> = snapshot.decode_section(SECTION_ARENA)?;
+        let mut r = snapshot.section_reader(SECTION_DATASET)?;
+        let sequence_count = r.take_len(1)?;
+        if sequence_count != arena.sequence_count() {
             return Err(StorageError::Malformed(format!(
-                "window store length {} disagrees with config window length {}",
-                windows.window_len(),
-                config.window_len()
+                "dataset section stores {sequence_count} labels for {} arena sequences",
+                arena.sequence_count()
             )));
         }
+        let mut sequences = Vec::with_capacity(sequence_count);
+        for i in 0..sequence_count {
+            let label = Option::<String>::decode(&mut r)?;
+            let elements = arena
+                .sequence_slice(SequenceId(i))
+                .expect("sequence ids are dense")
+                .to_vec();
+            let mut sequence = Sequence::new(elements);
+            if let Some(label) = label {
+                sequence.set_label(label);
+            }
+            sequences.push(sequence);
+        }
+        r.expect_empty(SECTION_DATASET)?;
+        let dataset = SequenceDataset::from_sequences(sequences);
+        let windows = Arc::new(WindowStore::partition(Arc::new(arena), config.window_len()));
         if manifest.sequences != dataset.len() || manifest.windows != windows.len() {
             return Err(StorageError::Malformed(
                 "manifest counts disagree with section contents".into(),
@@ -267,8 +304,8 @@ where
         let distance = Arc::new(distance);
         let counter = CallCounter::new();
         let cell_counter = ssr_distance::CellCounter::new();
-        let metric: WindowMetric<D> = CountingMetric::new(
-            SequenceMetricAdapter::new(Arc::clone(&distance)),
+        let metric: WindowMetric<E, D> = CountingMetric::new(
+            WindowSliceMetric::new(Arc::clone(&distance), Arc::clone(&windows)),
             counter.clone(),
         )
         .with_cell_counter(cell_counter.clone());
@@ -295,24 +332,29 @@ where
             }
         };
         r.expect_empty(SECTION_INDEX)?;
-        let index_len = match &index {
-            WindowIndex::ReferenceNet(idx) => idx.len(),
-            WindowIndex::CoverTree(idx) => idx.len(),
-            WindowIndex::MvReference(idx) => idx.len(),
-            WindowIndex::LinearScan(idx) => idx.len(),
-        };
-        if index_len != windows.len() {
+        if index.len() != windows.len() {
             return Err(StorageError::Malformed(format!(
-                "index stores {index_len} items for {} windows",
+                "index stores {} items for {} windows",
+                index.len(),
                 windows.len()
             )));
         }
+        // The framework always inserts windows in id order, so the stored
+        // item handles must be the identity map onto the window table.
+        // Validating that here keeps decoding total: a crafted handle can
+        // never reach the metric's slice resolution (which would panic on an
+        // out-of-range id).
+        let items = index.stored_items();
+        if items.len() != windows.len() || items.iter().enumerate().any(|(i, w)| w.0 != i) {
+            return Err(StorageError::Malformed(
+                "index item handles must map 1:1 onto the window table".into(),
+            ));
+        }
 
         // The gap prefix tables are runtime context like the counting metric:
-        // rebuilt from the loaded elements (ground-distance scans, zero
-        // *distance* calls), not stored — the serialized per-window gap sums
-        // in the `windows` section cover the windows themselves.
-        let gap_prefixes = crate::database::build_gap_prefixes(distance.as_ref(), &dataset);
+        // rebuilt by scanning the loaded arena's sequence slices (ground
+        // distances only — zero *sequence-distance* calls), not stored.
+        let gap_prefixes = crate::database::build_gap_prefixes(distance.as_ref(), windows.arena());
 
         // No counter reset here: the counter was created fresh above, so a
         // non-zero value after loading means decoding evaluated distances —
@@ -396,7 +438,7 @@ mod tests {
             .iter()
             .map(|s| s.name.as_str())
             .collect();
-        assert_eq!(names, vec!["manifest", "dataset", "windows", "index"]);
+        assert_eq!(names, vec!["manifest", "arena", "dataset", "index"]);
     }
 
     #[test]

@@ -213,7 +213,7 @@ mod tests {
         for (i, a) in store.iter() {
             for (j, b) in store.iter() {
                 if a.sequence != b.sequence && i < j {
-                    best = best.min(lev.distance(&a.data, &b.data));
+                    best = best.min(lev.distance(store.slice(i).unwrap(), store.slice(j).unwrap()));
                 }
             }
         }

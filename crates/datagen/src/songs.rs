@@ -157,7 +157,11 @@ mod tests {
         let store = partition_windows_dataset(&ds, 20);
         let dfd = DiscreteFrechet::new();
         let erp = Erp::new();
-        let windows: Vec<_> = store.iter().map(|(_, w)| w.data.clone()).take(60).collect();
+        let windows: Vec<_> = store
+            .iter()
+            .map(|(id, _)| store.slice(id).unwrap().to_vec())
+            .take(60)
+            .collect();
         let mut dfd_vals = Vec::new();
         let mut erp_vals = Vec::new();
         for i in 0..windows.len() {

@@ -35,6 +35,80 @@ pub struct CoverTree<T, M> {
     root: Option<usize>,
 }
 
+impl<T, M> CoverTree<T, M> {
+    fn radius(&self, level: i32) -> f64 {
+        self.epsilon_prime * f64::powi(2.0, level)
+    }
+
+    fn mark_subtree(&self, start: usize, value: bool, decided: &mut [Option<bool>]) {
+        let mut stack: Vec<usize> = self.nodes[start].children.clone();
+        while let Some(n) = stack.pop() {
+            if decided[n].is_none() {
+                decided[n] = Some(value);
+            }
+            stack.extend(self.nodes[n].children.iter().copied());
+        }
+    }
+
+    /// Stored items in id order (the id of `items()[i]` is `ItemId(i)`).
+    /// Snapshot loading uses this to validate decoded item handles before
+    /// any of them is resolved.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Probe-based range query: `probe(item, tau)` evaluates the query —
+    /// whatever its representation — against one stored item, returning
+    /// `Some(d)` with the exact distance whenever `d ≤ tau`. Visit order,
+    /// thresholds and subtree decisions match [`RangeIndex::range_query`]
+    /// exactly (that method is the `probe = metric` special case).
+    pub fn range_query_with<F>(&self, mut probe: F, radius: f64) -> Vec<ItemId>
+    where
+        F: FnMut(&T, f64) -> Option<f64>,
+    {
+        if self.root.is_none() {
+            return Vec::new();
+        }
+        let mut decided: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        for (&level, ids) in self.by_level.iter().rev() {
+            let r_sub = self.radius(level + 1);
+            // The only decisions that need the exact distance are those with
+            // d ≤ radius + r_sub: anything farther is pruned together with
+            // its whole subtree. Passing that threshold to the probe lets a
+            // threshold-aware kernel abandon early; the triangle-inequality
+            // residual r_sub is exactly what the pruning rule already uses.
+            let tau = radius + r_sub;
+            for &n in ids {
+                if decided[n].is_some() {
+                    continue;
+                }
+                match probe(&self.items[n], tau) {
+                    Some(d) => {
+                        decided[n] = Some(d <= radius);
+                        if d + r_sub <= radius {
+                            self.mark_subtree(n, true, &mut decided);
+                        } else if d - r_sub > radius {
+                            self.mark_subtree(n, false, &mut decided);
+                        }
+                    }
+                    None => {
+                        // d > radius + r_sub: the node and everything below
+                        // it lie outside the query ball.
+                        decided[n] = Some(false);
+                        self.mark_subtree(n, false, &mut decided);
+                    }
+                }
+            }
+        }
+        decided
+            .iter()
+            .enumerate()
+            .filter(|&(_, d)| *d == Some(true))
+            .map(|(i, _)| ItemId(i))
+            .collect()
+    }
+}
+
 impl<T, M: Metric<T>> CoverTree<T, M> {
     /// Creates an empty cover tree with base radius `ǫ' = 1`.
     pub fn new(metric: M) -> Self {
@@ -60,10 +134,6 @@ impl<T, M: Metric<T>> CoverTree<T, M> {
     /// The metric used by the tree.
     pub fn metric(&self) -> &M {
         &self.metric
-    }
-
-    fn radius(&self, level: i32) -> f64 {
-        self.epsilon_prime * f64::powi(2.0, level)
     }
 
     /// Bulk-inserts a collection of items.
@@ -137,16 +207,6 @@ impl<T, M: Metric<T>> CoverTree<T, M> {
         }
         self.nodes[idx].level = level;
         self.by_level.entry(level).or_default().push(idx);
-    }
-
-    fn mark_subtree(&self, start: usize, value: bool, decided: &mut [Option<bool>]) {
-        let mut stack: Vec<usize> = self.nodes[start].children.clone();
-        while let Some(n) = stack.pop() {
-            if decided[n].is_none() {
-                decided[n] = Some(value);
-            }
-            stack.extend(self.nodes[n].children.iter().copied());
-        }
     }
 }
 
@@ -235,46 +295,10 @@ impl<T, M: Metric<T>> RangeIndex<T> for CoverTree<T, M> {
     }
 
     fn range_query(&self, query: &T, radius: f64) -> Vec<ItemId> {
-        if self.root.is_none() {
-            return Vec::new();
-        }
-        let mut decided: Vec<Option<bool>> = vec![None; self.nodes.len()];
-        for (&level, ids) in self.by_level.iter().rev() {
-            let r_sub = self.radius(level + 1);
-            // The only decisions that need the exact distance are those with
-            // d ≤ radius + r_sub: anything farther is pruned together with
-            // its whole subtree. Passing that threshold to the metric lets a
-            // threshold-aware kernel abandon early; the triangle-inequality
-            // residual r_sub is exactly what the pruning rule already uses.
-            let tau = radius + r_sub;
-            for &n in ids {
-                if decided[n].is_some() {
-                    continue;
-                }
-                match self.metric.dist_within(query, &self.items[n], tau) {
-                    Some(d) => {
-                        decided[n] = Some(d <= radius);
-                        if d + r_sub <= radius {
-                            self.mark_subtree(n, true, &mut decided);
-                        } else if d - r_sub > radius {
-                            self.mark_subtree(n, false, &mut decided);
-                        }
-                    }
-                    None => {
-                        // d > radius + r_sub: the node and everything below
-                        // it lie outside the query ball.
-                        decided[n] = Some(false);
-                        self.mark_subtree(n, false, &mut decided);
-                    }
-                }
-            }
-        }
-        decided
-            .iter()
-            .enumerate()
-            .filter(|&(_, d)| *d == Some(true))
-            .map(|(i, _)| ItemId(i))
-            .collect()
+        self.range_query_with(
+            |item, tau| self.metric.dist_within(query, item, tau),
+            radius,
+        )
     }
 
     fn space_stats(&self) -> SpaceStats {
@@ -288,6 +312,8 @@ impl<T, M: Metric<T>> RangeIndex<T> for CoverTree<T, M> {
             avg_parents,
             estimated_bytes,
             serialized_bytes: self.structure_encoded_len(),
+            item_bytes: self.items.len() * std::mem::size_of::<T>(),
+            arena_bytes: 0,
         }
     }
 }

@@ -19,6 +19,14 @@
 //! All indexes are generic over the item type `T` and a [`Metric`]; distance
 //! evaluations can be counted by wrapping the metric in a [`CountingMetric`],
 //! which is how the pruning ratios of Figures 8–11 are measured.
+//!
+//! Items are whatever the metric can compare — owned vectors in tests and
+//! experiments, but the framework stores **id handles**: `WindowId`s that a
+//! [`WindowSliceMetric`] resolves to borrowed slices of a shared element
+//! arena, so the index owns one machine word per window instead of a cloned
+//! element vector. Range queries accept an external probe representation via
+//! [`QueryMetric`] (a raw `&[E]` query segment probing `WindowId` items) or,
+//! equivalently, the `range_query_with` closure form on each structure.
 
 pub mod cover_tree;
 pub mod linear_scan;
@@ -30,7 +38,9 @@ pub mod traits;
 
 pub use cover_tree::CoverTree;
 pub use linear_scan::LinearScan;
-pub use metric::{CountingMetric, FnMetric, Metric, SequenceMetricAdapter};
+pub use metric::{
+    CountingMetric, FnMetric, Metric, QueryMetric, SequenceMetricAdapter, WindowSliceMetric,
+};
 pub use mv_reference::MvReferenceIndex;
 pub use reference_net::{ReferenceNet, ReferenceNetConfig};
 pub use traits::{ItemId, RangeIndex, SpaceStats};

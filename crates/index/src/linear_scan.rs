@@ -39,15 +39,48 @@ impl<T, M: Metric<T>> LinearScan<T, M> {
     /// counting metric), but the threshold-aware evaluation lets the kernel
     /// abandon each non-matching item after a fraction of its DP cells.
     pub fn range_query_with_distances(&self, query: &T, radius: f64) -> Vec<(ItemId, f64)> {
+        self.scan_with(
+            |item, tau| self.metric.dist_within(query, item, tau),
+            radius,
+        )
+    }
+}
+
+impl<T, M> LinearScan<T, M> {
+    /// The one scan loop both query forms share: every item is visited in id
+    /// order and `probe(item, radius)` decides (and reports) its distance.
+    fn scan_with<F>(&self, mut probe: F, radius: f64) -> Vec<(ItemId, f64)>
+    where
+        F: FnMut(&T, f64) -> Option<f64>,
+    {
         self.items
             .iter()
             .enumerate()
-            .filter_map(|(i, item)| {
-                self.metric
-                    .dist_within(query, item, radius)
-                    .map(|d| (ItemId(i), d))
-            })
+            .filter_map(|(i, item)| probe(item, radius).map(|d| (ItemId(i), d)))
             .collect()
+    }
+
+    /// Probe-based range query: `probe(item, tau)` evaluates the query —
+    /// whatever its representation — against one stored item, returning
+    /// `Some(d)` exactly when `d ≤ tau`. This is how the framework queries
+    /// id-addressed items with a raw query-segment slice (see
+    /// [`crate::QueryMetric`]); `range_query` is the `probe = metric` special
+    /// case. The scan visits every item in id order, like `range_query`.
+    pub fn range_query_with<F>(&self, probe: F, radius: f64) -> Vec<ItemId>
+    where
+        F: FnMut(&T, f64) -> Option<f64>,
+    {
+        self.scan_with(probe, radius)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Stored items in id order (the id of `items()[i]` is `ItemId(i)`).
+    /// Snapshot loading uses this to validate decoded item handles before
+    /// any of them is resolved.
+    pub fn items(&self) -> &[T] {
+        &self.items
     }
 }
 
@@ -81,6 +114,8 @@ impl<T, M: Metric<T>> RangeIndex<T> for LinearScan<T, M> {
             avg_parents: 0.0,
             estimated_bytes: 0,
             serialized_bytes: 0,
+            item_bytes: self.items.len() * std::mem::size_of::<T>(),
+            arena_bytes: 0,
         }
     }
 }

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use ssr_distance::{CallCounter, CellCounter, SequenceDistance};
-use ssr_sequence::Element;
+use ssr_sequence::{Element, WindowId, WindowStore};
 
 /// A distance over items of type `T` that is symmetric and satisfies the
 /// triangle inequality.
@@ -56,6 +56,31 @@ impl<T, M: Metric<T> + ?Sized> Metric<T> for &M {
 
     fn dist_within(&self, a: &T, b: &T, tau: f64) -> Option<f64> {
         (**self).dist_within(a, b, tau)
+    }
+}
+
+/// A [`Metric`] that can additionally evaluate an *external* query
+/// representation `Q` against its stored item type `T`.
+///
+/// The index structures store lightweight item handles (for the framework:
+/// [`WindowId`]s resolved through a shared [`WindowStore`]), but a range
+/// query arrives as raw data — a query-segment slice that exists in no
+/// store. This trait is the bridge: `Q` is the probe side, `T` the stored
+/// side, and implementations resolve `T` however they resolve it for
+/// item–item distances. `query_dist_within` must agree exactly with
+/// [`Metric::dist_within`] whenever `Q` and `T` denote the same elements.
+pub trait QueryMetric<Q: ?Sized, T>: Metric<T> {
+    /// Threshold-aware distance from an external query to a stored item:
+    /// `Some(d)` with `d` exact whenever `d ≤ tau`, `None` otherwise.
+    fn query_dist_within(&self, query: &Q, item: &T, tau: f64) -> Option<f64>;
+
+    /// Exact distance from an external query to a stored item. Equivalent to
+    /// `query_dist_within(query, item, f64::INFINITY)` (threshold-aware
+    /// kernels return the exact distance under an infinite threshold), and
+    /// counted identically by counting wrappers.
+    fn query_dist(&self, query: &Q, item: &T) -> f64 {
+        self.query_dist_within(query, item, f64::INFINITY)
+            .expect("an infinite threshold never rejects")
     }
 }
 
@@ -110,6 +135,79 @@ where
     }
 }
 
+/// The arena-era window metric: items are [`WindowId`]s, resolved to `&[E]`
+/// slices of the shared [`WindowStore`] (and through it the `ElementArena`)
+/// on every evaluation. Queries probe with raw `[E]` slices. No element is
+/// ever copied — both sides of every kernel invocation are borrowed views of
+/// contiguous storage, which is the whole point of the flat layout.
+///
+/// The store handle is an `Arc` because the index, the framework database
+/// and this metric all share one window table; the metric only ever reads.
+#[derive(Clone, Debug)]
+pub struct WindowSliceMetric<E, D> {
+    distance: D,
+    windows: Arc<WindowStore<E>>,
+}
+
+impl<E: Element, D> WindowSliceMetric<E, D> {
+    /// Wraps a sequence distance together with the window store its item
+    /// ids resolve against.
+    ///
+    /// As with [`SequenceMetricAdapter`], the caller is responsible for only
+    /// indexing with *metric* distances.
+    pub fn new(distance: D, windows: Arc<WindowStore<E>>) -> Self {
+        WindowSliceMetric { distance, windows }
+    }
+
+    /// The wrapped distance.
+    pub fn inner(&self) -> &D {
+        &self.distance
+    }
+
+    /// The shared window store item ids resolve against.
+    pub fn windows(&self) -> &Arc<WindowStore<E>> {
+        &self.windows
+    }
+
+    /// Resolves one stored item to its element slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not address a window of the store — snapshot
+    /// loading validates ids before any metric is consulted, and the build
+    /// path only ever inserts ids it just created.
+    fn slice(&self, id: WindowId) -> &[E] {
+        self.windows
+            .slice(id)
+            .expect("index item ids address windows of the shared store")
+    }
+}
+
+impl<E, D> Metric<WindowId> for WindowSliceMetric<E, D>
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    fn dist(&self, a: &WindowId, b: &WindowId) -> f64 {
+        self.distance.distance(self.slice(*a), self.slice(*b))
+    }
+
+    fn dist_within(&self, a: &WindowId, b: &WindowId, tau: f64) -> Option<f64> {
+        self.distance
+            .distance_within(self.slice(*a), self.slice(*b), tau)
+    }
+}
+
+impl<E, D> QueryMetric<[E], WindowId> for WindowSliceMetric<E, D>
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    fn query_dist_within(&self, query: &[E], item: &WindowId, tau: f64) -> Option<f64> {
+        self.distance.distance_within(query, self.slice(*item), tau)
+    }
+}
+
 /// A metric wrapper that counts every distance evaluation on a shared
 /// [`CallCounter`] — used to measure the pruning ratios of Figures 8–11 —
 /// and mirrors the DP cells the underlying kernels evaluate into a shared
@@ -156,25 +254,35 @@ impl<M> CountingMetric<M> {
     pub fn inner(&self) -> &M {
         &self.inner
     }
+
+    /// The single charging point every counted evaluation goes through: one
+    /// call on the shared counter, plus the DP cells the evaluation filled
+    /// (measured as a thread-local delta). The CI-gated counters rest on
+    /// every evaluation surface — item–item, thresholded, query-probe —
+    /// charging through this one helper, so they can never drift apart.
+    fn charge<R>(&self, eval: impl FnOnce() -> R) -> R {
+        self.counter.record();
+        let before = ssr_distance::dp_cells_thread_total();
+        let result = eval();
+        self.cells
+            .add(ssr_distance::dp_cells_thread_total() - before);
+        result
+    }
 }
 
 impl<T, M: Metric<T>> Metric<T> for CountingMetric<M> {
     fn dist(&self, a: &T, b: &T) -> f64 {
-        self.counter.record();
-        let before = ssr_distance::dp_cells_thread_total();
-        let d = self.inner.dist(a, b);
-        self.cells
-            .add(ssr_distance::dp_cells_thread_total() - before);
-        d
+        self.charge(|| self.inner.dist(a, b))
     }
 
     fn dist_within(&self, a: &T, b: &T, tau: f64) -> Option<f64> {
-        self.counter.record();
-        let before = ssr_distance::dp_cells_thread_total();
-        let d = self.inner.dist_within(a, b, tau);
-        self.cells
-            .add(ssr_distance::dp_cells_thread_total() - before);
-        d
+        self.charge(|| self.inner.dist_within(a, b, tau))
+    }
+}
+
+impl<Q: ?Sized, T, M: QueryMetric<Q, T>> QueryMetric<Q, T> for CountingMetric<M> {
+    fn query_dist_within(&self, query: &Q, item: &T, tau: f64) -> Option<f64> {
+        self.charge(|| self.inner.query_dist_within(query, item, tau))
     }
 }
 
@@ -212,6 +320,32 @@ mod tests {
         assert_eq!(m.dist(&a, &b), 1.0);
         assert_eq!(m.dist(&a, &a), 0.0);
         assert_eq!(counter.get(), 2);
+    }
+
+    #[test]
+    fn window_slice_metric_resolves_ids_through_the_arena() {
+        use ssr_sequence::{partition_windows_dataset, Sequence, SequenceDataset};
+
+        let ds: SequenceDataset<Symbol> =
+            vec![Sequence::new(sym("ACGTAGGT"))].into_iter().collect();
+        let store = Arc::new(partition_windows_dataset(&ds, 4));
+        let m = WindowSliceMetric::new(Levenshtein::new(), Arc::clone(&store));
+        // Item–item distances resolve both ids to arena slices…
+        assert_eq!(m.dist(&WindowId(0), &WindowId(1)), 1.0); // ACGT vs AGGT
+        assert_eq!(m.dist_within(&WindowId(0), &WindowId(1), 0.5), None);
+        // …and query probes pair a raw slice with a resolved item.
+        let q = sym("ACGT");
+        assert_eq!(m.query_dist(&q[..], &WindowId(0)), 0.0);
+        assert_eq!(m.query_dist_within(&q[..], &WindowId(1), 1.0), Some(1.0));
+        assert_eq!(m.query_dist_within(&q[..], &WindowId(1), 0.5), None);
+
+        // A counting wrapper charges query probes like any other evaluation.
+        let counter = CallCounter::new();
+        let counted = CountingMetric::new(m, counter.clone());
+        let _ = counted.query_dist_within(&q[..], &WindowId(0), 8.0);
+        let _ = counted.query_dist(&q[..], &WindowId(1));
+        let _ = counted.dist(&WindowId(0), &WindowId(1));
+        assert_eq!(counter.get(), 3);
     }
 
     #[test]

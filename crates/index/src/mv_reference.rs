@@ -144,6 +144,17 @@ impl<T: Send + Sync, M: Metric<T>> MvReferenceIndex<T, M> {
         });
     }
 
+    /// Range query that reports how many true distance computations it used
+    /// (pivot distances plus verified items), for the pruning-ratio figures.
+    pub fn range_query_counted(&self, query: &T, radius: f64) -> (Vec<ItemId>, u64) {
+        self.range_query_counted_with(
+            |item, tau| self.metric.dist_within(query, item, tau),
+            radius,
+        )
+    }
+}
+
+impl<T, M> MvReferenceIndex<T, M> {
     fn ensure_built(&self) {
         assert!(
             !self.dirty,
@@ -151,9 +162,25 @@ impl<T: Send + Sync, M: Metric<T>> MvReferenceIndex<T, M> {
         );
     }
 
-    /// Range query that reports how many true distance computations it used
-    /// (pivot distances plus verified items), for the pruning-ratio figures.
-    pub fn range_query_counted(&self, query: &T, radius: f64) -> (Vec<ItemId>, u64) {
+    /// Stored items in id order (the id of `items()[i]` is `ItemId(i)`).
+    /// Snapshot loading uses this to validate decoded item handles before
+    /// any of them is resolved.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Probe-based counted range query: `probe(item, tau)` evaluates the
+    /// query — whatever its representation — against one stored item,
+    /// returning `Some(d)` with the exact distance whenever `d ≤ tau`.
+    /// Pivot distances are evaluated with an infinite threshold (they feed
+    /// both the lower *and* upper triangle-inequality bounds, so they must
+    /// be exact); threshold-aware kernels return the exact distance under an
+    /// infinite threshold, and a counting probe charges one call either way,
+    /// so the call counts match [`Self::range_query_counted`] exactly.
+    pub fn range_query_counted_with<F>(&self, mut probe: F, radius: f64) -> (Vec<ItemId>, u64)
+    where
+        F: FnMut(&T, f64) -> Option<f64>,
+    {
         self.ensure_built();
         if self.items.is_empty() {
             return (Vec::new(), 0);
@@ -164,7 +191,7 @@ impl<T: Send + Sync, M: Metric<T>> MvReferenceIndex<T, M> {
             .iter()
             .map(|&r| {
                 calls += 1;
-                self.metric.dist(query, &self.items[r])
+                probe(&self.items[r], f64::INFINITY).expect("an infinite threshold never rejects")
             })
             .collect();
         let mut result = Vec::new();
@@ -186,15 +213,20 @@ impl<T: Send + Sync, M: Metric<T>> MvReferenceIndex<T, M> {
             // query radius itself is the kernel's threshold; the pivot
             // bounds above already absorbed the triangle-inequality slack.
             calls += 1;
-            if self
-                .metric
-                .dist_within(query, &self.items[i], radius)
-                .is_some()
-            {
+            if probe(&self.items[i], radius).is_some() {
                 result.push(ItemId(i));
             }
         }
         (result, calls)
+    }
+
+    /// Probe-based range query (ids only); see
+    /// [`Self::range_query_counted_with`].
+    pub fn range_query_with<F>(&self, probe: F, radius: f64) -> Vec<ItemId>
+    where
+        F: FnMut(&T, f64) -> Option<f64>,
+    {
+        self.range_query_counted_with(probe, radius).0
     }
 }
 
@@ -228,6 +260,8 @@ impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for MvReferenceIndex<T, M> {
             estimated_bytes: entries * std::mem::size_of::<f64>()
                 + self.references.len() * std::mem::size_of::<usize>(),
             serialized_bytes: self.structure_encoded_len(),
+            item_bytes: self.items.len() * std::mem::size_of::<T>(),
+            arena_bytes: 0,
         }
     }
 }

@@ -154,11 +154,6 @@ impl<T: Send + Sync, M: Metric<T>> ReferenceNet<T, M> {
         &self.metric
     }
 
-    /// Radius `ǫ'·2^level` associated with a level.
-    fn radius(&self, level: i32) -> f64 {
-        self.config.epsilon_prime * f64::powi(2.0, level)
-    }
-
     /// Bulk-inserts a collection of items.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, items: I) {
         for item in items {
@@ -507,6 +502,13 @@ impl<T: Send + Sync, M: Metric<T>> ReferenceNet<T, M> {
         self.set_level(orphan, new_level);
         self.attach(orphan, vec![(root, d_root)]);
     }
+}
+
+impl<T, M> ReferenceNet<T, M> {
+    /// Radius `ǫ'·2^level` associated with a level.
+    fn radius(&self, level: i32) -> f64 {
+        self.config.epsilon_prime * f64::powi(2.0, level)
+    }
 
     fn mark_descendants(&self, start: usize, value: bool, decided: &mut [Option<bool>]) {
         let mut stack: Vec<usize> = self.nodes[start].children.clone();
@@ -518,6 +520,81 @@ impl<T: Send + Sync, M: Metric<T>> ReferenceNet<T, M> {
             // descendants may still be undecided through this path.
             stack.extend(self.nodes[n].children.iter().copied());
         }
+    }
+
+    /// Stored items in id order, dead nodes included (the id of `items()[i]`
+    /// is `ItemId(i)`). Snapshot loading uses this to validate decoded item
+    /// handles before any of them is resolved.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Probe-based range query (Algorithm 3): `probe(item, tau)` evaluates
+    /// the query — whatever its representation — against one stored item,
+    /// returning `Some(d)` with the exact distance whenever `d ≤ tau` and
+    /// `None` otherwise. The visit order, the thresholds passed to the probe
+    /// and the accept/prune decisions are exactly those of
+    /// [`RangeIndex::range_query`], which is the `probe = metric` special
+    /// case; the framework passes a probe that resolves id-addressed items
+    /// against its shared element arena and counts the evaluation.
+    pub fn range_query_with<F>(&self, mut probe: F, radius: f64) -> Vec<ItemId>
+    where
+        F: FnMut(&T, f64) -> Option<f64>,
+    {
+        if self.root.is_none() {
+            return Vec::new();
+        }
+        let mut decided: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        // Visit references level by level, from the top down (Algorithm 3).
+        for (&level, ids) in self.by_level.iter().rev() {
+            let r_list = self.radius(level);
+            let r_sub = self.radius(level + 1);
+            // Per Lemma 4, a reference farther than radius + r_sub excludes
+            // all its derived references, so no decision below needs the
+            // exact distance beyond that threshold — pass it to the probe
+            // and let a threshold-aware kernel abandon early.
+            let tau = radius + r_sub;
+            for &n in ids {
+                if !self.nodes[n].alive || decided[n].is_some() {
+                    continue;
+                }
+                match probe(&self.items[n], tau) {
+                    Some(d) => {
+                        decided[n] = Some(d <= radius);
+                        if d + r_sub <= radius {
+                            self.mark_descendants(n, true, &mut decided);
+                        } else if d + r_list <= radius {
+                            for &c in &self.nodes[n].children {
+                                if decided[c].is_none() {
+                                    decided[c] = Some(true);
+                                }
+                            }
+                        }
+                        if d - r_sub > radius {
+                            self.mark_descendants(n, false, &mut decided);
+                        } else if d - r_list > radius {
+                            for &c in &self.nodes[n].children {
+                                if decided[c].is_none() {
+                                    decided[c] = Some(false);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // d > radius + r_sub (Lemma 4): prune the reference
+                        // and everything derived from it.
+                        decided[n] = Some(false);
+                        self.mark_descendants(n, false, &mut decided);
+                    }
+                }
+            }
+        }
+        decided
+            .iter()
+            .enumerate()
+            .filter(|&(i, d)| self.nodes[i].alive && *d == Some(true))
+            .map(|(i, _)| ItemId(i))
+            .collect()
     }
 }
 
@@ -588,60 +665,10 @@ impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for ReferenceNet<T, M> {
     }
 
     fn range_query(&self, query: &T, radius: f64) -> Vec<ItemId> {
-        if self.root.is_none() {
-            return Vec::new();
-        }
-        let mut decided: Vec<Option<bool>> = vec![None; self.nodes.len()];
-        // Visit references level by level, from the top down (Algorithm 3).
-        for (&level, ids) in self.by_level.iter().rev() {
-            let r_list = self.radius(level);
-            let r_sub = self.radius(level + 1);
-            // Per Lemma 4, a reference farther than radius + r_sub excludes
-            // all its derived references, so no decision below needs the
-            // exact distance beyond that threshold — pass it to the metric
-            // and let a threshold-aware kernel abandon early.
-            let tau = radius + r_sub;
-            for &n in ids {
-                if !self.nodes[n].alive || decided[n].is_some() {
-                    continue;
-                }
-                match self.metric.dist_within(query, &self.items[n], tau) {
-                    Some(d) => {
-                        decided[n] = Some(d <= radius);
-                        if d + r_sub <= radius {
-                            self.mark_descendants(n, true, &mut decided);
-                        } else if d + r_list <= radius {
-                            for &c in &self.nodes[n].children {
-                                if decided[c].is_none() {
-                                    decided[c] = Some(true);
-                                }
-                            }
-                        }
-                        if d - r_sub > radius {
-                            self.mark_descendants(n, false, &mut decided);
-                        } else if d - r_list > radius {
-                            for &c in &self.nodes[n].children {
-                                if decided[c].is_none() {
-                                    decided[c] = Some(false);
-                                }
-                            }
-                        }
-                    }
-                    None => {
-                        // d > radius + r_sub (Lemma 4): prune the reference
-                        // and everything derived from it.
-                        decided[n] = Some(false);
-                        self.mark_descendants(n, false, &mut decided);
-                    }
-                }
-            }
-        }
-        decided
-            .iter()
-            .enumerate()
-            .filter(|&(i, d)| self.nodes[i].alive && *d == Some(true))
-            .map(|(i, _)| ItemId(i))
-            .collect()
+        self.range_query_with(
+            |item, tau| self.metric.dist_within(query, item, tau),
+            radius,
+        )
     }
 
     fn space_stats(&self) -> SpaceStats {
@@ -662,6 +689,8 @@ impl<T: Send + Sync, M: Metric<T>> RangeIndex<T> for ReferenceNet<T, M> {
             avg_parents: self.avg_parents(),
             estimated_bytes,
             serialized_bytes: self.structure_encoded_len(),
+            item_bytes: self.items.len() * std::mem::size_of::<T>(),
+            arena_bytes: 0,
         }
     }
 }

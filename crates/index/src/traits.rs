@@ -39,12 +39,37 @@ pub struct SpaceStats {
     /// (measured by running the snapshot encoder over the structure). Zero
     /// for structures that persist no bookkeeping (linear scan).
     pub serialized_bytes: usize,
+    /// Deterministic resident bytes of the item *handles* the index stores:
+    /// `stored items × size_of::<T>()`. With arena-backed items (`WindowId`)
+    /// this is the index's entire per-item payload — one machine word each;
+    /// any heap payload of owned item types (e.g. `Vec<E>` test items) is
+    /// deliberately not chased, because the framework's invariant is that
+    /// there is none. Computed from lengths, never allocator capacities, so
+    /// the value is identical on every machine and safe to gate in CI.
+    pub item_bytes: usize,
+    /// Deterministic resident bytes of the shared element storage the item
+    /// handles resolve against (the `ElementArena` behind a window store).
+    /// Zero for self-contained indexes; filled in by the framework layer,
+    /// which owns the arena the index only borrows through its metric.
+    pub arena_bytes: usize,
 }
 
 impl SpaceStats {
     /// Estimated footprint in mebibytes.
     pub fn estimated_mib(&self) -> f64 {
         self.estimated_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Resident bytes per stored item: shared arena plus per-item handles,
+    /// divided by the live item count (0.0 for an empty index). The bench's
+    /// gated `bytes_per_window` additionally counts the window store's view
+    /// table, which the index does not own, so it sits a few words per item
+    /// above this number.
+    pub fn bytes_per_item(&self) -> f64 {
+        if self.items == 0 {
+            return 0.0;
+        }
+        (self.arena_bytes + self.item_bytes) as f64 / self.items as f64
     }
 }
 
@@ -92,7 +117,11 @@ mod tests {
             avg_parents: 2.0,
             estimated_bytes: 2 * 1024 * 1024,
             serialized_bytes: 0,
+            item_bytes: 80,
+            arena_bytes: 320,
         };
         assert!((stats.estimated_mib() - 2.0).abs() < 1e-12);
+        assert!((stats.bytes_per_item() - 40.0).abs() < 1e-12);
+        assert_eq!(SpaceStats::default().bytes_per_item(), 0.0);
     }
 }

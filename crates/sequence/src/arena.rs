@@ -1,0 +1,198 @@
+//! Flat, contiguous storage of all dataset elements.
+//!
+//! The framework touches window elements on every index distance evaluation,
+//! so their layout dominates the hot-path memory behaviour. Storing each
+//! window as an owned `Vec<E>` (and cloning it again into the index) gives a
+//! cache-hostile Vec-of-Vec layout with two resident copies of every window.
+//! The [`ElementArena`] fixes the layout at the source: **one** flat buffer
+//! owns every element of every database sequence, windows and index items
+//! address it by `(sequence, start, len)` and resolve to plain `&[E]` slices.
+//! This mirrors how the modular subsequence-matching literature indexes
+//! lightweight references into shared sequence storage instead of
+//! materialized subsequences.
+//!
+//! The arena also serializes as a single contiguous snapshot section, so a
+//! cold start reconstructs the whole element store with one bulk pass — no
+//! per-window allocation — and the section stays amenable to a future
+//! mmap-backed loader.
+
+use crate::element::Element;
+use crate::sequence::{SequenceDataset, SequenceId};
+
+/// Contiguous storage of every element of a [`SequenceDataset`], in dataset
+/// order, with per-sequence boundaries.
+///
+/// The arena is immutable once built: windows are *views* into it, so any
+/// mutation would silently change what every view resolves to.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ElementArena<E> {
+    /// All elements, sequence after sequence.
+    elements: Vec<E>,
+    /// `bounds[i]..bounds[i + 1]` is sequence `i`'s range; `bounds[0] == 0`
+    /// and `bounds.last() == elements.len()`, so there are `n + 1` entries
+    /// for `n` sequences.
+    bounds: Vec<usize>,
+}
+
+impl<E: Element> ElementArena<E> {
+    /// Concatenates every sequence of `dataset` into one flat buffer.
+    pub fn from_dataset(dataset: &SequenceDataset<E>) -> Self {
+        let mut elements = Vec::with_capacity(dataset.total_elements());
+        let mut bounds = Vec::with_capacity(dataset.len() + 1);
+        bounds.push(0);
+        for (_, sequence) in dataset.iter() {
+            elements.extend_from_slice(sequence.elements());
+            bounds.push(elements.len());
+        }
+        ElementArena { elements, bounds }
+    }
+
+    /// Rebuilds an arena from its raw parts (the snapshot decode path).
+    ///
+    /// Returns `None` when the bounds are not a monotone cover of
+    /// `elements` starting at 0 — structurally impossible for an arena this
+    /// type produced.
+    pub fn from_parts(elements: Vec<E>, bounds: Vec<usize>) -> Option<Self> {
+        if bounds.first() != Some(&0) || bounds.last() != Some(&elements.len()) {
+            return None;
+        }
+        if bounds.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(ElementArena { elements, bounds })
+    }
+
+    /// Number of sequences the arena covers.
+    pub fn sequence_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of elements across all sequences.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the arena holds no element.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The whole flat buffer.
+    pub fn elements(&self) -> &[E] {
+        &self.elements
+    }
+
+    /// Per-sequence boundaries (`n + 1` entries for `n` sequences).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Length of one sequence.
+    pub fn sequence_len(&self, id: SequenceId) -> Option<usize> {
+        let start = *self.bounds.get(id.0)?;
+        let end = *self.bounds.get(id.0 + 1)?;
+        Some(end - start)
+    }
+
+    /// All elements of one sequence.
+    pub fn sequence_slice(&self, id: SequenceId) -> Option<&[E]> {
+        let start = *self.bounds.get(id.0)?;
+        let end = *self.bounds.get(id.0 + 1)?;
+        Some(&self.elements[start..end])
+    }
+
+    /// A half-open element range within one sequence (the window-resolution
+    /// primitive). `None` when the sequence id or the range is out of bounds.
+    pub fn slice(&self, id: SequenceId, start: usize, len: usize) -> Option<&[E]> {
+        let base = *self.bounds.get(id.0)?;
+        let end = *self.bounds.get(id.0 + 1)?;
+        let from = base.checked_add(start)?;
+        let to = from.checked_add(len)?;
+        if to > end {
+            return None;
+        }
+        Some(&self.elements[from..to])
+    }
+
+    /// Deterministic resident footprint of the arena in bytes: the flat
+    /// element buffer plus the boundary table. Computed from lengths, not
+    /// allocator capacities, so it is identical on every machine and safe to
+    /// gate in CI.
+    pub fn resident_bytes(&self) -> usize {
+        self.elements.len() * std::mem::size_of::<E>()
+            + self.bounds.len() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Symbol;
+    use crate::sequence::Sequence;
+
+    fn seq(text: &str) -> Sequence<Symbol> {
+        Sequence::new(text.chars().map(Symbol::from_char).collect())
+    }
+
+    fn arena(texts: &[&str]) -> ElementArena<Symbol> {
+        let ds: SequenceDataset<Symbol> = texts.iter().map(|t| seq(t)).collect();
+        ElementArena::from_dataset(&ds)
+    }
+
+    #[test]
+    fn concatenates_sequences_in_order() {
+        let a = arena(&["ABCD", "EF", "", "GHI"]);
+        assert_eq!(a.sequence_count(), 4);
+        assert_eq!(a.len(), 9);
+        assert_eq!(a.bounds(), &[0, 4, 6, 6, 9]);
+        assert_eq!(a.sequence_len(SequenceId(1)), Some(2));
+        assert_eq!(a.sequence_len(SequenceId(2)), Some(0));
+        assert_eq!(a.sequence_len(SequenceId(4)), None);
+        assert_eq!(
+            a.sequence_slice(SequenceId(3)).unwrap(),
+            seq("GHI").elements()
+        );
+    }
+
+    #[test]
+    fn slices_resolve_against_their_own_sequence_only() {
+        let a = arena(&["ABCD", "EFGH"]);
+        assert_eq!(a.slice(SequenceId(0), 1, 2).unwrap(), seq("BC").elements());
+        assert_eq!(
+            a.slice(SequenceId(1), 0, 4).unwrap(),
+            seq("EFGH").elements()
+        );
+        // A window may not run past its sequence into the next one.
+        assert!(a.slice(SequenceId(0), 2, 3).is_none());
+        assert!(a.slice(SequenceId(2), 0, 1).is_none());
+        assert!(a.slice(SequenceId(0), 0, 0).is_some());
+    }
+
+    #[test]
+    fn from_parts_validates_bounds() {
+        let elements: Vec<Symbol> = seq("ABCD").elements().to_vec();
+        assert!(ElementArena::from_parts(elements.clone(), vec![0, 2, 4]).is_some());
+        assert!(ElementArena::from_parts(elements.clone(), vec![0, 5]).is_none());
+        assert!(ElementArena::from_parts(elements.clone(), vec![1, 4]).is_none());
+        assert!(ElementArena::from_parts(elements.clone(), vec![0, 3, 2, 4]).is_none());
+        assert!(ElementArena::from_parts(elements, vec![]).is_none());
+        assert!(ElementArena::<Symbol>::from_parts(vec![], vec![0]).is_some());
+    }
+
+    #[test]
+    fn empty_dataset_yields_an_empty_arena() {
+        let a = arena(&[]);
+        assert!(a.is_empty());
+        assert_eq!(a.sequence_count(), 0);
+        assert_eq!(a.resident_bytes(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn resident_bytes_counts_elements_and_bounds() {
+        let a = arena(&["ABCD", "EF"]);
+        assert_eq!(
+            a.resident_bytes(),
+            6 * std::mem::size_of::<Symbol>() + 3 * std::mem::size_of::<usize>()
+        );
+    }
+}

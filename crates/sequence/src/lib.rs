@@ -20,13 +20,18 @@
 //!   integer time series, [`Point2D`] / [`Point3D`] for trajectories, and a
 //!   blanket implementation for `f64` scalars;
 //! * [`Sequence`] and [`SequenceDataset`] containers with stable identifiers;
+//! * a flat [`ElementArena`] ([`arena`]) owning every dataset element in one
+//!   contiguous buffer — the single resident copy that windows and index
+//!   items resolve against;
 //! * fixed-length window partitioning ([`window`]) used for the database side
-//!   of the framework (step 1 of Section 7 of the paper);
+//!   of the framework (step 1 of Section 7 of the paper); windows are
+//!   `(sequence, start, len)` views into the arena, not owned vectors;
 //! * query segment extraction ([`segment`]) used for the query side
 //!   (step 3 of Section 7);
 //! * alphabet helpers ([`alphabet`]) for DNA, protein and pitch data.
 
 pub mod alphabet;
+pub mod arena;
 pub mod element;
 pub mod segment;
 pub mod sequence;
@@ -34,6 +39,7 @@ pub mod storage;
 pub mod window;
 
 pub use alphabet::{Alphabet, DNA_ALPHABET, PITCH_ALPHABET, PROTEIN_ALPHABET};
+pub use arena::ElementArena;
 pub use element::{Element, Pitch, Point2D, Point3D, Symbol};
 pub use segment::{extract_segments, segment_count, Segment, SegmentSpec};
 pub use sequence::{Sequence, SequenceDataset, SequenceId};

@@ -9,9 +9,10 @@
 
 use ssr_storage::{Decode, Encode, Reader, StorableElement, StorageError, Writer};
 
+use crate::arena::ElementArena;
 use crate::element::{Pitch, Point2D, Point3D, Symbol};
 use crate::sequence::{Sequence, SequenceDataset, SequenceId};
-use crate::window::{Window, WindowId, WindowStore};
+use crate::window::WindowId;
 
 impl Encode for Symbol {
     fn encode(&self, w: &mut Writer) {
@@ -153,80 +154,48 @@ impl<E: crate::Element + Decode> Decode for SequenceDataset<E> {
     }
 }
 
-impl<E: crate::Element + Encode> Encode for Window<E> {
+/// The arena serializes as one contiguous element run (snapshot format
+/// version 3): sequence boundaries first, then every element back to back.
+/// Decoding therefore performs exactly **one** element-buffer allocation for
+/// the whole database — no per-window (or per-sequence) element vectors —
+/// and the flat layout keeps the section compatible with a future
+/// mmap-backed loader that resolves slices without copying at all.
+impl<E: crate::Element + Encode> Encode for ElementArena<E> {
     fn encode(&self, w: &mut Writer) {
-        self.sequence.encode(w);
-        w.put_usize(self.window_index);
-        w.put_usize(self.start);
-        self.data.encode(w);
-    }
-}
-
-impl<E: crate::Element + Decode> Decode for Window<E> {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
-        Ok(Window {
-            sequence: SequenceId::decode(r)?,
-            window_index: r.take_usize()?,
-            start: r.take_usize()?,
-            data: Vec::<E>::decode(r)?,
-        })
-    }
-}
-
-impl<E: crate::Element + Encode> Encode for WindowStore<E> {
-    fn encode(&self, w: &mut Writer) {
-        w.put_usize(self.window_len());
+        w.put_usize(self.sequence_count());
+        // bounds[0] is always 0; store the n upper bounds only.
+        for &b in &self.bounds()[1..] {
+            w.put_usize(b);
+        }
         w.put_usize(self.len());
-        for (_, window) in self.iter() {
-            window.encode(w);
-        }
-        // Per-window gap-distance sums (snapshot format version 2): stored so
-        // a loaded database has the ERP lower-bound inputs without rescanning
-        // any window.
-        for &sum in self.gap_sums() {
-            w.put_f64(sum);
+        for e in self.elements() {
+            e.encode(w);
         }
     }
 }
 
-impl<E: crate::Element + Decode> Decode for WindowStore<E> {
+impl<E: crate::Element + Decode> Decode for ElementArena<E> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
-        let window_len = r.take_usize()?;
-        if window_len == 0 {
-            return Err(StorageError::Malformed(
-                "window length must be positive".into(),
-            ));
+        let sequences = r.take_len(8)?;
+        let mut bounds = Vec::with_capacity(sequences + 1);
+        bounds.push(0usize);
+        for _ in 0..sequences {
+            bounds.push(r.take_usize()?);
         }
         let count = r.take_len(1)?;
-        let mut store = WindowStore::new(window_len);
+        if Some(&count) != bounds.last() {
+            return Err(StorageError::Malformed(format!(
+                "arena stores {count} elements but its last bound is {}",
+                bounds.last().expect("bounds always start with 0")
+            )));
+        }
+        let mut elements = Vec::with_capacity(count);
         for _ in 0..count {
-            let window = Window::<E>::decode(r)?;
-            // Validate before `push`, whose length assertion would panic.
-            if window.len() != window_len {
-                return Err(StorageError::Malformed(format!(
-                    "window of length {} in a store of window length {window_len}",
-                    window.len()
-                )));
-            }
-            store.push(window);
+            elements.push(E::decode(r)?);
         }
-        // Stored sums are restored verbatim rather than compared bit-for-bit
-        // against a recompute: ground distances (e.g. `hypot` for points)
-        // are not bit-reproducible across libm implementations, and the
-        // container CRCs already guarantee the bytes themselves. The codec
-        // validates structure only: one finite, non-negative sum per window.
-        let mut gap_sums = Vec::with_capacity(count);
-        for i in 0..count {
-            let sum = r.take_f64()?;
-            if !(sum >= 0.0 && sum.is_finite()) {
-                return Err(StorageError::Malformed(format!(
-                    "window {i} gap sum {sum} is not a finite non-negative value"
-                )));
-            }
-            gap_sums.push(sum);
-        }
-        store.restore_gap_sums(gap_sums);
-        Ok(store)
+        ElementArena::from_parts(elements, bounds).ok_or_else(|| {
+            StorageError::Malformed("arena bounds are not a monotone cover of the elements".into())
+        })
     }
 }
 
@@ -273,76 +242,76 @@ mod tests {
     }
 
     #[test]
-    fn window_stores_roundtrip_with_provenance() {
+    fn arenas_roundtrip_and_repartition_identically() {
         let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB"), seq("CCCCDDDD"), seq("EE")]
             .into_iter()
             .collect();
-        let store = partition_windows_dataset(&ds, 4);
+        let arena = ElementArena::from_dataset(&ds);
+        roundtrip(arena.clone());
+
+        // Partitioning the decoded arena reproduces the original store's
+        // views exactly — this is what makes the v3 snapshot format free of
+        // per-window data.
         let mut w = Writer::new();
-        store.encode(&mut w);
+        arena.encode(&mut w);
         let bytes = w.into_bytes();
-        let back = WindowStore::<Symbol>::decode(&mut Reader::new(&bytes)).unwrap();
-        assert_eq!(back.window_len(), store.window_len());
-        assert_eq!(back.len(), store.len());
-        for ((_, a), (_, b)) in back.iter().zip(store.iter()) {
-            assert_eq!(a, b);
+        let back = ElementArena::<Symbol>::decode(&mut Reader::new(&bytes)).unwrap();
+        let store = partition_windows_dataset(&ds, 4);
+        let restored = crate::window::WindowStore::partition(std::sync::Arc::new(back), 4);
+        assert_eq!(restored.len(), store.len());
+        for ((ida, a), (idb, b)) in restored.iter().zip(store.iter()) {
+            assert_eq!((ida, a), (idb, b));
+            assert_eq!(restored.slice(ida).unwrap(), store.slice(idb).unwrap());
         }
     }
 
     #[test]
-    fn malformed_window_store_is_rejected_not_panicked() {
-        // A store claiming window length 0.
-        let mut w = Writer::new();
-        w.put_usize(0);
-        w.put_usize(0);
-        assert!(matches!(
-            WindowStore::<Symbol>::decode(&mut Reader::new(w.bytes())),
-            Err(StorageError::Malformed(_))
-        ));
-
-        // A window whose data disagrees with the store's window length.
-        let mut w = Writer::new();
-        w.put_usize(4); // store window_len
-        w.put_usize(1); // one window
-        SequenceId(0).encode(&mut w);
-        w.put_usize(0); // window_index
-        w.put_usize(0); // start
-        vec![Symbol(b'A'); 3].encode(&mut w); // wrong length
-        assert!(matches!(
-            WindowStore::<Symbol>::decode(&mut Reader::new(w.bytes())),
-            Err(StorageError::Malformed(_))
-        ));
+    fn empty_arena_roundtrips() {
+        roundtrip(ElementArena::<Symbol>::from_dataset(&SequenceDataset::new()));
+        let ds: SequenceDataset<Symbol> = vec![Sequence::new(vec![])].into_iter().collect();
+        roundtrip(ElementArena::from_dataset(&ds));
     }
 
     #[test]
-    fn structurally_invalid_gap_sums_are_rejected() {
+    fn malformed_arena_is_rejected_not_panicked() {
+        // Element count disagreeing with the last bound.
+        let mut w = Writer::new();
+        w.put_usize(1); // one sequence
+        w.put_usize(4); // its upper bound
+        w.put_usize(3); // but only three elements claimed
+        for _ in 0..3 {
+            Symbol(b'A').encode(&mut w);
+        }
+        assert!(matches!(
+            ElementArena::<Symbol>::decode(&mut Reader::new(w.bytes())),
+            Err(StorageError::Malformed(_))
+        ));
+
+        // Non-monotone bounds.
+        let mut w = Writer::new();
+        w.put_usize(2);
+        w.put_usize(3);
+        w.put_usize(2); // decreasing
+        w.put_usize(2);
+        for _ in 0..2 {
+            Symbol(b'A').encode(&mut w);
+        }
+        assert!(matches!(
+            ElementArena::<Symbol>::decode(&mut Reader::new(w.bytes())),
+            Err(StorageError::Malformed(_))
+        ));
+
+        // Truncation anywhere yields a typed error.
         let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB")].into_iter().collect();
-        let store = partition_windows_dataset(&ds, 4);
         let mut w = Writer::new();
-        store.encode(&mut w);
-        let mut bytes = w.into_bytes();
-        // The two gap sums are the trailing 16 bytes; set the sign bit of
-        // the last sum (its most significant byte in LE encoding), making it
-        // negative — structurally impossible for a sum of ground distances.
-        // (Bit-level integrity of plausible values is the container CRC's
-        // job, not the codec's: sums are restored verbatim by design.)
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0x80;
-        assert!(matches!(
-            WindowStore::<Symbol>::decode(&mut Reader::new(&bytes)),
-            Err(StorageError::Malformed(_))
-        ));
-    }
-
-    #[test]
-    fn gap_sums_roundtrip_verbatim() {
-        let ds: SequenceDataset<Symbol> = vec![seq("AAAABBBB"), seq("CCCC")].into_iter().collect();
-        let store = partition_windows_dataset(&ds, 4);
-        let mut w = Writer::new();
-        store.encode(&mut w);
+        ElementArena::from_dataset(&ds).encode(&mut w);
         let bytes = w.into_bytes();
-        let back = WindowStore::<Symbol>::decode(&mut Reader::new(&bytes)).unwrap();
-        assert_eq!(back.gap_sums(), store.gap_sums());
+        for cut in 0..bytes.len() {
+            assert!(
+                ElementArena::<Symbol>::decode(&mut Reader::new(&bytes[..cut])).is_err(),
+                "prefix of {cut} bytes unexpectedly decoded"
+            );
+        }
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! The snapshot container: magic, format version, section table, CRCs.
 //!
-//! ## File layout (format version 2)
+//! ## File layout (format version 3)
 //!
-//! Version 2 kept the container layout of version 1 and changed only the
-//! `windows` section's content (per-window gap-distance sums appended by the
-//! `ssr-sequence` codec); version-1 files are rejected with
+//! The container layout — magic, version, section table, CRCs — has been
+//! stable since version 1; only the section schema evolves. Version 2 added
+//! per-window gap-distance sums to the `windows` section; version 3 replaced
+//! the per-window element vectors with one contiguous `arena` section that
+//! every window references by offset (and dropped the gap sums, which no
+//! consumer read). Files of any other version are rejected with
 //! [`StorageError::UnsupportedVersion`] rather than misparsed.
 //!
 //! ```text
 //! offset 0   magic               8 bytes  b"SSRSNAP\0"
-//! offset 8   format version      u32 LE   (currently 2)
+//! offset 8   format version      u32 LE   (currently 3)
 //! offset 12  table length        u32 LE   byte length of the section table
 //! offset 16  section table       (see below)
 //! ...        header CRC-32       u32 LE   over bytes [0, 16 + table length)
@@ -47,7 +50,10 @@ pub const MAGIC: [u8; 8] = *b"SSRSNAP\0";
 ///
 /// * 1 — initial format.
 /// * 2 — the `windows` section carries per-window gap-distance sums.
-pub const FORMAT_VERSION: u32 = 2;
+/// * 3 — all elements live in one contiguous `arena` section; windows are
+///   derived views (no `windows` section, no per-window data, no gap sums)
+///   and the index stores id handles instead of element vectors.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Byte offset where the section table starts (after magic, version and the
 /// table-length word).

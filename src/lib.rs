@@ -12,8 +12,9 @@
 //!
 //! The workspace is organised as one crate per subsystem, all re-exported here:
 //!
-//! * [`sequence`] (`ssr-sequence`) — elements, alphabets, sequences, windows,
-//!   query segments;
+//! * [`sequence`] (`ssr-sequence`) — elements, alphabets, sequences, the flat
+//!   [`ElementArena`](crate::sequence::ElementArena) that owns every dataset
+//!   element in one contiguous buffer, view-based windows, query segments;
 //! * [`distance`] (`ssr-distance`) — Euclidean, Hamming, Levenshtein, DTW, ERP
 //!   and discrete Fréchet distances, alignments, and distance-call counting;
 //! * [`index`] (`ssr-index`) — Reference Net, Cover Tree, MV reference-based
