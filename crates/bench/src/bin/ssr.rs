@@ -1,21 +1,31 @@
 //! `ssr` — build, inspect and query on-disk database snapshots.
 //!
 //! ```text
-//! ssr build [--dataset dna|proteins|songs|traj] [--windows N] [--seed S]
-//!           [--lambda L] [--max-shift S] [--backend reference-net|cover-tree|mv-K|linear-scan]
-//!           [--threads N] [--out PATH]
-//! ssr info  PATH
-//! ssr query PATH (--plant SEED | --text STRING) [--type 1|2|3] [--epsilon X]
-//!           [--epsilon-max X] [--epsilon-increment X]
+//! ssr build   [--dataset dna|proteins|songs|traj] [--windows N] [--seed S]
+//!             [--lambda L] [--max-shift S] [--backend reference-net|cover-tree|mv-K|linear-scan]
+//!             [--threads N] [--out PATH]
+//! ssr info    PATH
+//! ssr query   PATH (--plant SEED | --text STRING) [--type 1|2|3] [--epsilon X]
+//!             [--epsilon-max X] [--epsilon-increment X]
+//! ssr append  PATH --text STRING [--label L]
+//! ssr remove  PATH --sequence N
+//! ssr compact PATH
 //! ```
 //!
 //! `build` generates one of the four synthetic datasets, runs steps 1–2 of
 //! the framework (window partitioning + metric index construction) and
 //! writes the result as a versioned, checksummed snapshot. `info` prints the
-//! snapshot's manifest and per-section byte sizes without needing to know
-//! the element type. `query` cold-starts a database from the snapshot —
-//! loading it instead of rebuilding — and answers a Type I/II/III query
-//! against it, printing matches, statistics and the load wall-clock.
+//! snapshot's manifest, per-section byte sizes and the state of the WAL
+//! sibling (if any) without needing to know the element type. `query`
+//! cold-starts a database from the snapshot — loading it instead of
+//! rebuilding — and answers a Type I/II/III query against it, printing
+//! matches, statistics and the load wall-clock.
+//!
+//! `append`, `remove` and `compact` mutate a snapshot through its
+//! write-ahead log: each operation is logged durably in the `.wal` sibling
+//! and applied to the in-memory database incrementally; `compact` folds the
+//! log into a fresh snapshot and truncates it. Opening a snapshot always
+//! replays its WAL, so `query` and `info` observe pending mutations too.
 //!
 //! Each dataset is bound to its paper distance: DNA and PROTEINS use
 //! Levenshtein over symbols, SONGS uses ERP over pitches, TRAJ uses the
@@ -24,8 +34,11 @@
 
 use std::time::Instant;
 
+use ssr_core::live::count_op_kinds;
 use ssr_core::storage::SnapshotManifest;
-use ssr_core::{FrameworkConfig, IndexBackend, QueryOutcome, SubsequenceDatabase};
+use ssr_core::{
+    wal_path_for, FrameworkConfig, IndexBackend, LiveDatabase, QueryOutcome, SubsequenceDatabase,
+};
 use ssr_datagen::{
     generate_dna, generate_proteins, generate_songs, generate_trajectories, plant_query, DnaConfig,
     PitchMutator, PointMutator, ProteinConfig, QueryConfig, QueryMutator, SongsConfig,
@@ -33,14 +46,16 @@ use ssr_datagen::{
 };
 use ssr_distance::{DiscreteFrechet, Erp, Levenshtein, SequenceDistance};
 use ssr_sequence::{Element, Pitch, Point2D, Sequence, SequenceDataset, Symbol};
-use ssr_storage::{Snapshot, StorableElement, StorageError};
+use ssr_storage::{Snapshot, StorableElement, StorageError, WalBinding};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  ssr build [--dataset dna|proteins|songs|traj] [--windows N] [--seed S] \
          [--lambda L] [--max-shift S] [--backend reference-net|cover-tree|mv-K|linear-scan] \
          [--threads N] [--out PATH]\n  ssr info PATH\n  ssr query PATH (--plant SEED | \
-         --text STRING) [--type 1|2|3] [--epsilon X] [--epsilon-max X] [--epsilon-increment X]"
+         --text STRING) [--type 1|2|3] [--epsilon X] [--epsilon-max X] [--epsilon-increment X]\n  \
+         ssr append PATH --text STRING [--label L]\n  ssr remove PATH --sequence N\n  \
+         ssr compact PATH"
     );
     std::process::exit(2);
 }
@@ -56,6 +71,9 @@ fn main() {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("append") => cmd_append(&args[1..]),
+        Some("remove") => cmd_remove(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         _ => usage(),
     }
 }
@@ -214,11 +232,12 @@ fn cmd_info(args: &[String]) {
             entry.name, entry.len, entry.crc
         );
     }
+    print_wal_state(path);
     // Loading the typed database additionally surfaces the index's exact
     // serialized structural footprint (SpaceStats::serialized_bytes) and the
     // resident memory layout: the shared element arena, the window views and
     // the index's per-item id handles.
-    with_database(&snapshot, &manifest, |db| {
+    with_database(path, &manifest, |db| {
         let stats = db.index_space_stats();
         println!(
             "index         items={} entries={} levels={} avg_parents={:.2} \
@@ -239,6 +258,196 @@ fn cmd_info(args: &[String]) {
             stats.item_bytes,
             resident,
             resident as f64 / stats.items.max(1) as f64
+        );
+    });
+}
+
+/// Prints the state of the snapshot's WAL sibling: record counts by kind,
+/// bytes, and whether the log actually binds to this snapshot (a stale
+/// binding is the leftover of an interrupted compaction and will be
+/// discarded on the next open).
+fn print_wal_state(path: &str) {
+    let wal_path = wal_path_for(path);
+    if !wal_path.exists() {
+        println!("wal           none");
+        return;
+    }
+    let read = match ssr_storage::read_wal_file(&wal_path) {
+        Ok(read) => read,
+        Err(e) => {
+            println!("wal           {} (unreadable: {e})", wal_path.display());
+            return;
+        }
+    };
+    let kinds = match count_op_kinds(&read.records) {
+        Ok((appends, removes)) => format!("{appends} appends, {removes} removes"),
+        Err(e) => format!("unclassifiable ops: {e}"),
+    };
+    let binding = match std::fs::read(path) {
+        Ok(bytes) if read.binding == Some(WalBinding::of(&bytes)) => "",
+        _ => " [stale: bound to a different snapshot; discarded on open]",
+    };
+    let torn = if read.dropped_bytes > 0 {
+        format!(" + {} bytes torn tail", read.dropped_bytes)
+    } else {
+        String::new()
+    };
+    println!(
+        "wal           {} pending records ({kinds}), {} bytes{torn}{binding}",
+        read.records.len(),
+        read.valid_len
+    );
+}
+
+// -- append / remove / compact ----------------------------------------------
+
+/// The slice of live-database behaviour the mutation subcommands need,
+/// object-safe so `remove` and `compact` can erase the element and distance
+/// types behind the manifest dispatch.
+trait LiveOps {
+    fn remove(&mut self, sequence: usize) -> Result<bool, StorageError>;
+    fn compact(&mut self) -> Result<(), StorageError>;
+    fn live_sequences(&self) -> usize;
+    fn pending_ops(&self) -> usize;
+    fn wal_len_bytes(&self) -> u64;
+}
+
+impl<E, D> LiveOps for LiveDatabase<E, D>
+where
+    E: Element + StorableElement + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    fn remove(&mut self, sequence: usize) -> Result<bool, StorageError> {
+        self.remove_sequence(ssr_sequence::SequenceId(sequence))
+    }
+
+    fn compact(&mut self) -> Result<(), StorageError> {
+        LiveDatabase::compact(self)
+    }
+
+    fn live_sequences(&self) -> usize {
+        self.database().live_sequence_count()
+    }
+
+    fn pending_ops(&self) -> usize {
+        LiveDatabase::pending_ops(self)
+    }
+
+    fn wal_len_bytes(&self) -> u64 {
+        LiveDatabase::wal_len_bytes(self)
+    }
+}
+
+/// Opens the snapshot + WAL pair behind `path` with the element/distance
+/// pairing the manifest records, then runs `f` on the type-erased handle.
+fn with_live(path: &str, f: impl FnOnce(&mut dyn LiveOps)) {
+    let snapshot = Snapshot::open(path).unwrap_or_else(|e| fail(e));
+    let manifest = SnapshotManifest::read(&snapshot).unwrap_or_else(|e| fail(e));
+    match manifest.element.as_str() {
+        "symbol" => {
+            let mut live = LiveDatabase::<Symbol, _>::open(path, Levenshtein::new())
+                .unwrap_or_else(|e| fail(e));
+            f(&mut live);
+        }
+        "pitch" => {
+            let mut live =
+                LiveDatabase::<Pitch, _>::open(path, Erp::new()).unwrap_or_else(|e| fail(e));
+            f(&mut live);
+        }
+        "point2d" => {
+            let mut live = LiveDatabase::<Point2D, _>::open(path, DiscreteFrechet::new())
+                .unwrap_or_else(|e| fail(e));
+            f(&mut live);
+        }
+        other => fail(format!("no mutation support for element type '{other}'")),
+    }
+}
+
+fn cmd_append(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let path = args[0].clone();
+    let mut text: Option<String> = None;
+    let mut label: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--text" => text = Some(value(&mut i)),
+            "--label" => label = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(text) = text else { usage() };
+    let snapshot = Snapshot::open(&path).unwrap_or_else(|e| fail(e));
+    let manifest = SnapshotManifest::read(&snapshot).unwrap_or_else(|e| fail(e));
+    if manifest.element != Symbol::TAG {
+        fail(format!(
+            "append takes --text and therefore only supports symbol snapshots, not '{}'",
+            manifest.element
+        ));
+    }
+    let mut live =
+        LiveDatabase::<Symbol, _>::open(&path, Levenshtein::new()).unwrap_or_else(|e| fail(e));
+    let mut sequence = Sequence::new(text.chars().map(Symbol::from_char).collect::<Vec<_>>());
+    if let Some(label) = label {
+        sequence.set_label(label);
+    }
+    let elements = sequence.len();
+    let id = live.append_sequence(sequence).unwrap_or_else(|e| fail(e));
+    println!(
+        "appended {id} ({elements} elements); {} windows indexed, wal {} pending ops ({} bytes)",
+        live.database().window_count(),
+        live.pending_ops(),
+        live.wal_len_bytes()
+    );
+}
+
+fn cmd_remove(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let path = args[0].clone();
+    let mut sequence: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--sequence" => sequence = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(sequence) = sequence else { usage() };
+    with_live(&path, |live| match live.remove(sequence) {
+        Ok(true) => println!(
+            "removed sequence {sequence}; {} live sequences remain, wal {} pending ops ({} bytes)",
+            live.live_sequences(),
+            live.pending_ops(),
+            live.wal_len_bytes()
+        ),
+        Ok(false) => fail(format!("sequence {sequence} is unknown or already removed")),
+        Err(e) => fail(e),
+    });
+}
+
+fn cmd_compact(args: &[String]) {
+    let [path] = args else { usage() };
+    with_live(path, |live| {
+        let pending = live.pending_ops();
+        live.compact().unwrap_or_else(|e| fail(e));
+        let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "folded {pending} pending ops into {path} ({file_bytes} bytes); wal reset to {} bytes",
+            live.wal_len_bytes()
         );
     });
 }
@@ -294,17 +503,17 @@ fn cmd_query(args: &[String]) {
     let manifest = SnapshotManifest::read(&snapshot).unwrap_or_else(|e| fail(e));
     match manifest.element.as_str() {
         "symbol" => {
-            let db = load::<Symbol, _>(&snapshot, Levenshtein::new(), &manifest);
+            let db = load::<Symbol, _>(&path, Levenshtein::new(), &manifest);
             let query = symbol_query(&db, &opts, &manifest);
             run_query(&db, query, &opts);
         }
         "pitch" => {
-            let db = load::<Pitch, _>(&snapshot, Erp::new(), &manifest);
+            let db = load::<Pitch, _>(&path, Erp::new(), &manifest);
             let query = planted_query(&db, PitchMutator, &opts);
             run_query(&db, query, &opts);
         }
         "point2d" => {
-            let db = load::<Point2D, _>(&snapshot, DiscreteFrechet::new(), &manifest);
+            let db = load::<Point2D, _>(&path, DiscreteFrechet::new(), &manifest);
             let query = planted_query(&db, PointMutator::default(), &opts);
             run_query(&db, query, &opts);
         }
@@ -312,27 +521,20 @@ fn cmd_query(args: &[String]) {
     }
 }
 
-/// Runs `f` over the typed database behind `snapshot`, dispatching on the
-/// manifest's element tag. Used by `info`; `query` needs per-element query
-/// construction and dispatches itself.
-fn with_database(
-    snapshot: &Snapshot,
-    manifest: &SnapshotManifest,
-    f: impl FnOnce(&dyn DatabaseStats),
-) {
+/// Runs `f` over the typed database behind the snapshot at `path` (with its
+/// WAL replayed read-only), dispatching on the manifest's element tag. Used
+/// by `info`; `query` needs per-element query construction and dispatches
+/// itself.
+fn with_database(path: &str, manifest: &SnapshotManifest, f: impl FnOnce(&dyn DatabaseStats)) {
     match manifest.element.as_str() {
         "symbol" => {
-            f(&load::<Symbol, _>(snapshot, Levenshtein::new(), manifest));
+            f(&load::<Symbol, _>(path, Levenshtein::new(), manifest));
         }
         "pitch" => {
-            f(&load::<Pitch, _>(snapshot, Erp::new(), manifest));
+            f(&load::<Pitch, _>(path, Erp::new(), manifest));
         }
         "point2d" => {
-            f(&load::<Point2D, _>(
-                snapshot,
-                DiscreteFrechet::new(),
-                manifest,
-            ));
+            f(&load::<Point2D, _>(path, DiscreteFrechet::new(), manifest));
         }
         other => {
             eprintln!("note: no typed loader for element '{other}'; manifest only");
@@ -370,11 +572,7 @@ where
     }
 }
 
-fn load<E, D>(
-    snapshot: &Snapshot,
-    distance: D,
-    manifest: &SnapshotManifest,
-) -> SubsequenceDatabase<E, D>
+fn load<E, D>(path: &str, distance: D, manifest: &SnapshotManifest) -> SubsequenceDatabase<E, D>
 where
     E: Element + StorableElement + Send + Sync,
     D: SequenceDistance<E>,
@@ -386,10 +584,16 @@ where
         });
     }
     let started = Instant::now();
-    let db = SubsequenceDatabase::from_snapshot(snapshot, distance).unwrap_or_else(|e| fail(e));
+    let (db, replayed) =
+        ssr_core::load_with_wal(path, distance).unwrap_or_else(|e: StorageError| fail(e));
+    let replay_note = if replayed > 0 {
+        format!("; replayed {replayed} wal ops")
+    } else {
+        String::new()
+    };
     eprintln!(
         "# cold start: loaded {} windows in {:.1} ms (0 distance calls; the original build \
-         spent {})",
+         spent {}{replay_note})",
         db.window_count(),
         started.elapsed().as_secs_f64() * 1e3,
         db.build_distance_calls()

@@ -83,6 +83,37 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
             WindowIndex::LinearScan(idx) => idx.items(),
         }
     }
+
+    /// Incremental maintenance after an arena append: swaps the grown window
+    /// store into the metric (existing [`WindowId`]s keep resolving to the
+    /// same elements — the store is a prefix-stable re-partition) and inserts
+    /// the new tail ids. The Reference Net and cover tree insert in place
+    /// through the same `insert` loop their bulk `extend` uses, so the
+    /// resulting structure is bit-identical to a from-scratch build over the
+    /// grown id range; the MV index re-pivots lazily inside `extend`, which
+    /// rebuilds its pivot table as a pure function of the final item set.
+    fn append_windows(&mut self, windows: Arc<WindowStore<E>>, new_ids: std::ops::Range<usize>) {
+        let ids = new_ids.map(WindowId);
+        match self {
+            WindowIndex::ReferenceNet(idx) => {
+                idx.metric_mut().inner_mut().set_windows(windows);
+                idx.extend(ids);
+            }
+            WindowIndex::CoverTree(idx) => {
+                idx.metric_mut().inner_mut().set_windows(windows);
+                idx.extend(ids);
+            }
+            WindowIndex::MvReference(idx) => {
+                idx.metric_mut().inner_mut().set_windows(windows);
+                idx.extend(ids);
+                debug_assert!(!idx.is_dirty(), "extend leaves the MV index rebuilt");
+            }
+            WindowIndex::LinearScan(idx) => {
+                idx.metric_mut().inner_mut().set_windows(windows);
+                idx.extend(ids);
+            }
+        }
+    }
 }
 
 /// The result of step 4 over one query: every (segment, window) pair within
@@ -256,6 +287,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
         let build_distance_calls = counter.reset();
         let build_dp_cells = cell_counter.reset();
         let gap_prefixes = build_gap_prefixes(self.distance.as_ref(), windows.arena());
+        let tombstones = vec![false; self.dataset.len()];
         Ok(SubsequenceDatabase {
             index,
             counter,
@@ -263,6 +295,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
             build_distance_calls,
             build_dp_cells,
             gap_prefixes,
+            tombstones,
             config: self.config,
             distance: self.distance,
             dataset: self.dataset,
@@ -315,6 +348,13 @@ pub struct SubsequenceDatabase<E: Element, D: SequenceDistance<E>> {
     /// Per-sequence gap prefix tables for the verification lower-bound
     /// cascade; `None` when the distance cannot prune on gap sums.
     pub(crate) gap_prefixes: Option<Vec<GapPrefix>>,
+    /// One flag per stored sequence: `true` marks a removed sequence.
+    /// Removal never unwinds the arena, the window views or the index items
+    /// — those stay physically present so outstanding [`WindowId`]s keep
+    /// resolving — it only flips this flag, and the query path filters
+    /// matches from dead sequences before verification. [`crate::storage`]
+    /// persists the set and a compaction folds it away by rebuilding.
+    pub(crate) tombstones: Vec<bool>,
 }
 
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D> {
@@ -392,6 +432,84 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         &self.cell_counter
     }
 
+    /// Appends one sequence to the database, maintaining every layer
+    /// incrementally: the element arena grows (existing element ranges are
+    /// untouched, so every outstanding window view keeps resolving to the
+    /// same elements), the window store is re-partitioned (a prefix-stable
+    /// operation — ids `0..old_len` are unchanged), and the new tail windows
+    /// are inserted into the index in id order. Because the bulk build is
+    /// itself an in-order insert loop (Reference Net, cover tree, linear
+    /// scan) or a pure function of the final item set (MV pivot table), a
+    /// database grown by appends answers queries bit-identically to one
+    /// built from scratch over the same sequences.
+    ///
+    /// The incremental index work is folded into
+    /// [`Self::build_distance_calls`] / [`Self::build_dp_cells`] so the
+    /// query-time counters keep reading zero outside of queries.
+    pub fn append_sequence(&mut self, sequence: Sequence<E>) -> SequenceId {
+        let old_window_count = self.windows.len();
+        // O(n) arena copy per append: correctness-first — the store's
+        // outstanding `Arc` clones (index metric, in-flight snapshots) must
+        // keep observing the pre-append bounds, so we never mutate shared
+        // state in place.
+        let mut arena = ElementArena::clone(self.windows.arena());
+        let arena_id = arena.push_sequence(sequence.elements());
+        let windows = Arc::new(WindowStore::partition(
+            Arc::new(arena),
+            self.config.window_len(),
+        ));
+        self.index
+            .append_windows(Arc::clone(&windows), old_window_count..windows.len());
+        self.windows = windows;
+        if let Some(prefixes) = &mut self.gap_prefixes {
+            prefixes.push(GapPrefix::build(sequence.elements()));
+        }
+        let id = self.dataset.push(sequence);
+        debug_assert_eq!(id, arena_id, "dataset and arena assign ids in lockstep");
+        self.tombstones.push(false);
+        self.build_distance_calls += self.counter.reset();
+        self.build_dp_cells += self.cell_counter.reset();
+        id
+    }
+
+    /// Tombstones one sequence: its windows stay in the arena and the index
+    /// (structural deletion would reshuffle every backend differently), but
+    /// the query path drops their matches before verification and
+    /// [`Self::sequence`] stops resolving the id. Returns `false` when the
+    /// id is unknown or already removed. A snapshot written afterwards
+    /// persists the tombstone; rebuilding from the live sequences (see the
+    /// WAL layer's compaction) reclaims the space.
+    pub fn remove_sequence(&mut self, id: SequenceId) -> bool {
+        match self.tombstones.get_mut(id.0) {
+            Some(dead) if !*dead => {
+                *dead = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `id` names a stored, non-tombstoned sequence.
+    pub fn is_live(&self, id: SequenceId) -> bool {
+        self.tombstones.get(id.0).is_some_and(|dead| !dead)
+    }
+
+    /// Number of live (non-tombstoned) sequences.
+    pub fn live_sequence_count(&self) -> usize {
+        self.tombstones.iter().filter(|dead| !**dead).count()
+    }
+
+    /// Ids of tombstoned sequences in increasing order (the snapshot layer
+    /// persists exactly this set).
+    pub fn tombstoned_sequences(&self) -> Vec<SequenceId> {
+        self.tombstones
+            .iter()
+            .enumerate()
+            .filter(|(_, dead)| **dead)
+            .map(|(i, _)| SequenceId(i))
+            .collect()
+    }
+
     /// Step 4: matches every query segment (step 3) against the indexed
     /// windows within radius `epsilon`.
     pub fn matching_segments(&self, query: &Sequence<E>, epsilon: f64) -> SegmentScan {
@@ -424,6 +542,14 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
                     .windows
                     .get(window_id)
                     .expect("index ids correspond to window ids");
+                // Tombstone filter: windows of removed sequences stay in the
+                // index (the probe above may still have spent distance calls
+                // on them — inherent to tombstoning), but their matches are
+                // dropped here, before the recompute and before verification
+                // ever sees the candidate.
+                if self.tombstones[window.sequence.0] {
+                    continue;
+                }
                 let window_slice = self
                     .windows
                     .resolve(&window)
@@ -459,8 +585,12 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         }
     }
 
-    /// Looks up a stored sequence.
+    /// Looks up a stored sequence. Tombstoned sequences are gone from this
+    /// view: the id resolves to `None` exactly as an unknown id does.
     pub fn sequence(&self, id: SequenceId) -> Option<&Sequence<E>> {
+        if !self.is_live(id) {
+            return None;
+        }
         self.dataset.get(id)
     }
 }
@@ -561,6 +691,84 @@ mod tests {
         }
         // The exact-match window is the second one (elements 4..8).
         assert!(matches.iter().any(|m| m.db_start == 4));
+    }
+
+    #[test]
+    fn append_matches_from_scratch_build_on_every_backend() {
+        for backend in [
+            IndexBackend::ReferenceNet,
+            IndexBackend::CoverTree,
+            IndexBackend::MvReference { references: 3 },
+            IndexBackend::LinearScan,
+        ] {
+            let mut grown = SubsequenceDatabase::builder(
+                small_config().with_backend(backend),
+                Levenshtein::new(),
+            )
+            .add_sequence(seq("ACDEFGHIKLMNPQRSTVWY"))
+            .build()
+            .unwrap();
+            let id = grown.append_sequence(seq("ACDEFGHI"));
+            assert_eq!(id, SequenceId(1));
+            assert_eq!(
+                grown.query_distance_counter().get(),
+                0,
+                "append work must fold into build counters"
+            );
+            let scratch = SubsequenceDatabase::builder(
+                small_config().with_backend(backend),
+                Levenshtein::new(),
+            )
+            .add_sequence(seq("ACDEFGHIKLMNPQRSTVWY"))
+            .add_sequence(seq("ACDEFGHI"))
+            .build()
+            .unwrap();
+            assert_eq!(grown.window_count(), scratch.window_count());
+            assert_eq!(grown.index.stored_items(), scratch.index.stored_items());
+            let a = grown.matching_segments(&seq("ACDEFGHI"), 1.0);
+            let b = scratch.matching_segments(&seq("ACDEFGHI"), 1.0);
+            assert_eq!(a, b, "backend {backend} diverged after append");
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn short_append_adds_no_windows_but_stays_queryable() {
+        let mut db = SubsequenceDatabase::builder(small_config(), Levenshtein::new())
+            .add_sequence(seq("ACDEFGHIKLMNPQRSTVWY"))
+            .build()
+            .unwrap();
+        let before = db.window_count();
+        // Shorter than window_len = 4: no window fits, but the sequence is
+        // stored and the database still answers queries.
+        let id = db.append_sequence(seq("AC"));
+        assert_eq!(db.window_count(), before);
+        assert!(db.sequence(id).is_some());
+        assert!(!db.matching_segments(&seq("ACDEFGHI"), 1.0).is_empty());
+    }
+
+    #[test]
+    fn remove_tombstones_and_filters_matches() {
+        let mut db = SubsequenceDatabase::builder(small_config(), Levenshtein::new())
+            .add_sequence(seq("AAAACCCCGGGGTTTT"))
+            .add_sequence(seq("CCCCAAAA"))
+            .build()
+            .unwrap();
+        let windows_before = db.window_count();
+        assert!(db.remove_sequence(SequenceId(0)));
+        // Second removal and unknown ids are no-ops.
+        assert!(!db.remove_sequence(SequenceId(0)));
+        assert!(!db.remove_sequence(SequenceId(9)));
+        assert!(!db.is_live(SequenceId(0)));
+        assert!(db.sequence(SequenceId(0)).is_none());
+        assert_eq!(db.live_sequence_count(), 1);
+        assert_eq!(db.tombstoned_sequences(), vec![SequenceId(0)]);
+        // Windows stay physically present; matches from the dead sequence
+        // are filtered at query time.
+        assert_eq!(db.window_count(), windows_before);
+        let scan = db.matching_segments(&seq("CCCC"), 0.0);
+        assert!(!scan.is_empty());
+        assert!(scan.matches.iter().all(|m| m.sequence == SequenceId(1)));
     }
 
     #[test]

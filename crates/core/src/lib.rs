@@ -32,6 +32,7 @@ pub mod candidates;
 pub mod config;
 pub mod database;
 pub mod expand;
+pub mod live;
 pub mod parallel;
 pub mod query;
 pub mod storage;
@@ -42,6 +43,7 @@ pub use candidates::{build_candidates, Candidate, SegmentMatch};
 pub use config::{FrameworkConfig, FrameworkError, IndexBackend};
 pub use database::{DatabaseBuilder, SegmentScan, SubsequenceDatabase};
 pub use expand::{enumerate_pairs, ExpansionLimits};
+pub use live::{load_with_wal, wal_path_for, LiveDatabase, WalOp};
 pub use parallel::{parallel_map, resolve_threads, ShardedMemo};
 pub use query::{QueryOutcome, QueryStats, StageTimings, SubsequenceMatch};
 pub use storage::SnapshotManifest;

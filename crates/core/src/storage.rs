@@ -5,12 +5,18 @@
 //! container format (magic + format version + section table + CRC per
 //! section):
 //!
-//! | section    | contents                                                    |
-//! |------------|-------------------------------------------------------------|
-//! | `manifest` | element tag, distance name, [`FrameworkConfig`], counts      |
-//! | `arena`    | **every** element, one contiguous run + sequence boundaries  |
-//! | `dataset`  | per-sequence labels (elements live in the arena)             |
-//! | `index`    | backend tag + structure over `WindowId` item handles         |
+//! | section      | contents                                                    |
+//! |--------------|-------------------------------------------------------------|
+//! | `manifest`   | element tag, distance name, [`FrameworkConfig`], counts      |
+//! | `arena`      | **every** element, one contiguous run + sequence boundaries  |
+//! | `dataset`    | per-sequence labels (elements live in the arena)             |
+//! | `index`      | backend tag + structure over `WindowId` item handles         |
+//! | `tombstones` | *optional*: removed sequence ids, strictly increasing        |
+//!
+//! The `tombstones` section is written only when at least one sequence has
+//! been removed, so snapshots of read-only databases are byte-identical to
+//! what earlier revisions of format 3 produced. A missing section means
+//! every sequence is live.
 //!
 //! Elements are serialized exactly once: the arena section is the single
 //! contiguous element store, sequences borrow ranges of it and windows are
@@ -55,6 +61,9 @@ pub const SECTION_ARENA: &str = "arena";
 pub const SECTION_DATASET: &str = "dataset";
 /// Section holding the metric index.
 pub const SECTION_INDEX: &str = "index";
+/// Optional section holding the removed (tombstoned) sequence ids. Absent
+/// when every sequence is live — read-only snapshots stay byte-identical.
+pub const SECTION_TOMBSTONES: &str = "tombstones";
 
 impl Encode for IndexBackend {
     fn encode(&self, w: &mut Writer) {
@@ -229,6 +238,15 @@ where
                 idx.encode(w);
             }
         });
+        let dead = self.tombstoned_sequences();
+        if !dead.is_empty() {
+            builder.section(SECTION_TOMBSTONES, |w| {
+                w.put_usize(dead.len());
+                for id in &dead {
+                    w.put_usize(id.0);
+                }
+            });
+        }
         builder
     }
 
@@ -351,6 +369,43 @@ where
             ));
         }
 
+        // Tombstones: an absent section means every sequence is live. When
+        // present, the ids must be strictly increasing and in range — a
+        // snapshot claiming a tombstone for a sequence it does not store is
+        // malformed, not silently ignored.
+        let mut tombstones = vec![false; dataset.len()];
+        let has_tombstones = snapshot
+            .sections()
+            .iter()
+            .any(|s| s.name == SECTION_TOMBSTONES);
+        if has_tombstones {
+            let mut r = snapshot.section_reader(SECTION_TOMBSTONES)?;
+            let count = r.take_len(1)?;
+            let mut previous: Option<usize> = None;
+            for _ in 0..count {
+                let id = r.take_usize()?;
+                if previous.is_some_and(|p| p >= id) {
+                    return Err(StorageError::Malformed(
+                        "tombstone ids must be strictly increasing".into(),
+                    ));
+                }
+                if id >= dataset.len() {
+                    return Err(StorageError::Malformed(format!(
+                        "tombstone for sequence {id} but only {} sequences stored",
+                        dataset.len()
+                    )));
+                }
+                tombstones[id] = true;
+                previous = Some(id);
+            }
+            r.expect_empty(SECTION_TOMBSTONES)?;
+            if count == 0 {
+                return Err(StorageError::Malformed(
+                    "tombstones section present but empty".into(),
+                ));
+            }
+        }
+
         // The gap prefix tables are runtime context like the counting metric:
         // rebuilt by scanning the loaded arena's sequence slices (ground
         // distances only — zero *sequence-distance* calls), not stored.
@@ -371,6 +426,7 @@ where
             build_distance_calls: manifest.build_distance_calls,
             build_dp_cells: manifest.build_dp_cells,
             gap_prefixes,
+            tombstones,
         })
     }
 }
@@ -462,6 +518,69 @@ mod tests {
             matches!(err, StorageError::DistanceMismatch { .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn tombstones_section_roundtrips_and_is_absent_when_clean() {
+        let mut db = planted_db(IndexBackend::ReferenceNet);
+        // Clean database: no tombstones section (read-only snapshots stay
+        // byte-identical to what the format wrote before removal existed).
+        let snapshot = Snapshot::from_bytes(db.snapshot_bytes()).unwrap();
+        assert!(snapshot
+            .sections()
+            .iter()
+            .all(|s| s.name != SECTION_TOMBSTONES));
+
+        assert!(db.remove_sequence(SequenceId(1)));
+        let snapshot = Snapshot::from_bytes(db.snapshot_bytes()).unwrap();
+        assert!(snapshot
+            .sections()
+            .iter()
+            .any(|s| s.name == SECTION_TOMBSTONES));
+        let loaded = SubsequenceDatabase::<Symbol, Levenshtein>::from_snapshot(
+            &snapshot,
+            Levenshtein::new(),
+        )
+        .unwrap();
+        assert!(!loaded.is_live(SequenceId(1)));
+        assert_eq!(loaded.live_sequence_count(), 1);
+        assert_eq!(loaded.tombstoned_sequences(), vec![SequenceId(1)]);
+        // Dead-sequence matches stay filtered after a reload.
+        let query = seq("WWWWWWWW");
+        let a = db.query_type1(&query, 0.5);
+        let b = loaded.query_type1(&query, 0.5);
+        assert_eq!(a.result, b.result);
+        assert!(a.result.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_tombstone_is_rejected() {
+        let mut db = planted_db(IndexBackend::LinearScan);
+        assert!(db.remove_sequence(SequenceId(0)));
+        let bytes = db.snapshot_bytes();
+        let snapshot = Snapshot::from_bytes(bytes).unwrap();
+        // Rewrite the tombstones payload to point past the dataset.
+        let mut builder = SnapshotBuilder::new();
+        for section in snapshot.sections() {
+            let name = section.name.clone();
+            if name == SECTION_TOMBSTONES {
+                builder.section(SECTION_TOMBSTONES, |w| {
+                    w.put_usize(1);
+                    w.put_usize(7);
+                });
+            } else {
+                let mut r = snapshot.section_reader(&name).unwrap();
+                let payload = r.take(r.remaining(), "copy").unwrap().to_vec();
+                builder.section(&name, |w| w.put_raw(&payload));
+            }
+        }
+        let err = SubsequenceDatabase::<Symbol, Levenshtein>::from_snapshot_bytes(
+            builder.to_bytes(),
+            Levenshtein::new(),
+        )
+        .err()
+        .expect("out-of-range tombstone");
+        assert!(matches!(err, StorageError::Malformed(_)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Crash-point replay: a scripted workload is run against a [`LiveDatabase`],
+//! then a crash is simulated after **every record boundary** by handing the
+//! open path a WAL truncated to that prefix. Reopen + replay must reach
+//! exactly the state an uninterrupted run had after the same number of
+//! operations — verified byte-for-byte through `snapshot_bytes()`, which
+//! covers the arena, dataset, index and tombstones at once. The interrupted
+//! compaction window (new snapshot written, WAL not yet reset) must not
+//! double-apply, and a compacted snapshot must be a byte-stable fixed point.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ssr_core::{wal_path_for, FrameworkConfig, LiveDatabase, SubsequenceDatabase};
+use ssr_distance::Levenshtein;
+use ssr_sequence::{Sequence, SequenceId, Symbol};
+use ssr_storage::{decode_wal, write_atomic, WAL_HEADER_LEN};
+
+fn seq(text: &str) -> Sequence<Symbol> {
+    Sequence::new(text.chars().map(Symbol::from_char).collect())
+}
+
+fn scratch_path(stem: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!("ssr-crashreplay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir.join(format!(
+        "{stem}-{}.ssr",
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The scripted workload. Each op becomes exactly one WAL record.
+#[derive(Clone, Copy)]
+enum Op {
+    Append(&'static str, Option<&'static str>),
+    Remove(usize),
+}
+
+const SCRIPT: &[Op] = &[
+    Op::Append("GATTACAGATTACAGATTACA", None),
+    Op::Append("CGCGCGCGATATATATCGCG", Some("second")),
+    Op::Remove(0),
+    Op::Append("AAAACCCCGGGGTTTTAAAA", None),
+    Op::Remove(2),
+    Op::Append("TTGGTTGGTTGGTTGG", Some("last")),
+];
+
+fn initial_database() -> SubsequenceDatabase<Symbol, Levenshtein> {
+    let config = FrameworkConfig::new(8).with_max_shift(1);
+    SubsequenceDatabase::builder(config, Levenshtein::new())
+        .add_sequence(seq("ACGTACGTACGTACGTACGT"))
+        .add_sequence(seq("TTTTCCCCGGGGAAAATTTT"))
+        .build()
+        .expect("seed dataset builds")
+}
+
+fn apply(db: &mut SubsequenceDatabase<Symbol, Levenshtein>, op: Op) {
+    match op {
+        Op::Append(text, label) => {
+            let mut sequence = seq(text);
+            if let Some(label) = label {
+                sequence.set_label(label);
+            }
+            db.append_sequence(sequence);
+        }
+        Op::Remove(id) => {
+            assert!(
+                db.remove_sequence(SequenceId(id)),
+                "script removes live ids"
+            );
+        }
+    }
+}
+
+/// Runs the script through a real LiveDatabase and returns the initial
+/// snapshot bytes plus the final WAL bytes.
+fn run_workload() -> (Vec<u8>, Vec<u8>) {
+    let path = scratch_path("workload");
+    let mut live = LiveDatabase::create(&path, initial_database()).expect("create succeeds");
+    for &op in SCRIPT {
+        match op {
+            Op::Append(text, label) => {
+                let mut sequence = seq(text);
+                if let Some(label) = label {
+                    sequence.set_label(label);
+                }
+                live.append_sequence(sequence).expect("append logs");
+            }
+            Op::Remove(id) => {
+                assert!(live.remove_sequence(SequenceId(id)).expect("remove logs"));
+            }
+        }
+    }
+    assert_eq!(live.pending_ops(), SCRIPT.len());
+    let snapshot = std::fs::read(&path).expect("snapshot readable");
+    let wal = std::fs::read(live.wal_path()).expect("wal readable");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(live.wal_path());
+    (snapshot, wal)
+}
+
+#[test]
+fn replay_after_a_crash_at_every_record_boundary_matches_the_live_run() {
+    let (snapshot, wal) = run_workload();
+    let records = decode_wal(&wal).expect("undamaged wal decodes").records;
+    assert_eq!(records.len(), SCRIPT.len());
+
+    // Byte offset of the end of each record frame: boundary[k] is the file
+    // length after exactly k committed operations.
+    let mut boundaries = vec![WAL_HEADER_LEN];
+    for record in &records {
+        boundaries.push(boundaries.last().unwrap() + 8 + record.len());
+    }
+    assert_eq!(*boundaries.last().unwrap(), wal.len());
+
+    // The uninterrupted reference after k ops, built exactly as the open
+    // path does: load the snapshot, then mutate in memory.
+    let mut reference =
+        SubsequenceDatabase::from_snapshot_bytes(snapshot.clone(), Levenshtein::new())
+            .expect("initial snapshot loads");
+
+    let path = scratch_path("crash");
+    let wal_path = wal_path_for(&path);
+    for (k, &boundary) in boundaries.iter().enumerate() {
+        if k > 0 {
+            apply(&mut reference, SCRIPT[k - 1]);
+        }
+        std::fs::write(&path, &snapshot).expect("snapshot writes");
+        std::fs::write(&wal_path, &wal[..boundary]).expect("wal prefix writes");
+
+        let live = LiveDatabase::<Symbol, _>::open(&path, Levenshtein::new())
+            .unwrap_or_else(|e| panic!("crash after {k} ops: reopen failed: {e}"));
+        assert_eq!(live.pending_ops(), k, "crash after {k} ops");
+        assert_eq!(
+            live.database().snapshot_bytes(),
+            reference.snapshot_bytes(),
+            "crash after {k} ops: replayed state diverges from the live run"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+#[test]
+fn a_crash_mid_record_replays_the_completed_prefix() {
+    let (snapshot, wal) = run_workload();
+    let records = decode_wal(&wal).expect("undamaged wal decodes").records;
+
+    // Tear the final record in half: the crash hit mid-append. Replay must
+    // surface every completed op and drop the torn one.
+    let torn = wal.len() - records.last().unwrap().len() / 2;
+    let path = scratch_path("torn");
+    let wal_path = wal_path_for(&path);
+    std::fs::write(&path, &snapshot).expect("snapshot writes");
+    std::fs::write(&wal_path, &wal[..torn]).expect("torn wal writes");
+
+    let live =
+        LiveDatabase::<Symbol, _>::open(&path, Levenshtein::new()).expect("torn log reopens");
+    assert_eq!(live.pending_ops(), SCRIPT.len() - 1);
+
+    let mut reference = SubsequenceDatabase::from_snapshot_bytes(snapshot, Levenshtein::new())
+        .expect("initial snapshot loads");
+    for &op in &SCRIPT[..SCRIPT.len() - 1] {
+        apply(&mut reference, op);
+    }
+    assert_eq!(live.database().snapshot_bytes(), reference.snapshot_bytes());
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+#[test]
+fn an_interrupted_compaction_never_double_applies() {
+    let (snapshot, wal) = run_workload();
+
+    // Simulate the compaction crash window: the new snapshot has been
+    // renamed into place, but the process died before the WAL was reset.
+    // The stale log is still bound to the OLD snapshot and must be
+    // discarded, not replayed on top of the already-folded state.
+    let mut folded = SubsequenceDatabase::from_snapshot_bytes(snapshot, Levenshtein::new())
+        .expect("initial snapshot loads");
+    for &op in SCRIPT {
+        apply(&mut folded, op);
+    }
+    let folded_bytes = folded.snapshot_bytes();
+
+    let path = scratch_path("compaction");
+    let wal_path = wal_path_for(&path);
+    write_atomic(&path, &folded_bytes).expect("folded snapshot writes");
+    std::fs::write(&wal_path, &wal).expect("stale wal writes");
+
+    let live = LiveDatabase::<Symbol, _>::open(&path, Levenshtein::new()).expect("reopen succeeds");
+    assert_eq!(live.pending_ops(), 0, "stale log must be discarded");
+    assert_eq!(live.database().snapshot_bytes(), folded_bytes);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+#[test]
+fn compaction_is_a_byte_stable_fixed_point() {
+    let path = scratch_path("fixedpoint");
+    let mut live = LiveDatabase::create(&path, initial_database()).expect("create succeeds");
+    for &op in SCRIPT {
+        match op {
+            Op::Append(text, label) => {
+                let mut sequence = seq(text);
+                if let Some(label) = label {
+                    sequence.set_label(label);
+                }
+                live.append_sequence(sequence).expect("append logs");
+            }
+            Op::Remove(id) => {
+                assert!(live.remove_sequence(SequenceId(id)).expect("remove logs"));
+            }
+        }
+    }
+    live.compact().expect("compaction succeeds");
+    let compacted = std::fs::read(&path).expect("compacted snapshot readable");
+    assert_eq!(compacted, live.database().snapshot_bytes());
+
+    // Reopen from the compacted snapshot: no pending ops, and a second
+    // compaction writes the identical bytes (save -> load -> save is a
+    // fixed point even with tombstones present).
+    drop(live);
+    let mut reopened =
+        LiveDatabase::<Symbol, _>::open(&path, Levenshtein::new()).expect("reopen succeeds");
+    assert_eq!(reopened.pending_ops(), 0);
+    assert_eq!(reopened.database().snapshot_bytes(), compacted);
+    reopened.compact().expect("idempotent compaction succeeds");
+    assert_eq!(std::fs::read(&path).expect("still readable"), compacted);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(reopened.wal_path());
+}

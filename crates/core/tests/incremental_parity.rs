@@ -1,0 +1,227 @@
+//! Incremental-maintenance parity: a [`LiveDatabase`] driven through an
+//! arbitrary interleaving of appends, removes and compactions must be
+//! **query-parity-identical** — same results, same per-query statistics —
+//! to an in-memory database driven through the identical mutation sequence,
+//! for Type I/II/III queries at every thread count. For append-only
+//! histories the incremental database must additionally match a true
+//! from-scratch rebuild over the final dataset, which is the property that
+//! makes `append_sequence` a real alternative to rebuilding. Finally, a
+//! reopen (snapshot + WAL replay) and a compaction must both preserve all
+//! of the above, and compaction must be byte-stable.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use ssr_core::{FrameworkConfig, LiveDatabase, QueryEngine, SubsequenceDatabase};
+use ssr_distance::Levenshtein;
+use ssr_sequence::{Sequence, SequenceId, Symbol};
+
+/// One step of a scripted mutation history.
+#[derive(Debug, Clone)]
+enum Step {
+    Append(Vec<Symbol>),
+    /// Remove the `selector % assigned`-th sequence id handed out so far
+    /// (which may already be dead — both sides must agree on the no-op).
+    Remove(usize),
+    Compact,
+}
+
+fn sym_seq(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec(
+        (0u8..4).prop_map(|i| Symbol::from_char(b"ACGT"[i as usize] as char)),
+        16..max_len,
+    )
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    // Weighted mix: 3 appends : 2 removes : 1 compaction.
+    ((0u8..6), sym_seq(48), 0usize..1 << 16).prop_map(|(kind, elements, selector)| match kind {
+        0..=2 => Step::Append(elements),
+        3 | 4 => Step::Remove(selector),
+        _ => Step::Compact,
+    })
+}
+
+fn config() -> FrameworkConfig {
+    FrameworkConfig::new(8).with_max_shift(1)
+}
+
+fn build(texts: &[Vec<Symbol>]) -> Option<SubsequenceDatabase<Symbol, Levenshtein>> {
+    let mut builder = SubsequenceDatabase::builder(config(), Levenshtein::new());
+    for t in texts {
+        builder = builder.add_sequence(Sequence::new(t.clone()));
+    }
+    builder.build().ok()
+}
+
+/// A unique snapshot path per proptest case, so shrunk re-runs never see a
+/// stale file from a previous iteration.
+fn scratch_path() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!("ssr-incparity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir.join(format!("case-{}.ssr", CASE.fetch_add(1, Ordering::Relaxed)))
+}
+
+fn assert_query_parity(
+    a: &SubsequenceDatabase<Symbol, Levenshtein>,
+    b: &SubsequenceDatabase<Symbol, Levenshtein>,
+    queries: &[Sequence<Symbol>],
+    epsilon: f64,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    for threads in [1usize, 2, 4] {
+        let ea = QueryEngine::new(a).with_threads(threads);
+        let eb = QueryEngine::new(b).with_threads(threads);
+
+        macro_rules! check {
+            ($ra:expr, $rb:expr, $ty:literal) => {
+                for (i, (oa, ob)) in $ra.outcomes.iter().zip(&$rb.outcomes).enumerate() {
+                    prop_assert_eq!(
+                        &oa.result,
+                        &ob.result,
+                        "{}: type {} query {} threads {}",
+                        label,
+                        $ty,
+                        i,
+                        threads
+                    );
+                    prop_assert_eq!(
+                        &oa.stats,
+                        &ob.stats,
+                        "{}: type {} query {} threads {}",
+                        label,
+                        $ty,
+                        i,
+                        threads
+                    );
+                }
+            };
+        }
+        check!(
+            ea.batch_type1(queries, epsilon),
+            eb.batch_type1(queries, epsilon),
+            1
+        );
+        check!(
+            ea.batch_type2(queries, epsilon),
+            eb.batch_type2(queries, epsilon),
+            2
+        );
+        check!(
+            ea.batch_type3(queries, 4.0, 1.0),
+            eb.batch_type3(queries, 4.0, 1.0),
+            3
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_mutation_history_matches_the_in_memory_reference(
+        texts in prop::collection::vec(sym_seq(48), 1..3),
+        script in prop::collection::vec(step(), 1..8),
+        queries in prop::collection::vec(sym_seq(32), 1..3),
+        epsilon in 0.0f64..4.0,
+    ) {
+        let Some(reference_seed) = build(&texts) else { return Ok(()); };
+        let Some(initial) = build(&texts) else { return Ok(()); };
+
+        let path = scratch_path();
+        let mut live = LiveDatabase::create(&path, initial)
+            .expect("creating a live database on a fresh path succeeds");
+        let mut reference = reference_seed;
+
+        // Drive both sides through the identical script, checking that the
+        // mutation APIs agree step by step.
+        let mut assigned = texts.len();
+        let mut append_only = true;
+        for op in &script {
+            match op {
+                Step::Append(elements) => {
+                    let a = live
+                        .append_sequence(Sequence::new(elements.clone()))
+                        .expect("logged append succeeds");
+                    let b = reference.append_sequence(Sequence::new(elements.clone()));
+                    prop_assert_eq!(a, b, "both sides assign the same sequence id");
+                    assigned += 1;
+                }
+                Step::Remove(selector) => {
+                    append_only = false;
+                    let id = SequenceId(selector % assigned);
+                    let a = live.remove_sequence(id).expect("logged remove succeeds");
+                    let b = reference.remove_sequence(id);
+                    prop_assert_eq!(a, b, "both sides agree whether {:?} was live", id);
+                }
+                Step::Compact => {
+                    live.compact().expect("compaction succeeds");
+                    prop_assert_eq!(live.pending_ops(), 0);
+                }
+            }
+        }
+
+        prop_assert_eq!(
+            live.database().live_sequence_count(),
+            reference.live_sequence_count()
+        );
+
+        let queries: Vec<Sequence<Symbol>> =
+            queries.iter().map(|q| Sequence::new(q.clone())).collect();
+
+        // 1. The live database answers exactly like the in-memory reference.
+        assert_query_parity(live.database(), &reference, &queries, epsilon, "live vs reference")?;
+
+        // 2. Append-only histories additionally match a true from-scratch
+        //    build over the final dataset (incremental == rebuild).
+        if append_only {
+            let mut all = texts.clone();
+            for op in &script {
+                if let Step::Append(elements) = op {
+                    all.push(elements.clone());
+                }
+            }
+            if let Some(scratch) = build(&all) {
+                prop_assert_eq!(live.database().window_count(), scratch.window_count());
+                assert_query_parity(
+                    live.database(),
+                    &scratch,
+                    &queries,
+                    epsilon,
+                    "incremental vs scratch",
+                )?;
+            }
+        }
+
+        // 3. A reopen (snapshot load + WAL replay) reaches the same state.
+        drop(live);
+        let reopened = LiveDatabase::<Symbol, _>::open(&path, Levenshtein::new())
+            .expect("reopening after a clean shutdown succeeds");
+        assert_query_parity(
+            reopened.database(),
+            &reference,
+            &queries,
+            epsilon,
+            "reopened vs reference",
+        )?;
+
+        // 4. Compaction folds the log into the snapshot without changing
+        //    answers, and the compacted snapshot is byte-stable.
+        let mut reopened = reopened;
+        reopened.compact().expect("final compaction succeeds");
+        prop_assert_eq!(reopened.pending_ops(), 0);
+        let on_disk = std::fs::read(&path).expect("compacted snapshot is readable");
+        prop_assert_eq!(&on_disk, &reopened.database().snapshot_bytes());
+        let cold = SubsequenceDatabase::from_snapshot_bytes(on_disk, Levenshtein::new())
+            .expect("the compacted snapshot loads");
+        prop_assert_eq!(&cold.snapshot_bytes(), &reopened.database().snapshot_bytes());
+        assert_query_parity(&cold, &reference, &queries, epsilon, "compacted vs reference")?;
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(reopened.wal_path());
+    }
+}

@@ -1,0 +1,195 @@
+//! Deterministic edge cases for `distance_within`, complementing the
+//! property suite in `threshold.rs`: τ = 0, bit-identical inputs,
+//! single-element windows (the smallest slices the framework ever compares)
+//! and τ **exactly at** the true distance — the boundary where the contract
+//! demands `Some(d)`, while any value strictly below it (one ULP suffices)
+//! must give `None`. Exercised across all six measures and every element
+//! type they serve.
+
+use ssr_distance::{DiscreteFrechet, Dtw, Erp, Euclidean, Hamming, Levenshtein, SequenceDistance};
+use ssr_sequence::{Element, Pitch, Point2D, Symbol};
+
+fn sym(text: &str) -> Vec<Symbol> {
+    text.chars().map(Symbol::from_char).collect()
+}
+
+/// The full edge contract for one (measure, pair):
+/// * τ = 0 admits the pair exactly when the distance is zero;
+/// * τ = d returns `Some(d)`, bit-identical to the unthresholded distance;
+/// * τ one ULP below d returns `None` for any positive distance;
+/// * an infinite distance (length-mismatch measures) is never within any
+///   finite τ, however large.
+fn assert_edge_contract<E, D>(dist: &D, a: &[E], b: &[E])
+where
+    E: Element,
+    D: SequenceDistance<E>,
+{
+    let full = dist.distance(a, b);
+    assert!(full >= 0.0, "{}: negative distance {full}", dist.name());
+
+    if full == 0.0 {
+        assert_eq!(
+            dist.distance_within(a, b, 0.0),
+            Some(0.0),
+            "{}: zero distance must be within tau = 0",
+            dist.name()
+        );
+    } else {
+        assert_eq!(
+            dist.distance_within(a, b, 0.0),
+            None,
+            "{}: positive distance {full} admitted at tau = 0",
+            dist.name()
+        );
+    }
+
+    if full.is_finite() {
+        let at = dist.distance_within(a, b, full);
+        assert!(
+            at == Some(full),
+            "{}: tau exactly at the distance gave {at:?}, want Some({full})",
+            dist.name()
+        );
+        if full > 0.0 {
+            assert_eq!(
+                dist.distance_within(a, b, full.next_down()),
+                None,
+                "{}: tau one ULP below {full} still admitted the pair",
+                dist.name()
+            );
+        }
+        assert_eq!(
+            dist.distance_within(a, b, full + 1.0),
+            Some(full),
+            "{}: a slack threshold must return the exact distance",
+            dist.name()
+        );
+    } else {
+        assert_eq!(
+            dist.distance_within(a, b, f64::MAX),
+            None,
+            "{}: an infinite distance can never be within a finite tau",
+            dist.name()
+        );
+    }
+}
+
+fn check_all<E: Element>(a: &[E], b: &[E]) {
+    assert_edge_contract(&Levenshtein::new(), a, b);
+    assert_edge_contract(&Erp::new(), a, b);
+    assert_edge_contract(&Dtw::new(), a, b);
+    assert_edge_contract(&DiscreteFrechet::new(), a, b);
+    assert_edge_contract(&Euclidean::new(), a, b);
+    assert_edge_contract(&Hamming::new(), a, b);
+}
+
+#[test]
+fn identical_inputs_are_within_tau_zero_for_every_measure() {
+    check_all(&sym("ACGTACGT"), &sym("ACGTACGT"));
+    let pitches: Vec<Pitch> = [0, 3, 7, 3, 0].map(Pitch).to_vec();
+    check_all(&pitches, &pitches.clone());
+    let scalars = [0.5f64, -1.25, 3.0, 0.0];
+    check_all(&scalars, &scalars.clone());
+    let points: Vec<Point2D> = vec![Point2D::new(0.0, 0.0), Point2D::new(1.5, -2.0)];
+    check_all(&points, &points.clone());
+    // The empty pair: every measure must call it distance 0, within τ = 0.
+    let empty: Vec<Symbol> = Vec::new();
+    check_all(&empty, &empty.clone());
+}
+
+#[test]
+fn single_element_windows_hit_the_exact_boundary() {
+    // Equal singletons: distance 0, admitted at τ = 0.
+    check_all(&sym("A"), &sym("A"));
+    check_all(&[Pitch(5)], &[Pitch(5)]);
+    check_all(&[2.5f64], &[2.5f64]);
+    check_all(&[Point2D::new(1.0, 1.0)], &[Point2D::new(1.0, 1.0)]);
+
+    // Distinct singletons: the distance is one ground-level step, and the
+    // contract must be exact at that boundary for every measure.
+    check_all(&sym("A"), &sym("C"));
+    check_all(&[Pitch(0)], &[Pitch(7)]);
+    check_all(&[0.0f64], &[3.25f64]);
+    check_all(&[Point2D::new(0.0, 0.0)], &[Point2D::new(3.0, 4.0)]);
+
+    // Known values for the discrete measures: one substitution.
+    let lev = Levenshtein::new();
+    assert_eq!(lev.distance_within(&sym("A"), &sym("C"), 1.0), Some(1.0));
+    assert_eq!(
+        lev.distance_within(&sym("A"), &sym("C"), 1.0_f64.next_down()),
+        None
+    );
+    let ham = Hamming::new();
+    assert_eq!(ham.distance_within(&sym("A"), &sym("C"), 1.0), Some(1.0));
+    assert_eq!(ham.distance_within(&sym("A"), &sym("C"), 0.0), None);
+    // A 3-4-5 triangle: the planar measures agree on the exact boundary.
+    let a = [Point2D::new(0.0, 0.0)];
+    let b = [Point2D::new(3.0, 4.0)];
+    assert_eq!(
+        DiscreteFrechet::new().distance_within(&a, &b, 5.0),
+        Some(5.0)
+    );
+    assert_eq!(
+        DiscreteFrechet::new().distance_within(&a, &b, 5.0_f64.next_down()),
+        None
+    );
+    assert_eq!(Euclidean::new().distance_within(&a, &b, 5.0), Some(5.0));
+    assert_eq!(Euclidean::new().distance_within(&a, &b, 4.999), None);
+}
+
+#[test]
+fn tau_exactly_at_the_true_distance_across_longer_inputs() {
+    // Multi-edit symbol pairs (substitution + indel mixes).
+    check_all(&sym("ACGTACGT"), &sym("ACCTACG"));
+    check_all(&sym("AAAA"), &sym("AAAAAAA"));
+    check_all(&sym("ACGT"), &sym("TGCA"));
+    // Numeric and planar pairs where warping and coupling genuinely differ.
+    check_all(
+        &[0, 2, 4, 2, 0].map(Pitch),
+        &[0, 0, 2, 4, 4, 2, 0].map(Pitch),
+    );
+    check_all(&[0.0f64, 1.0, 0.0, -1.0], &[0.0f64, 0.5, 0.0, -1.5]);
+    check_all(
+        &[
+            Point2D::new(0.0, 0.0),
+            Point2D::new(1.0, 0.0),
+            Point2D::new(2.0, 0.0),
+        ],
+        &[Point2D::new(0.0, 0.5), Point2D::new(2.0, 0.5)],
+    );
+    // One side empty: pure-gap alignments for the elastic measures.
+    check_all(&sym(""), &sym("ACGT"));
+}
+
+#[test]
+fn length_mismatch_measures_are_never_within_any_finite_tau() {
+    let a = sym("ACGT");
+    let b = sym("ACGTA");
+    for tau in [0.0, 1.0, 1e18, f64::MAX] {
+        assert_eq!(Euclidean::new().distance_within(&a, &b, tau), None);
+        assert_eq!(Hamming::new().distance_within(&a, &b, tau), None);
+    }
+    assert_eq!(Euclidean::new().distance(&a, &b), f64::INFINITY);
+    assert_eq!(Hamming::new().distance(&a, &b), f64::INFINITY);
+    // The elastic measures handle the same pair finitely — and exactly.
+    check_all(&a, &b);
+}
+
+#[test]
+fn tau_zero_discriminates_identical_from_minimally_perturbed() {
+    let base = sym("ACGTACGTACGT");
+    let mut perturbed = base.clone();
+    perturbed[6] = Symbol::from_char('T');
+    for (a, b, expect_zero) in [(&base, &base.clone(), true), (&base, &perturbed, false)] {
+        let lev = Levenshtein::new();
+        let within = lev.distance_within(a, b, 0.0);
+        if expect_zero {
+            assert_eq!(within, Some(0.0));
+        } else {
+            assert_eq!(within, None);
+            // ...but it reappears, exact, the moment tau reaches it.
+            let full = lev.distance(a, b);
+            assert_eq!(lev.distance_within(a, b, full), Some(full));
+        }
+    }
+}

@@ -169,6 +169,18 @@ impl<E: Element, D> WindowSliceMetric<E, D> {
         &self.windows
     }
 
+    /// Replaces the window store item ids resolve against.
+    ///
+    /// The live-ingestion path appends sequences by building a grown store
+    /// (same window length, the old window table as a prefix) and swapping it
+    /// in here before inserting the new tail ids. The caller must uphold the
+    /// prefix invariant: every id already stored in an index using this
+    /// metric has to resolve to the same elements through the new store,
+    /// otherwise the index's structure silently stops matching its items.
+    pub fn set_windows(&mut self, windows: Arc<WindowStore<E>>) {
+        self.windows = windows;
+    }
+
     /// Resolves one stored item to its element slice.
     ///
     /// # Panics
@@ -253,6 +265,12 @@ impl<M> CountingMetric<M> {
     /// The wrapped metric.
     pub fn inner(&self) -> &M {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped metric (the live-ingestion path uses
+    /// this to swap a grown window store into a [`WindowSliceMetric`]).
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
     }
 
     /// The single charging point every counted evaluation goes through: one

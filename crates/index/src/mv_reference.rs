@@ -82,6 +82,20 @@ impl<T, M: Metric<T>> MvReferenceIndex<T, M> {
     pub fn metric(&self) -> &M {
         &self.metric
     }
+
+    /// Mutable access to the metric (used by live ingestion to swap in a
+    /// grown window store before inserting the new tail items).
+    pub fn metric_mut(&mut self) -> &mut M {
+        &mut self.metric
+    }
+
+    /// Whether items were inserted ad hoc since the last [`Self::rebuild`]
+    /// (a dirty index re-pivots lazily: queries and snapshots demand a
+    /// rebuild first, and the framework's mutation path performs it once per
+    /// mutation batch rather than per insert).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
 }
 
 impl<T: Send + Sync, M: Metric<T>> MvReferenceIndex<T, M> {

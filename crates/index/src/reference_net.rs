@@ -154,6 +154,12 @@ impl<T: Send + Sync, M: Metric<T>> ReferenceNet<T, M> {
         &self.metric
     }
 
+    /// Mutable access to the metric (used by live ingestion to swap in a
+    /// grown window store before inserting the new tail items).
+    pub fn metric_mut(&mut self) -> &mut M {
+        &mut self.metric
+    }
+
     /// Bulk-inserts a collection of items.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, items: I) {
         for item in items {

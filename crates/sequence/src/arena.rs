@@ -22,8 +22,12 @@ use crate::sequence::{SequenceDataset, SequenceId};
 /// Contiguous storage of every element of a [`SequenceDataset`], in dataset
 /// order, with per-sequence boundaries.
 ///
-/// The arena is immutable once built: windows are *views* into it, so any
-/// mutation would silently change what every view resolves to.
+/// The arena is **append-only**: windows are *views* into it, so mutating or
+/// reordering stored elements would silently change what every view resolves
+/// to. [`Self::push_sequence`] is the one permitted mutation — it only adds
+/// elements *after* every existing boundary, so the `(sequence, start, len)`
+/// coordinates of every outstanding view keep resolving to exactly the
+/// elements they resolved to before the append.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ElementArena<E> {
     /// All elements, sequence after sequence.
@@ -60,6 +64,21 @@ impl<E: Element> ElementArena<E> {
             return None;
         }
         Some(ElementArena { elements, bounds })
+    }
+
+    /// Appends one sequence's elements at the tail of the arena and returns
+    /// the [`SequenceId`] it now answers to (the next dense id).
+    ///
+    /// Existing sequence ranges are untouched — the new elements live
+    /// strictly after every previous boundary — so outstanding window views
+    /// into earlier sequences resolve to exactly the same elements after the
+    /// append as before it. This is the live-ingestion primitive: appending
+    /// never invalidates an id and never shifts a slice.
+    pub fn push_sequence(&mut self, elements: &[E]) -> SequenceId {
+        let id = SequenceId(self.sequence_count());
+        self.elements.extend_from_slice(elements);
+        self.bounds.push(self.elements.len());
+        id
     }
 
     /// Number of sequences the arena covers.
@@ -177,6 +196,26 @@ mod tests {
         assert!(ElementArena::from_parts(elements.clone(), vec![0, 3, 2, 4]).is_none());
         assert!(ElementArena::from_parts(elements, vec![]).is_none());
         assert!(ElementArena::<Symbol>::from_parts(vec![], vec![0]).is_some());
+    }
+
+    #[test]
+    fn push_sequence_extends_without_disturbing_existing_ranges() {
+        let mut a = arena(&["ABCD", "EF"]);
+        let before: Vec<Vec<Symbol>> = (0..a.sequence_count())
+            .map(|i| a.sequence_slice(SequenceId(i)).unwrap().to_vec())
+            .collect();
+        let id = a.push_sequence(seq("GHIJK").elements());
+        assert_eq!(id, SequenceId(2));
+        assert_eq!(a.sequence_count(), 3);
+        assert_eq!(a.bounds(), &[0, 4, 6, 11]);
+        assert_eq!(a.sequence_slice(id).unwrap(), seq("GHIJK").elements());
+        for (i, expected) in before.iter().enumerate() {
+            assert_eq!(a.sequence_slice(SequenceId(i)).unwrap(), &expected[..]);
+        }
+        // Appending an empty sequence is allowed and keeps the cover valid.
+        let id = a.push_sequence(&[]);
+        assert_eq!(a.sequence_len(id), Some(0));
+        assert_eq!(a.bounds().last(), Some(&a.len()));
     }
 
     #[test]

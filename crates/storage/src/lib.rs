@@ -6,7 +6,7 @@
 //! rebuilding (minutes of index construction and millions of distance calls
 //! at production scale).
 //!
-//! The crate has three layers and zero dependencies:
+//! The crate has four layers and zero dependencies:
 //!
 //! * [`codec`] — [`Writer`]/[`Reader`] plus the [`Encode`] / [`Decode`] /
 //!   [`DecodeWith`] traits that `ssr-sequence`, `ssr-index` and `ssr-core`
@@ -17,10 +17,14 @@
 //! * [`snapshot`] — the container format: magic, format version, section
 //!   table, per-section CRC ([`SnapshotBuilder`] to write, [`Snapshot`] to
 //!   read).
+//! * [`wal`] — the append-only write-ahead log that pairs with a snapshot:
+//!   length-prefixed, CRC-per-record frames ([`WalWriter`] to append,
+//!   [`decode_wal`] to recover), replayed on top of the last snapshot at
+//!   open and folded away by compaction.
 //!
 //! Loading is strict and total: any truncation or byte flip anywhere in a
-//! snapshot yields a typed [`StorageError`]; the decoder never panics on
-//! damaged input.
+//! snapshot or WAL yields a typed [`StorageError`] or a cleanly dropped torn
+//! tail; the decoders never panic on damaged input.
 
 #![warn(missing_docs)]
 
@@ -28,8 +32,13 @@ pub mod codec;
 pub mod crc32;
 pub mod error;
 pub mod snapshot;
+pub mod wal;
 
 pub use codec::{Decode, DecodeWith, Encode, Reader, StorableElement, Writer};
 pub use crc32::crc32;
 pub use error::StorageError;
-pub use snapshot::{SectionEntry, Snapshot, SnapshotBuilder, FORMAT_VERSION, MAGIC};
+pub use snapshot::{write_atomic, SectionEntry, Snapshot, SnapshotBuilder, FORMAT_VERSION, MAGIC};
+pub use wal::{
+    decode_wal, read_wal_file, WalBinding, WalRead, WalWriter, WAL_HEADER_LEN, WAL_MAGIC,
+    WAL_VERSION,
+};

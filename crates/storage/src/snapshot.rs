@@ -144,13 +144,25 @@ impl SnapshotBuilder {
     /// Serializes the snapshot and writes it to `path` (atomically: the file
     /// is written to a `.tmp` sibling first, then renamed into place).
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), StorageError> {
-        let path = path.as_ref();
-        let bytes = self.to_bytes();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        write_atomic(path, &self.to_bytes())
     }
+}
+
+/// Writes `bytes` to `path` atomically (a `.tmp` sibling, synced, then
+/// renamed into place): readers observe either the old file or the complete
+/// new one, never a torn mixture. The WAL layer relies on this when a
+/// compaction replaces the snapshot its log is bound to.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StorageError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        use std::io::Write;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 /// A fully validated, loaded snapshot.

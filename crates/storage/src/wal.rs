@@ -1,0 +1,520 @@
+//! Append-only write-ahead log.
+//!
+//! The snapshot container is immutable: mutating a database through it would
+//! mean rewriting the whole file per operation. The WAL is the cheap half of
+//! the usual pairing — mutations append fixed-framing records to a sibling
+//! log, and opening a database replays the log on top of the last snapshot.
+//! A compaction folds the log back into a fresh snapshot and truncates it.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! +---------------------------+----------------------------------------------+
+//! | header (24 bytes)         | records...                                   |
+//! | magic  "SSRWAL\0\0"       | [u32 len][u32 crc32(payload)][payload] ...   |
+//! | u32 version (LE)          |                                              |
+//! | u64 snapshot len (LE)     |  <- binding: identity of the snapshot        |
+//! | u32 snapshot crc (LE)     |     file this log extends                    |
+//! +---------------------------+----------------------------------------------+
+//! ```
+//!
+//! This layer frames opaque byte payloads; what a payload *means* (an
+//! appended sequence, a removal) is the caller's codec, layered on top.
+//!
+//! # The snapshot binding
+//!
+//! The header names the exact snapshot file (length + CRC-32 of its bytes)
+//! the log's records apply to. This closes the one crash window framing
+//! alone cannot: a compaction writes the folded snapshot first and truncates
+//! the log second, so a crash between the two leaves a log whose every
+//! record is *already folded* into the snapshot next to it. Replaying it
+//! would silently double-apply. With the binding, such a log names the
+//! *previous* snapshot, the mismatch is detected at open, and
+//! [`WalWriter::open`] discards the stale log instead of replaying it —
+//! finishing the interrupted compaction.
+//!
+//! # Recovery policy
+//!
+//! Reading is **total**: any byte string maps to either a clean prefix of
+//! records or a typed [`StorageError`], never a panic. Damage is classified
+//! by where it can plausibly come from:
+//!
+//! - A *torn tail* — the file ends mid-header, mid-frame, with a length that
+//!   overruns EOF, with a final record whose CRC fails, or with a zero-filled
+//!   run where a record should start — is what an interrupted append (or a
+//!   filesystem's zero-fill after a crash) legitimately leaves behind. The
+//!   damaged tail is dropped; every record before it survives byte-exactly,
+//!   and [`WalRead::dropped_bytes`] reports what was discarded. The writer
+//!   truncates the file back to the surviving prefix on open.
+//! - Damage *before* the final record — a CRC failure on a non-final record,
+//!   a non-zero empty frame, a wrong magic or version — cannot be produced
+//!   by a torn append and is reported as a typed error instead of being
+//!   silently skipped: dropping a middle record would silently diverge the
+//!   replayed state from the logged history.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::crc32::crc32;
+use crate::error::StorageError;
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"SSRWAL\0\0";
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Bytes of the file header (magic + version + snapshot binding).
+pub const WAL_HEADER_LEN: usize = 24;
+/// Bytes of the header prefix that is constant across files (magic +
+/// version); the binding after it varies per snapshot.
+const WAL_FIXED_PREFIX_LEN: usize = 12;
+
+/// Identity of the snapshot file a WAL extends: its byte length and the
+/// CRC-32 of all its bytes. Recorded in the log's header so that a log can
+/// never be replayed onto a snapshot it was not written against (see the
+/// module docs on the compaction crash window).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WalBinding {
+    /// Length of the snapshot file in bytes.
+    pub snapshot_len: u64,
+    /// CRC-32 over the whole snapshot file.
+    pub snapshot_crc: u32,
+}
+
+impl WalBinding {
+    /// The binding naming a snapshot given its full file bytes.
+    pub fn of(snapshot_bytes: &[u8]) -> WalBinding {
+        WalBinding {
+            snapshot_len: snapshot_bytes.len() as u64,
+            snapshot_crc: crc32(snapshot_bytes),
+        }
+    }
+}
+
+fn header_for(binding: WalBinding) -> [u8; WAL_HEADER_LEN] {
+    let mut header = [0u8; WAL_HEADER_LEN];
+    header[..8].copy_from_slice(&WAL_MAGIC);
+    header[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    header[12..20].copy_from_slice(&binding.snapshot_len.to_le_bytes());
+    header[20..24].copy_from_slice(&binding.snapshot_crc.to_le_bytes());
+    header
+}
+
+/// The outcome of reading a WAL: the surviving records plus enough position
+/// information for a writer to resume exactly where the clean prefix ends.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WalRead {
+    /// The snapshot binding from the header, or `None` when even the header
+    /// was torn (the file must be re-created).
+    pub binding: Option<WalBinding>,
+    /// Payloads of the intact records, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the clean prefix (header + intact records). A value
+    /// below [`WAL_HEADER_LEN`] means the header was torn.
+    pub valid_len: usize,
+    /// Bytes of torn tail dropped after the clean prefix (0 for a clean log).
+    pub dropped_bytes: usize,
+}
+
+/// Decodes WAL bytes under the module's recovery policy. Total: every input
+/// yields `Ok` (possibly with a dropped tail) or a typed error.
+pub fn decode_wal(bytes: &[u8]) -> Result<WalRead, StorageError> {
+    let torn_header = |valid: usize| {
+        Ok(WalRead {
+            binding: None,
+            records: Vec::new(),
+            valid_len: valid,
+            dropped_bytes: bytes.len() - valid,
+        })
+    };
+    if bytes.len() < WAL_FIXED_PREFIX_LEN {
+        // Shorter than the constant prefix: a torn creation left a prefix of
+        // the canonical magic + version behind; anything else was never a WAL.
+        let canonical = header_for(WalBinding {
+            snapshot_len: 0,
+            snapshot_crc: 0,
+        });
+        return if *bytes == canonical[..bytes.len()] {
+            torn_header(0)
+        } else {
+            Err(StorageError::BadMagic)
+        };
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(StorageError::UnsupportedVersion(version));
+    }
+    if bytes.len() < WAL_HEADER_LEN {
+        // Magic and version are intact but the binding is cut short: a torn
+        // creation. (The binding bytes are arbitrary, so no prefix check is
+        // possible — magic + version vouch for the file.)
+        return torn_header(0);
+    }
+    let binding = WalBinding {
+        snapshot_len: u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")),
+        snapshot_crc: u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")),
+    };
+    let mut records = Vec::new();
+    let mut offset = WAL_HEADER_LEN;
+    while offset < bytes.len() {
+        if bytes.len() - offset < 8 {
+            break; // torn tail: frame header cut short
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len == 0 {
+            // Appends never frame an empty payload, but crc32("") == 0, so a
+            // zero-filled tail (filesystems may zero-extend across a crash)
+            // would otherwise parse as an endless run of valid empty records.
+            if crc == 0 && bytes[offset..].iter().all(|&b| b == 0) {
+                break; // torn tail: zero-filled
+            }
+            return Err(StorageError::Malformed(format!(
+                "wal record {} has an empty payload",
+                records.len()
+            )));
+        }
+        let end = offset + 8 + len;
+        if end > bytes.len() {
+            break; // torn tail: length overruns EOF
+        }
+        let payload = &bytes[offset + 8..end];
+        if crc32(payload) != crc {
+            if end == bytes.len() {
+                break; // torn final record
+            }
+            return Err(StorageError::ChecksumMismatch {
+                section: format!("wal record {}", records.len()),
+            });
+        }
+        records.push(payload.to_vec());
+        offset = end;
+    }
+    Ok(WalRead {
+        binding: Some(binding),
+        records,
+        valid_len: offset,
+        dropped_bytes: bytes.len() - offset,
+    })
+}
+
+/// Reads and decodes a WAL file. Fails with [`StorageError::Io`] when the
+/// file does not exist (callers that want "missing means empty" use
+/// [`WalWriter::open`], which creates it).
+pub fn read_wal_file(path: impl AsRef<Path>) -> Result<WalRead, StorageError> {
+    decode_wal(&std::fs::read(path)?)
+}
+
+/// An open, resumable WAL. Every append is one `write_all` of a fully framed
+/// record followed by a data sync, so the file only ever grows by whole
+/// frames plus at most one torn tail — exactly the shape [`decode_wal`]
+/// recovers from.
+pub struct WalWriter {
+    file: File,
+    len: u64,
+    records: usize,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the WAL at `path`, writing a fresh header
+    /// bound to `binding`.
+    pub fn create(path: impl AsRef<Path>, binding: WalBinding) -> Result<WalWriter, StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&header_for(binding))?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            len: WAL_HEADER_LEN as u64,
+            records: 0,
+        })
+    }
+
+    /// Opens the WAL at `path` for the snapshot identified by `expected`,
+    /// recovering per the module policy:
+    ///
+    /// - missing file or torn header → a fresh empty log, nothing to replay;
+    /// - clean log bound to `expected` → resume, returning the surviving
+    ///   record payloads (a torn tail is truncated away first);
+    /// - clean log bound to a *different* snapshot → a compaction was
+    ///   interrupted after its snapshot landed: every record is already
+    ///   folded, so the stale log is discarded and the compaction finished
+    ///   (a fresh empty log bound to `expected`);
+    /// - mid-log corruption, bad magic or bad version → a typed error.
+    pub fn open(
+        path: impl AsRef<Path>,
+        expected: WalBinding,
+    ) -> Result<(WalWriter, Vec<Vec<u8>>), StorageError> {
+        let path = path.as_ref();
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let read = decode_wal(&bytes)?;
+        match read.binding {
+            Some(binding) if binding == expected => {
+                let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+                if read.dropped_bytes > 0 {
+                    file.set_len(read.valid_len as u64)?;
+                    file.sync_data()?;
+                }
+                file.seek(SeekFrom::Start(read.valid_len as u64))?;
+                let records = read.records;
+                Ok((
+                    WalWriter {
+                        file,
+                        len: read.valid_len as u64,
+                        records: records.len(),
+                    },
+                    records,
+                ))
+            }
+            // Torn header, missing file, or a stale log whose records are
+            // already folded into the snapshot: start empty.
+            _ => Ok((WalWriter::create(path, expected)?, Vec::new())),
+        }
+    }
+
+    /// Appends one record (framed, checksummed, synced). The payload must be
+    /// non-empty — empty frames are reserved for torn-tail detection.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+        if payload.is_empty() {
+            return Err(StorageError::Malformed(
+                "wal payloads must be non-empty".into(),
+            ));
+        }
+        if payload.len() > u32::MAX as usize {
+            return Err(StorageError::Malformed(format!(
+                "wal payload of {} bytes exceeds the u32 frame limit",
+                payload.len()
+            )));
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.len += frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Truncates the log back to an empty header bound to `binding` — the
+    /// tail end of a compaction, after the folded snapshot (whose identity
+    /// `binding` names) has been durably renamed into place.
+    pub fn reset(&mut self, binding: WalBinding) -> Result<(), StorageError> {
+        self.file.set_len(WAL_HEADER_LEN as u64)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header_for(binding))?;
+        self.file.sync_data()?;
+        self.len = WAL_HEADER_LEN as u64;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Number of records in the log.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Current file length in bytes (header + frames).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BINDING: WalBinding = WalBinding {
+        snapshot_len: 41,
+        snapshot_crc: 0x1234_5678,
+    };
+    const OTHER: WalBinding = WalBinding {
+        snapshot_len: 99,
+        snapshot_crc: 0x9ABC_DEF0,
+    };
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ssr-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn framed(records: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = header_for(BINDING).to_vec();
+        for payload in records {
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+            bytes.extend_from_slice(payload);
+        }
+        bytes
+    }
+
+    #[test]
+    fn append_read_roundtrip_and_resume() {
+        let path = temp_path("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, replay) = WalWriter::open(&path, BINDING).unwrap();
+        assert!(replay.is_empty());
+        wal.append(b"one").unwrap();
+        wal.append(b"two-two").unwrap();
+        assert_eq!(wal.record_count(), 2);
+        drop(wal);
+        let (mut wal, replay) = WalWriter::open(&path, BINDING).unwrap();
+        assert_eq!(replay, vec![b"one".to_vec(), b"two-two".to_vec()]);
+        wal.append(b"three").unwrap();
+        drop(wal);
+        let read = read_wal_file(&path).unwrap();
+        assert_eq!(read.binding, Some(BINDING));
+        assert_eq!(read.records.len(), 3);
+        assert_eq!(read.dropped_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_are_dropped_cleanly() {
+        let clean = framed(&[b"alpha", b"beta"]);
+        let first_end = WAL_HEADER_LEN + 8 + 5;
+        // Every strict prefix recovers without error and never invents or
+        // loses records before the tear.
+        for cut in 0..clean.len() {
+            let read = decode_wal(&clean[..cut]).unwrap();
+            // "alpha" survives exactly when its full frame made it to disk;
+            // "beta"'s frame only completes at the uncut length.
+            let expect = usize::from(cut >= first_end);
+            assert_eq!(read.records.len(), expect, "cut at {cut}");
+            assert_eq!(read.valid_len + read.dropped_bytes, cut);
+            if cut < WAL_HEADER_LEN {
+                assert_eq!(read.binding, None, "cut at {cut}");
+            } else {
+                assert_eq!(read.binding, Some(BINDING), "cut at {cut}");
+            }
+        }
+        // Zero-filled extension after a crash.
+        let mut zeroed = clean.clone();
+        zeroed.extend_from_slice(&[0u8; 23]);
+        let read = decode_wal(&zeroed).unwrap();
+        assert_eq!(read.records.len(), 2);
+        assert_eq!(read.dropped_bytes, 23);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error() {
+        let clean = framed(&[b"alpha", b"beta"]);
+        // Flip a payload byte of the FIRST record: non-final damage.
+        let mut bad = clean.clone();
+        bad[WAL_HEADER_LEN + 8] ^= 0x40;
+        match decode_wal(&bad) {
+            Err(StorageError::ChecksumMismatch { section }) => {
+                assert_eq!(section, "wal record 0");
+            }
+            other => panic!("expected mid-log checksum error, got {other:?}"),
+        }
+        // The same flip in the FINAL record is indistinguishable from a torn
+        // append and drops only that record.
+        let mut torn = clean.clone();
+        let last = clean.len() - 1;
+        torn[last] ^= 0x40;
+        let read = decode_wal(&torn).unwrap();
+        assert_eq!(read.records, vec![b"alpha".to_vec()]);
+        assert!(read.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = framed(&[b"x"]);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_wal(&bytes), Err(StorageError::BadMagic)));
+        let mut bytes = framed(&[b"x"]);
+        bytes[8] = 9;
+        assert!(matches!(
+            decode_wal(&bytes),
+            Err(StorageError::UnsupportedVersion(9))
+        ));
+        assert!(matches!(
+            decode_wal(b"NOTAWAL"),
+            Err(StorageError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_and_resumes() {
+        let path = temp_path("resume.wal");
+        let mut bytes = framed(&[b"keep"]);
+        bytes.extend_from_slice(&[7u8, 0, 0]); // torn frame header
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut wal, replay) = WalWriter::open(&path, BINDING).unwrap();
+        assert_eq!(replay, vec![b"keep".to_vec()]);
+        wal.append(b"appended").unwrap();
+        drop(wal);
+        let read = read_wal_file(&path).unwrap();
+        assert_eq!(read.records, vec![b"keep".to_vec(), b"appended".to_vec()]);
+        assert_eq!(read.dropped_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_binding_discards_the_log() {
+        // A log bound to the OLD snapshot next to a NEW snapshot is the
+        // leftover of an interrupted compaction: every record is already
+        // folded, so opening against the new binding must not replay them.
+        let path = temp_path("stale.wal");
+        std::fs::write(&path, framed(&[b"folded-op"])).unwrap();
+        let (wal, replay) = WalWriter::open(&path, OTHER).unwrap();
+        assert!(replay.is_empty());
+        assert_eq!(wal.record_count(), 0);
+        drop(wal);
+        let read = read_wal_file(&path).unwrap();
+        assert_eq!(read.binding, Some(OTHER));
+        assert!(read.records.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_and_rebinds_the_log() {
+        let path = temp_path("reset.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = WalWriter::open(&path, BINDING).unwrap();
+        wal.append(b"gone soon").unwrap();
+        wal.reset(OTHER).unwrap();
+        assert_eq!(wal.record_count(), 0);
+        assert_eq!(wal.len_bytes(), WAL_HEADER_LEN as u64);
+        wal.append(b"fresh").unwrap();
+        drop(wal);
+        let read = read_wal_file(&path).unwrap();
+        assert_eq!(read.binding, Some(OTHER));
+        assert_eq!(read.records, vec![b"fresh".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_payloads_are_rejected_at_both_ends() {
+        let path = temp_path("empty.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = WalWriter::open(&path, BINDING).unwrap();
+        assert!(matches!(wal.append(b""), Err(StorageError::Malformed(_))));
+        drop(wal);
+        std::fs::remove_file(&path).unwrap();
+        // A non-zero empty frame mid-log is malformed, not a tear.
+        let mut bytes = framed(&[]);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            decode_wal(&bytes),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+}
