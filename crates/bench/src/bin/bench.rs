@@ -28,7 +28,7 @@
 //! than 10% over the baseline. Wall-clock and speedup are reported for
 //! humans; `--min-speedup` turns the speedup into a local acceptance check.
 
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use ssr_bench::json::JsonValue;
 use ssr_core::{BatchOutcome, FrameworkConfig, QueryEngine, SubsequenceDatabase};
@@ -81,6 +81,23 @@ struct Options {
     min_speedup: Option<f64>,
     snapshot: Option<String>,
     min_cold_start_speedup: f64,
+    /// Load-generator mode: drive a running `ssr serve` at this address
+    /// instead of benchmarking in-process. `--snapshot` then names the
+    /// snapshot the server loaded, for the served-vs-in-process parity check.
+    serve: Option<String>,
+    /// Closed-loop connections in `--serve` mode.
+    connections: usize,
+    /// Queries per request batch in `--serve` mode.
+    batch: usize,
+    /// Requests per connection in `--serve` mode.
+    rounds: usize,
+    /// Gate: served p99 latency must stay under this (0 disables).
+    max_p99_ms: f64,
+    /// Gate: result-cache hit rate after the run must reach this (0
+    /// disables).
+    min_cache_hit_rate: f64,
+    /// After the load, ask the server to shut down and assert it exits.
+    serve_shutdown: bool,
     /// Ablation: disable the threshold-aware pruning machinery entirely.
     no_pruning: bool,
     /// Gate: the pruned run must evaluate at least this factor fewer DP
@@ -98,7 +115,9 @@ fn usage() -> ! {
         "usage: bench [--scale smoke|small|medium] [--threads N] [--queries N] \
          [--out PATH] [--baseline PATH] [--min-speedup X] [--snapshot PATH] \
          [--min-cold-start-speedup X] [--no-pruning] [--min-dp-pruning-ratio X] \
-         [--min-bytes-reduction X]"
+         [--min-bytes-reduction X]\n       \
+         bench --serve ADDR --snapshot PATH [--connections N] [--batch N] [--rounds N] \
+         [--max-p99-ms X] [--min-cache-hit-rate X] [--serve-shutdown] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -118,6 +137,13 @@ fn parse_options() -> Options {
         no_pruning: false,
         min_dp_pruning_ratio: 0.0,
         min_bytes_reduction: 0.0,
+        serve: None,
+        connections: 4,
+        batch: 4,
+        rounds: 25,
+        max_p99_ms: 0.0,
+        min_cache_hit_rate: 0.0,
+        serve_shutdown: false,
     };
     let mut queries_override = None;
     let mut i = 0;
@@ -160,6 +186,19 @@ fn parse_options() -> Options {
             "--min-bytes-reduction" => {
                 opts.min_bytes_reduction = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
+            "--serve" => opts.serve = Some(value(&mut i)),
+            "--connections" => {
+                opts.connections = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--batch" => opts.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rounds" => opts.rounds = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-p99-ms" => {
+                opts.max_p99_ms = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--min-cache-hit-rate" => {
+                opts.min_cache_hit_rate = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--serve-shutdown" => opts.serve_shutdown = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -219,6 +258,10 @@ fn stage_object(batch: &BatchOutcome<Option<ssr_core::SubsequenceMatch>>) -> Jso
 
 fn main() {
     let opts = parse_options();
+    if opts.serve.is_some() {
+        serve_mode(&opts);
+        return;
+    }
     let epsilon = 8.0;
     if opts.no_pruning {
         eprintln!("# ablation: threshold-aware pruning DISABLED");
@@ -617,6 +660,226 @@ fn main() {
             failures += 1;
         }
     }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `--serve` mode: closed-loop load against a running `ssr serve`, with a
+/// served-vs-in-process parity check, latency/cache-hit gates and a JSON
+/// artifact. Exits nonzero on any gate or parity failure.
+fn serve_mode(opts: &Options) {
+    let addr = opts.serve.as_deref().expect("serve_mode requires --serve");
+    let Some(snapshot_path) = opts.snapshot.as_deref() else {
+        eprintln!("bench --serve requires --snapshot PATH (the snapshot the server loaded)");
+        std::process::exit(2);
+    };
+
+    // The in-process reference database: the same snapshot + pending WAL the
+    // server opened. Symbol/Levenshtein only — the synthetic bench workloads
+    // are protein-shaped, and the parity engine must match the server's
+    // element type exactly.
+    let (db, replayed): (SubsequenceDatabase<Symbol, Levenshtein>, usize) =
+        match ssr_core::load_with_wal(snapshot_path, Levenshtein::new()) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("FAIL loading parity snapshot {snapshot_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+    eprintln!(
+        "# serve mode: addr={addr} snapshot={snapshot_path} ({} sequences, {} windows, \
+         {replayed} WAL ops), {} connections x {} rounds, batch {}",
+        db.dataset().len(),
+        db.window_count(),
+        opts.connections,
+        opts.rounds,
+        opts.batch
+    );
+
+    // Deterministic request shapes carved out of the served sequences
+    // themselves: guaranteed in-vocabulary, and identical on every machine.
+    let specs = [
+        ssr_core::QuerySpec::Type1 { epsilon: 8.0 },
+        ssr_core::QuerySpec::Type2 { epsilon: 8.0 },
+        ssr_core::QuerySpec::Type3 {
+            epsilon_max: 8.0,
+            epsilon_increment: 2.0,
+        },
+    ];
+    let sequences = db.dataset().sequences();
+    let requests: Vec<ssr_core::Request<Symbol>> = specs
+        .iter()
+        .enumerate()
+        .map(|(shape, spec)| {
+            let queries = (0..opts.batch.max(1))
+                .map(|slot| {
+                    let seq = &sequences[(shape * opts.batch + slot) % sequences.len()];
+                    let len = seq.len().clamp(1, 24);
+                    let start = (seq.len() - len) / 2;
+                    seq.elements()[start..start + len].to_vec()
+                })
+                .collect();
+            ssr_core::Request::Query {
+                spec: *spec,
+                queries,
+            }
+        })
+        .collect();
+
+    if let Err(e) = ssr_bench::wait_until_ready::<Symbol>(addr, Duration::from_secs(30)) {
+        eprintln!("FAIL server at {addr} never became ready: {e}");
+        std::process::exit(1);
+    }
+
+    let config = ssr_bench::LoadConfig {
+        addr: addr.to_string(),
+        connections: opts.connections,
+        rounds: opts.rounds,
+        connect_timeout: Duration::from_secs(30),
+    };
+    let report = match ssr_bench::run_load(&config, &requests) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("FAIL load run against {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "# load: {} completed, {} overloaded, {} failed in {:.1} ms ({:.0} req/s)",
+        report.completed,
+        report.overloaded,
+        report.failed,
+        report.wall_ns as f64 / 1e6,
+        report.qps
+    );
+    eprintln!(
+        "# latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        report.latency.p50_ns as f64 / 1e6,
+        report.latency.p95_ns as f64 / 1e6,
+        report.latency.p99_ns as f64 / 1e6,
+        report.latency.max_ns as f64 / 1e6
+    );
+    eprintln!(
+        "# cache: {} hits / {} misses ({:.0}% hit rate), {} entries",
+        report.server_stats.cache_hits,
+        report.server_stats.cache_misses,
+        report.cache_hit_rate * 100.0,
+        report.server_stats.cache_entries
+    );
+
+    let mut failures = 0usize;
+
+    // Parity: the served outcomes of request shape 0 (a Type I batch) must
+    // be bit-identical — matches AND stats — to the in-process engine.
+    let ssr_core::Request::Query { spec, queries } = &requests[0] else {
+        unreachable!("request shapes are queries");
+    };
+    let ssr_core::QuerySpec::Type1 { epsilon } = spec else {
+        unreachable!("shape 0 is Type I");
+    };
+    let local: Vec<Sequence<Symbol>> = queries.iter().cloned().map(Sequence::new).collect();
+    let expected = QueryEngine::new(&db).batch_type1(&local, *epsilon);
+    if report.sample_outcomes.is_empty() {
+        eprintln!("FAIL no served sample outcomes captured for the parity check");
+        failures += 1;
+    } else if report.sample_outcomes.len() != expected.outcomes.len() {
+        eprintln!(
+            "FAIL parity: served {} outcomes, in-process produced {}",
+            report.sample_outcomes.len(),
+            expected.outcomes.len()
+        );
+        failures += 1;
+    } else {
+        for (i, (wire, local)) in report
+            .sample_outcomes
+            .iter()
+            .zip(&expected.outcomes)
+            .enumerate()
+        {
+            if wire.matches != local.result || wire.stats != local.stats {
+                eprintln!("FAIL parity: served outcome {i} differs from in-process outcome");
+                failures += 1;
+            }
+        }
+        if failures == 0 {
+            eprintln!(
+                "# parity: {} served outcomes bit-identical to in-process engine",
+                expected.outcomes.len()
+            );
+        }
+    }
+
+    if report.failed > 0 {
+        eprintln!("FAIL {} requests failed outright", report.failed);
+        failures += 1;
+    }
+    if opts.max_p99_ms > 0.0 {
+        let p99_ms = report.latency.p99_ns as f64 / 1e6;
+        if p99_ms > opts.max_p99_ms {
+            eprintln!(
+                "FAIL p99 latency {:.2} ms exceeds the {:.2} ms gate",
+                p99_ms, opts.max_p99_ms
+            );
+            failures += 1;
+        } else {
+            eprintln!(
+                "OK   p99 {:.2} ms within the {:.2} ms gate",
+                p99_ms, opts.max_p99_ms
+            );
+        }
+    }
+    if opts.min_cache_hit_rate > 0.0 {
+        if report.cache_hit_rate < opts.min_cache_hit_rate {
+            eprintln!(
+                "FAIL cache hit rate {:.2} below the {:.2} gate",
+                report.cache_hit_rate, opts.min_cache_hit_rate
+            );
+            failures += 1;
+        } else {
+            eprintln!(
+                "OK   cache hit rate {:.2} meets the {:.2} gate",
+                report.cache_hit_rate, opts.min_cache_hit_rate
+            );
+        }
+    }
+
+    let json = JsonValue::object(vec![
+        ("schema_version", JsonValue::Number(1.0)),
+        ("date", JsonValue::String(today())),
+        ("mode", JsonValue::String("serve".to_string())),
+        ("addr", JsonValue::String(addr.to_string())),
+        ("snapshot", JsonValue::String(snapshot_path.to_string())),
+        ("connections", JsonValue::Number(opts.connections as f64)),
+        ("rounds", JsonValue::Number(opts.rounds as f64)),
+        ("batch", JsonValue::Number(opts.batch as f64)),
+        ("wal_ops_replayed", JsonValue::Number(replayed as f64)),
+        ("load", report.to_json()),
+        ("parity_ok", JsonValue::Bool(failures == 0)),
+    ]);
+    if let Some(out) = &opts.out {
+        if let Err(e) = std::fs::write(out, json.render()) {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {out}");
+    }
+
+    if opts.serve_shutdown {
+        ssr_bench::request_shutdown::<Symbol>(addr);
+        // The listener should be gone within a few beats of the drain.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while ssr_bench::is_listening(addr) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        if ssr_bench::is_listening(addr) {
+            eprintln!("FAIL server at {addr} still listening after shutdown request");
+            failures += 1;
+        } else {
+            eprintln!("# server at {addr} shut down cleanly");
+        }
+    }
+
     if failures > 0 {
         std::process::exit(1);
     }

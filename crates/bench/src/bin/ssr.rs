@@ -4,12 +4,14 @@
 //! ssr build   [--dataset dna|proteins|songs|traj] [--windows N] [--seed S]
 //!             [--lambda L] [--max-shift S] [--backend reference-net|cover-tree|mv-K|linear-scan]
 //!             [--threads N] [--out PATH]
-//! ssr info    PATH
+//! ssr info    PATH [--json]
 //! ssr query   PATH (--plant SEED | --text STRING) [--type 1|2|3] [--epsilon X]
 //!             [--epsilon-max X] [--epsilon-increment X]
 //! ssr append  PATH --text STRING [--label L]
 //! ssr remove  PATH --sequence N
 //! ssr compact PATH
+//! ssr serve   PATH [--addr HOST:PORT] [--workers N] [--replicas N]
+//!             [--queue-depth N] [--cache-shards N] [--cache-capacity N]
 //! ```
 //!
 //! `build` generates one of the four synthetic datasets, runs steps 1–2 of
@@ -27,6 +29,14 @@
 //! log into a fresh snapshot and truncates it. Opening a snapshot always
 //! replays its WAL, so `query` and `info` observe pending mutations too.
 //!
+//! `serve` cold-starts the database the same way and exposes it over a TCP
+//! wire protocol (see `ssr_core::serve`): a worker pool behind a bounded
+//! admission queue, a sharded result cache, and optional read-only replicas
+//! sharing one element arena. It runs in the foreground until a client sends
+//! a wire `Shutdown`. `bench --serve ADDR` is the matching load generator.
+//! `info --json` emits the same facts as `info` machine-readably (plus the
+//! pending-WAL op counts), for scripts and the CI smoke job.
+//!
 //! Each dataset is bound to its paper distance: DNA and PROTEINS use
 //! Levenshtein over symbols, SONGS uses ERP over pitches, TRAJ uses the
 //! discrete Fréchet distance over 2-D points. The snapshot manifest records
@@ -34,10 +44,12 @@
 
 use std::time::Instant;
 
+use ssr_bench::json::JsonValue;
 use ssr_core::live::count_op_kinds;
 use ssr_core::storage::SnapshotManifest;
 use ssr_core::{
-    wal_path_for, FrameworkConfig, IndexBackend, LiveDatabase, QueryOutcome, SubsequenceDatabase,
+    wal_path_for, FrameworkConfig, IndexBackend, LiveDatabase, QueryOutcome, ServeConfig, Server,
+    SubsequenceDatabase,
 };
 use ssr_datagen::{
     generate_dna, generate_proteins, generate_songs, generate_trajectories, plant_query, DnaConfig,
@@ -52,10 +64,11 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  ssr build [--dataset dna|proteins|songs|traj] [--windows N] [--seed S] \
          [--lambda L] [--max-shift S] [--backend reference-net|cover-tree|mv-K|linear-scan] \
-         [--threads N] [--out PATH]\n  ssr info PATH\n  ssr query PATH (--plant SEED | \
+         [--threads N] [--out PATH]\n  ssr info PATH [--json]\n  ssr query PATH (--plant SEED | \
          --text STRING) [--type 1|2|3] [--epsilon X] [--epsilon-max X] [--epsilon-increment X]\n  \
          ssr append PATH --text STRING [--label L]\n  ssr remove PATH --sequence N\n  \
-         ssr compact PATH"
+         ssr compact PATH\n  ssr serve PATH [--addr HOST:PORT] [--workers N] [--replicas N] \
+         [--queue-depth N] [--cache-shards N] [--cache-capacity N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +87,7 @@ fn main() {
         Some("append") => cmd_append(&args[1..]),
         Some("remove") => cmd_remove(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -201,10 +215,60 @@ where
 
 // -- info -------------------------------------------------------------------
 
+/// The WAL sibling's state, shared by the human and `--json` renderings.
+#[derive(Default)]
+struct WalState {
+    present: bool,
+    readable: bool,
+    records: usize,
+    appends: usize,
+    removes: usize,
+    bytes: u64,
+    torn_bytes: u64,
+    stale: bool,
+}
+
+fn wal_state(path: &str) -> WalState {
+    let wal_path = wal_path_for(path);
+    if !wal_path.exists() {
+        return WalState::default();
+    }
+    let mut state = WalState {
+        present: true,
+        ..WalState::default()
+    };
+    let read = match ssr_storage::read_wal_file(&wal_path) {
+        Ok(read) => read,
+        Err(_) => return state,
+    };
+    state.readable = true;
+    state.records = read.records.len();
+    state.bytes = read.valid_len as u64;
+    state.torn_bytes = read.dropped_bytes as u64;
+    if let Ok((appends, removes)) = count_op_kinds(&read.records) {
+        state.appends = appends;
+        state.removes = removes;
+    }
+    state.stale = match std::fs::read(path) {
+        Ok(bytes) => read.binding != Some(WalBinding::of(&bytes)),
+        Err(_) => true,
+    };
+    state
+}
+
 fn cmd_info(args: &[String]) {
-    let [path] = args else { usage() };
+    let (path, json) = match args {
+        [path] => (path, false),
+        [path, flag] if flag == "--json" => (path, true),
+        [flag, path] if flag == "--json" => (path, true),
+        _ => usage(),
+    };
     let snapshot = Snapshot::open(path).unwrap_or_else(|e| fail(e));
     let manifest = SnapshotManifest::read(&snapshot).unwrap_or_else(|e| fail(e));
+    if json {
+        print_info_json(path, &snapshot, &manifest);
+        return;
+    }
     println!("snapshot      {path}");
     println!(
         "format        version {} ({} bytes total)",
@@ -260,6 +324,112 @@ fn cmd_info(args: &[String]) {
             resident as f64 / stats.items.max(1) as f64
         );
     });
+}
+
+/// `info --json`: the manifest, sections, WAL state and (when a typed loader
+/// exists) the index/memory footprint as one machine-readable object —
+/// scripts and the CI serve-smoke job consume this instead of scraping the
+/// human rendering.
+fn print_info_json(path: &str, snapshot: &Snapshot, manifest: &SnapshotManifest) {
+    let num = |v: f64| JsonValue::Number(v);
+    let wal = wal_state(path);
+    let mut members: Vec<(String, JsonValue)> = vec![
+        ("path".to_string(), JsonValue::String(path.to_string())),
+        (
+            "format_version".to_string(),
+            num(ssr_storage::FORMAT_VERSION as f64),
+        ),
+        ("file_bytes".to_string(), num(snapshot.file_len() as f64)),
+        (
+            "element".to_string(),
+            JsonValue::String(manifest.element.clone()),
+        ),
+        (
+            "distance".to_string(),
+            JsonValue::String(manifest.distance.clone()),
+        ),
+        (
+            "config".to_string(),
+            JsonValue::object(vec![
+                ("lambda", num(manifest.config.lambda as f64)),
+                ("max_shift", num(manifest.config.max_shift as f64)),
+                ("epsilon_prime", num(manifest.config.epsilon_prime)),
+                (
+                    "backend",
+                    JsonValue::String(format!("{}", manifest.config.backend)),
+                ),
+                (
+                    "max_parents",
+                    match manifest.config.max_parents {
+                        Some(n) => num(n as f64),
+                        None => JsonValue::Null,
+                    },
+                ),
+            ]),
+        ),
+        ("sequences".to_string(), num(manifest.sequences as f64)),
+        ("windows".to_string(), num(manifest.windows as f64)),
+        (
+            "build_distance_calls".to_string(),
+            num(manifest.build_distance_calls as f64),
+        ),
+        (
+            "sections".to_string(),
+            JsonValue::Array(
+                snapshot
+                    .sections()
+                    .iter()
+                    .map(|entry| {
+                        JsonValue::object(vec![
+                            ("name", JsonValue::String(entry.name.clone())),
+                            ("bytes", num(entry.len as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "wal".to_string(),
+            JsonValue::object(vec![
+                ("present", JsonValue::Bool(wal.present)),
+                ("readable", JsonValue::Bool(wal.readable)),
+                ("pending_records", num(wal.records as f64)),
+                ("appends", num(wal.appends as f64)),
+                ("removes", num(wal.removes as f64)),
+                ("bytes", num(wal.bytes as f64)),
+                ("torn_bytes", num(wal.torn_bytes as f64)),
+                ("stale", JsonValue::Bool(wal.present && wal.stale)),
+            ]),
+        ),
+    ];
+    with_database(path, manifest, |db| {
+        let stats = db.index_space_stats();
+        let resident = db.resident_window_bytes();
+        members.push((
+            "index".to_string(),
+            JsonValue::object(vec![
+                ("items", num(stats.items as f64)),
+                ("entries", num(stats.entries as f64)),
+                ("levels", num(stats.levels as f64)),
+                ("serialized_bytes", num(stats.serialized_bytes as f64)),
+                ("estimated_bytes", num(stats.estimated_bytes as f64)),
+            ]),
+        ));
+        members.push((
+            "memory".to_string(),
+            JsonValue::object(vec![
+                ("arena_bytes", num(stats.arena_bytes as f64)),
+                ("view_bytes", num(db.window_view_bytes() as f64)),
+                ("item_bytes", num(stats.item_bytes as f64)),
+                ("resident_window_bytes", num(resident as f64)),
+                (
+                    "bytes_per_window",
+                    num((resident as f64 / stats.items.max(1) as f64 * 10.0).round() / 10.0),
+                ),
+            ]),
+        ));
+    });
+    println!("{}", JsonValue::Object(members).render());
 }
 
 /// Prints the state of the snapshot's WAL sibling: record counts by kind,
@@ -450,6 +620,94 @@ fn cmd_compact(args: &[String]) {
             live.wal_len_bytes()
         );
     });
+}
+
+// -- serve ------------------------------------------------------------------
+
+struct ServeOptions {
+    addr: String,
+    workers: usize,
+    replicas: usize,
+    queue_depth: usize,
+    cache_shards: usize,
+    cache_capacity: usize,
+}
+
+fn cmd_serve(args: &[String]) {
+    let Some(path) = args.first().cloned() else {
+        usage()
+    };
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 0,
+        replicas: 1,
+        queue_depth: 64,
+        cache_shards: 16,
+        cache_capacity: 256,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => opts.addr = value(&mut i),
+            "--workers" => opts.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--replicas" => opts.replicas = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => opts.queue_depth = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cache-shards" => {
+                opts.cache_shards = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let snapshot = Snapshot::open(&path).unwrap_or_else(|e| fail(e));
+    let manifest = SnapshotManifest::read(&snapshot).unwrap_or_else(|e| fail(e));
+    drop(snapshot);
+    match manifest.element.as_str() {
+        "symbol" => serve_db(
+            load::<Symbol, _>(&path, Levenshtein::new(), &manifest),
+            &opts,
+        ),
+        "pitch" => serve_db(load::<Pitch, _>(&path, Erp::new(), &manifest), &opts),
+        "point2d" => serve_db(
+            load::<Point2D, _>(&path, DiscreteFrechet::new(), &manifest),
+            &opts,
+        ),
+        other => fail(format!("no typed loader for element '{other}'")),
+    }
+}
+
+fn serve_db<E, D>(db: SubsequenceDatabase<E, D>, opts: &ServeOptions)
+where
+    E: Element + StorableElement + Send + Sync + 'static,
+    D: SequenceDistance<E> + Send + Sync + 'static,
+{
+    let config = ServeConfig {
+        workers: opts.workers,
+        replicas: opts.replicas,
+        queue_depth: opts.queue_depth,
+        cache_shards: opts.cache_shards,
+        cache_shard_capacity: opts.cache_capacity,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(db, opts.addr.as_str(), config).unwrap_or_else(|e| fail(e));
+    let stats = server.stats();
+    println!(
+        "serving {} sequences / {} windows on {} ({} workers, {} replicas)",
+        stats.sequences,
+        stats.windows,
+        server.local_addr(),
+        stats.workers,
+        stats.replicas
+    );
+    server.wait();
+    println!("server stopped");
 }
 
 // -- query ------------------------------------------------------------------

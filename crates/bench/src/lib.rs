@@ -14,10 +14,15 @@
 pub mod datasets;
 pub mod harness;
 pub mod json;
+pub mod loadgen;
 pub mod report;
 
 pub use datasets::{protein_windows, song_windows, traj_windows, Scale};
 pub use harness::{
     build_index, distance_histogram, pruning_ratio, IndexChoice, IndexHandle, QuerySet,
+};
+pub use loadgen::{
+    connect_with_retry, is_listening, request_shutdown, run_load, wait_until_ready, LatencySummary,
+    LoadConfig, LoadReport,
 };
 pub use report::{format_row, print_header, print_table, Table};

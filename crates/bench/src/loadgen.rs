@@ -1,0 +1,361 @@
+//! Closed-loop load generator for `ssr serve` — the client side of the CI
+//! `serve-smoke` job.
+//!
+//! Each of `connections` worker threads opens one TCP connection and drives
+//! it closed-loop for `rounds` requests: send a query batch, block for the
+//! response, record the request's wall-clock, repeat. Closed-loop load keeps
+//! the offered concurrency exactly at `connections`, so the measured
+//! latencies are queueing-honest — no coordinated-omission correction
+//! needed.
+//!
+//! Every connection cycles through the same deterministic request set, which
+//! doubles as the parity fixture: the caller compares served outcomes
+//! against an in-process [`ssr_core::QueryEngine`] over the same snapshot.
+//! Latencies are aggregated into exact percentiles (the full sample vector
+//! is kept — smoke-scale request counts make that free) plus a log₂
+//! histogram for the bench JSON artifact.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ssr_core::serve::Client;
+use ssr_core::wire::{Request, Response, ServerStatsSnapshot, WireError};
+use ssr_storage::{StorableElement, StorageError};
+
+use crate::json::JsonValue;
+
+/// Load-generator knobs.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Requests each connection issues.
+    pub rounds: usize,
+    /// How long to keep retrying the initial connect (the server may still
+    /// be loading its snapshot when the load generator starts).
+    pub connect_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            connections: 4,
+            rounds: 25,
+            connect_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Exact latency percentiles plus a log₂ histogram of request wall-clocks.
+#[derive(Clone, Debug, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// 50th/95th/99th percentile and maximum, in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile in nanoseconds.
+    pub p99_ns: u64,
+    /// Slowest request in nanoseconds.
+    pub max_ns: u64,
+    /// `histogram[i]` counts samples in `[2^i, 2^(i+1))` microseconds,
+    /// with bucket 0 also absorbing sub-microsecond samples.
+    pub histogram: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// Summarises a sample set. Percentiles are exact (nearest-rank over the
+    /// sorted samples), not interpolated.
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| -> u64 {
+            let idx = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[idx - 1]
+        };
+        let mut histogram = Vec::new();
+        for &ns in &samples {
+            let us = ns / 1_000;
+            let bucket = if us <= 1 {
+                0
+            } else {
+                (u64::BITS - (us - 1).leading_zeros()) as usize
+            };
+            if histogram.len() <= bucket {
+                histogram.resize(bucket + 1, 0);
+            }
+            histogram[bucket] += 1;
+        }
+        LatencySummary {
+            count: samples.len(),
+            p50_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            p99_ns: rank(0.99),
+            max_ns: *samples.last().unwrap(),
+            histogram,
+        }
+    }
+
+    /// The summary as a JSON object for the bench report.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("count", JsonValue::Number(self.count as f64)),
+            ("p50_ms", JsonValue::Number(self.p50_ns as f64 / 1e6)),
+            ("p95_ms", JsonValue::Number(self.p95_ns as f64 / 1e6)),
+            ("p99_ms", JsonValue::Number(self.p99_ns as f64 / 1e6)),
+            ("max_ms", JsonValue::Number(self.max_ns as f64 / 1e6)),
+            (
+                "histogram_us_log2",
+                JsonValue::Array(
+                    self.histogram
+                        .iter()
+                        .map(|&c| JsonValue::Number(c as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// What one load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests that completed with `Outcomes`.
+    pub completed: u64,
+    /// Requests rejected with [`WireError::Overloaded`].
+    pub overloaded: u64,
+    /// Requests that failed any other way (transport or protocol).
+    pub failed: u64,
+    /// End-to-end wall-clock of the whole run.
+    pub wall_ns: u64,
+    /// Completed requests per second.
+    pub qps: f64,
+    /// Latency summary over completed *and* overloaded requests (a fast
+    /// typed rejection is still a served request).
+    pub latency: LatencySummary,
+    /// The server's counters after the run.
+    pub server_stats: ServerStatsSnapshot,
+    /// Cache hit rate after the run: hits / (hits + misses), 0 when idle.
+    pub cache_hit_rate: f64,
+    /// Served outcomes of the *last* completed round of request index 0, for
+    /// parity checking against an in-process engine.
+    pub sample_outcomes: Vec<ssr_core::WireOutcome>,
+}
+
+impl LoadReport {
+    /// The report as a JSON object for the bench report.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("completed", JsonValue::Number(self.completed as f64)),
+            ("overloaded", JsonValue::Number(self.overloaded as f64)),
+            ("failed", JsonValue::Number(self.failed as f64)),
+            ("wall_ms", JsonValue::Number(self.wall_ns as f64 / 1e6)),
+            ("qps", JsonValue::Number(self.qps)),
+            ("latency", self.latency.to_json()),
+            ("cache_hit_rate", JsonValue::Number(self.cache_hit_rate)),
+            (
+                "server",
+                JsonValue::object(vec![
+                    (
+                        "queries_executed",
+                        JsonValue::Number(self.server_stats.queries_executed as f64),
+                    ),
+                    (
+                        "cache_hits",
+                        JsonValue::Number(self.server_stats.cache_hits as f64),
+                    ),
+                    (
+                        "cache_misses",
+                        JsonValue::Number(self.server_stats.cache_misses as f64),
+                    ),
+                    (
+                        "cache_entries",
+                        JsonValue::Number(self.server_stats.cache_entries as f64),
+                    ),
+                    (
+                        "rejected_overload",
+                        JsonValue::Number(self.server_stats.rejected_overload as f64),
+                    ),
+                    (
+                        "workers",
+                        JsonValue::Number(self.server_stats.workers as f64),
+                    ),
+                    (
+                        "replicas",
+                        JsonValue::Number(self.server_stats.replicas as f64),
+                    ),
+                    (
+                        "arena_bytes",
+                        JsonValue::Number(self.server_stats.arena_bytes as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Connects with retry until `timeout` — the server races the load generator
+/// out of the same CI step and may still be loading its snapshot.
+pub fn connect_with_retry<E: StorableElement>(
+    addr: &str,
+    timeout: Duration,
+) -> Result<Client<E>, StorageError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(err) => {
+                if Instant::now() >= deadline {
+                    return Err(StorageError::Io(err));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Waits until the server answers `Ping` (or the timeout lapses).
+pub fn wait_until_ready<E: StorableElement>(
+    addr: &str,
+    timeout: Duration,
+) -> Result<(), StorageError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match connect_with_retry::<E>(addr, deadline.saturating_duration_since(Instant::now())) {
+            Ok(mut client) => match client.request(&Request::Ping) {
+                Ok(Response::Pong) => return Ok(()),
+                Ok(other) => {
+                    return Err(StorageError::Malformed(format!(
+                        "ping answered with {other:?}"
+                    )))
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(err) => return Err(err),
+            },
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Runs the closed-loop load: `config.connections` threads, each issuing
+/// `config.rounds` requests cycling through `requests`. Returns the merged
+/// measurement; any transport-level failure is counted, not fatal, so an
+/// overloaded server yields a report rather than a crash.
+pub fn run_load<E: StorableElement + Clone + Send + Sync>(
+    config: &LoadConfig,
+    requests: &[Request<E>],
+) -> Result<LoadReport, StorageError> {
+    assert!(!requests.is_empty(), "need at least one request shape");
+    let started = Instant::now();
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let counts: Mutex<(u64, u64, u64)> = Mutex::new((0, 0, 0)); // completed, overloaded, failed
+    let sample_outcomes: Mutex<Vec<ssr_core::WireOutcome>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for conn in 0..config.connections.max(1) {
+            let samples = &samples;
+            let counts = &counts;
+            let sample_outcomes = &sample_outcomes;
+            scope.spawn(move || {
+                let Ok(mut client) = connect_with_retry::<E>(&config.addr, config.connect_timeout)
+                else {
+                    counts.lock().unwrap().2 += config.rounds as u64;
+                    return;
+                };
+                let mut local_samples = Vec::with_capacity(config.rounds);
+                for round in 0..config.rounds {
+                    // Stagger request shapes across connections so every
+                    // shape sees concurrent traffic from round one.
+                    let request = &requests[(conn + round) % requests.len()];
+                    let sent = Instant::now();
+                    match client.request(request) {
+                        Ok(Response::Outcomes(outcomes)) => {
+                            local_samples.push(sent.elapsed().as_nanos() as u64);
+                            counts.lock().unwrap().0 += 1;
+                            if (conn + round) % requests.len() == 0 {
+                                *sample_outcomes.lock().unwrap() = outcomes;
+                            }
+                        }
+                        Ok(Response::Error(WireError::Overloaded)) => {
+                            local_samples.push(sent.elapsed().as_nanos() as u64);
+                            counts.lock().unwrap().1 += 1;
+                        }
+                        Ok(_) | Err(_) => {
+                            counts.lock().unwrap().2 += 1;
+                            // The connection may be dead; reconnect for the
+                            // remaining rounds.
+                            match connect_with_retry::<E>(&config.addr, Duration::from_secs(5)) {
+                                Ok(fresh) => client = fresh,
+                                Err(_) => {
+                                    counts.lock().unwrap().2 += (config.rounds - round - 1) as u64;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                samples.lock().unwrap().extend(local_samples);
+            });
+        }
+    });
+
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let (completed, overloaded, failed) = *counts.lock().unwrap();
+    let latency = LatencySummary::from_samples(samples.into_inner().unwrap());
+
+    // One more connection for the final counter snapshot.
+    let mut client = connect_with_retry::<E>(&config.addr, config.connect_timeout)?;
+    let server_stats = match client.request(&Request::Stats)? {
+        Response::Stats(stats) => stats,
+        other => {
+            return Err(StorageError::Malformed(format!(
+                "stats answered with {other:?}"
+            )))
+        }
+    };
+    let lookups = server_stats.cache_hits + server_stats.cache_misses;
+    let cache_hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        server_stats.cache_hits as f64 / lookups as f64
+    };
+
+    Ok(LoadReport {
+        completed,
+        overloaded,
+        failed,
+        wall_ns,
+        qps: if wall_ns == 0 {
+            0.0
+        } else {
+            completed as f64 * 1e9 / wall_ns as f64
+        },
+        latency,
+        server_stats,
+        cache_hit_rate,
+        sample_outcomes: sample_outcomes.into_inner().unwrap(),
+    })
+}
+
+/// Asks the server to shut down; best-effort (the server may already be
+/// gone, which is the desired end state anyway).
+pub fn request_shutdown<E: StorableElement>(addr: &str) {
+    if let Ok(mut client) = connect_with_retry::<E>(addr, Duration::from_secs(5)) {
+        let _ = client.request(&Request::<E>::Shutdown);
+    }
+}
+
+/// Probes whether anything still listens at `addr` (used by the CI smoke
+/// script to assert the server exited after a wire shutdown).
+pub fn is_listening(addr: &str) -> bool {
+    TcpStream::connect(addr).is_ok()
+}

@@ -30,6 +30,19 @@ pub(crate) enum WindowIndex<E: Element, D: SequenceDistance<E>> {
     LinearScan(LinearScan<WindowId, WindowMetric<E, D>>),
 }
 
+// Manual impl: a derive would demand `D: Clone`, but the metric only holds
+// the distance behind an `Arc`, so cloning never needs to clone `D` itself.
+impl<E: Element, D: SequenceDistance<E>> Clone for WindowIndex<E, D> {
+    fn clone(&self) -> Self {
+        match self {
+            WindowIndex::ReferenceNet(idx) => WindowIndex::ReferenceNet(idx.clone()),
+            WindowIndex::CoverTree(idx) => WindowIndex::CoverTree(idx.clone()),
+            WindowIndex::MvReference(idx) => WindowIndex::MvReference(idx.clone()),
+            WindowIndex::LinearScan(idx) => WindowIndex::LinearScan(idx.clone()),
+        }
+    }
+}
+
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
     /// Range query with a raw query-segment slice probing the id-addressed
     /// items: the counting metric resolves each visited item against the
@@ -81,6 +94,17 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
             WindowIndex::CoverTree(idx) => idx.items(),
             WindowIndex::MvReference(idx) => idx.items(),
             WindowIndex::LinearScan(idx) => idx.items(),
+        }
+    }
+
+    /// Redirects the index's counting metric onto fresh counters (replica
+    /// cloning: each replica accounts on private atomics).
+    fn set_counters(&mut self, counter: CallCounter, cells: ssr_distance::CellCounter) {
+        match self {
+            WindowIndex::ReferenceNet(idx) => idx.metric_mut().set_counters(counter, cells),
+            WindowIndex::CoverTree(idx) => idx.metric_mut().set_counters(counter, cells),
+            WindowIndex::MvReference(idx) => idx.metric_mut().set_counters(counter, cells),
+            WindowIndex::LinearScan(idx) => idx.metric_mut().set_counters(counter, cells),
         }
     }
 
@@ -139,6 +163,7 @@ pub struct SegmentScan {
 /// lower bound; built once per database sequence at build/load time and once
 /// per query at query time, fixing the old wart where `erp_lower_bound`
 /// rescanned both subsequences for every candidate pair.
+#[derive(Clone)]
 pub(crate) struct GapPrefix {
     prefix: Vec<f64>,
     exact: bool,
@@ -298,7 +323,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
             tombstones,
             config: self.config,
             distance: self.distance,
-            dataset: self.dataset,
+            dataset: Arc::new(self.dataset),
             windows,
         })
     }
@@ -336,7 +361,9 @@ pub(crate) fn build_gap_prefixes<E: Element, D: SequenceDistance<E>>(
 pub struct SubsequenceDatabase<E: Element, D: SequenceDistance<E>> {
     pub(crate) config: FrameworkConfig,
     pub(crate) distance: Arc<D>,
-    pub(crate) dataset: SequenceDataset<E>,
+    /// Shared with replica engines ([`Self::clone_replica`]): the labelled
+    /// per-sequence view of the same elements the arena owns.
+    pub(crate) dataset: Arc<SequenceDataset<E>>,
     /// Shared with the index metric: the store (and its arena) is the single
     /// resident copy of every window's elements.
     pub(crate) windows: Arc<WindowStore<E>>,
@@ -432,6 +459,36 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         &self.cell_counter
     }
 
+    /// A read-only replica for concurrent serving: shares the element arena,
+    /// window store, dataset, distance and gap-prefix tables with `self`
+    /// (cheap `Arc` clones — the elements are never copied), duplicates only
+    /// the index's machine-word item handles and navigation structure, and
+    /// gives the replica private query counters so concurrent queries never
+    /// contend on — or cross-attribute to — another replica's atomics.
+    ///
+    /// Replicas answer queries bit-identically to the original. Mutating a
+    /// replica (or the original) via [`Self::append_sequence`] is safe but
+    /// forfeits sharing for the mutated layers (`Arc::make_mut` copies).
+    pub fn clone_replica(&self) -> Self {
+        let counter = CallCounter::new();
+        let cell_counter = ssr_distance::CellCounter::new();
+        let mut index = self.index.clone();
+        index.set_counters(counter.clone(), cell_counter.clone());
+        SubsequenceDatabase {
+            config: self.config.clone(),
+            distance: Arc::clone(&self.distance),
+            dataset: Arc::clone(&self.dataset),
+            windows: Arc::clone(&self.windows),
+            index,
+            counter,
+            cell_counter,
+            build_distance_calls: self.build_distance_calls,
+            build_dp_cells: self.build_dp_cells,
+            gap_prefixes: self.gap_prefixes.clone(),
+            tombstones: self.tombstones.clone(),
+        }
+    }
+
     /// Appends one sequence to the database, maintaining every layer
     /// incrementally: the element arena grows (existing element ranges are
     /// untouched, so every outstanding window view keeps resolving to the
@@ -464,7 +521,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         if let Some(prefixes) = &mut self.gap_prefixes {
             prefixes.push(GapPrefix::build(sequence.elements()));
         }
-        let id = self.dataset.push(sequence);
+        // `make_mut` copies only when replicas hold the dataset — a mutable
+        // database is normally its sole owner and mutates in place.
+        let id = Arc::make_mut(&mut self.dataset).push(sequence);
         debug_assert_eq!(id, arena_id, "dataset and arena assign ids in lockstep");
         self.tombstones.push(false);
         self.build_distance_calls += self.counter.reset();

@@ -35,7 +35,9 @@ pub mod expand;
 pub mod live;
 pub mod parallel;
 pub mod query;
+pub mod serve;
 pub mod storage;
+pub mod wire;
 
 pub use batch::{BatchOutcome, QueryEngine, VerificationMemo};
 pub use brute::{all_similar_pairs, longest_similar_pair, nearest_pair, BruteConstraints};
@@ -46,4 +48,8 @@ pub use expand::{enumerate_pairs, ExpansionLimits};
 pub use live::{load_with_wal, wal_path_for, LiveDatabase, WalOp};
 pub use parallel::{parallel_map, resolve_threads, ShardedMemo};
 pub use query::{QueryOutcome, QueryStats, StageTimings, SubsequenceMatch};
+pub use serve::{Client, ServeConfig, Server};
 pub use storage::SnapshotManifest;
+pub use wire::{
+    QuerySpec, Request, Response, ServerStatsSnapshot, WireError, WireOutcome, WIRE_VERSION,
+};

@@ -116,6 +116,22 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
             .insert(key, value);
     }
 
+    /// Inserts under a per-shard capacity: a full shard is emptied before
+    /// the new entry goes in. The eviction is deliberately coarse — one
+    /// `clear` instead of per-entry bookkeeping — which keeps the hot path
+    /// at a single short critical section and bounds total entries at
+    /// `shards × shard_capacity`. Replacing an existing key never evicts.
+    ///
+    /// Used by the query server's result cache; the batch engine's
+    /// verification memo lives for one batch and never needs a cap.
+    pub fn insert_evicting(&self, key: K, value: V, shard_capacity: usize) {
+        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
+        if shard.len() >= shard_capacity.max(1) && !shard.contains_key(&key) {
+            shard.clear();
+        }
+        shard.insert(key, value);
+    }
+
     /// Total number of entries across all shards.
     pub fn len(&self) -> usize {
         self.shards

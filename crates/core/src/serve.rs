@@ -1,0 +1,581 @@
+//! A concurrent query server over a loaded [`SubsequenceDatabase`].
+//!
+//! Dependency-free serving on `std` TCP: one accept loop, one lightweight
+//! thread per connection, and a fixed pool of query workers behind a bounded
+//! admission queue. Messages travel as [`crate::wire`] payloads inside the
+//! shared [`ssr_storage::frame`] framing.
+//!
+//! The moving parts, and why each exists:
+//!
+//! * **Admission control** — connection threads never execute queries; they
+//!   submit jobs to a bounded queue. A full queue rejects *immediately*
+//!   with [`WireError::Overloaded`] instead of letting latency collapse
+//!   under unbounded buffering: the client learns to back off while the
+//!   server keeps answering `Ping`/`Stats` (which bypass the queue).
+//! * **Result cache** — a mutex-sharded map ([`ShardedMemo`]) keyed by the
+//!   *encoded query bytes* plus the query spec's tag and radius bits.
+//!   Repeated queries (the common case under multi-user traffic) replay the
+//!   originally computed outcome — matches *and* stats — bit-identically,
+//!   flagged `cached` on the wire. Keys hold the full encoded bytes rather
+//!   than a hash, so a collision can at worst waste memory, never serve a
+//!   wrong result. Eviction is coarse (a full shard clears) and bounded by
+//!   `cache_shards × cache_shard_capacity`.
+//! * **Replicas** — each worker queries a [`SubsequenceDatabase::clone_replica`]
+//!   chosen by `worker_id % replicas`. Replicas share the element arena, the
+//!   window store, the dataset and the gap-prefix tables (the bytes that
+//!   dominate residency) and duplicate only the index navigation structure
+//!   plus private query counters, so workers never contend on the shared
+//!   counter atomics.
+//!
+//! Every query is executed by the same [`QueryEngine`] the in-process API
+//! uses, one batch per request, so served results are **bit-identical** to
+//! in-process results — `tests/serve_parity.rs` holds that line.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ssr_distance::SequenceDistance;
+use ssr_sequence::{Element, Sequence};
+use ssr_storage::{read_frame, write_frame, Encode, StorableElement, StorageError, Writer};
+
+use crate::batch::QueryEngine;
+use crate::database::SubsequenceDatabase;
+use crate::parallel::{resolve_threads, ShardedMemo};
+use crate::query::{QueryStats, SubsequenceMatch};
+use crate::wire::{QuerySpec, Request, Response, ServerStatsSnapshot, WireError, WireOutcome};
+
+/// Tuning knobs of [`Server::bind`]. The defaults suit a smoke-scale CI
+/// deployment; production would raise the cache and queue bounds.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Query worker threads; `0` means one per available hardware thread.
+    pub workers: usize,
+    /// Read-only database replicas the workers rotate over (min 1).
+    pub replicas: usize,
+    /// Maximum query jobs waiting for a worker. `0` refuses every job —
+    /// useful to test overload handling deterministically.
+    pub queue_depth: usize,
+    /// Mutex shards of the result cache.
+    pub cache_shards: usize,
+    /// Entries one cache shard holds before it evicts (coarsely, by
+    /// clearing). Total cache bound: `cache_shards × cache_shard_capacity`.
+    pub cache_shard_capacity: usize,
+    /// Per-connection socket read timeout. A connection that stalls
+    /// mid-frame longer than this is dropped — the stream offset can no
+    /// longer be trusted, so there is nothing useful to answer.
+    pub read_timeout: Option<Duration>,
+    /// Largest frame payload accepted before the payload is read.
+    pub max_frame_len: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            replicas: 1,
+            queue_depth: 64,
+            cache_shards: 16,
+            cache_shard_capacity: 256,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_frame_len: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why [`BoundedQueue::try_push`] refused a job.
+enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+/// A minimal bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`. Producers
+/// never block — admission control wants an immediate full/closed verdict —
+/// and consumers block in [`BoundedQueue::pop`] until a job or close
+/// arrives.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push; `Err(Full)` is the admission-control reject.
+    fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item arrives; `None` once closed and drained.
+    fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers get `Closed`, consumers drain then stop.
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// Result-cache key: the query's encoded element bytes plus the spec's tag
+/// and radius bits. Full bytes, not a hash — elements (trajectory floats)
+/// are not hashable in general, and byte keys make collisions impossible.
+type CacheKey = (Vec<u8>, u8, u64, u64);
+
+/// A cached outcome: matches and stats behind one `Arc` so cache hits clone
+/// a pointer, not a result set.
+type CachedOutcome = Arc<(Vec<SubsequenceMatch>, QueryStats)>;
+
+fn cache_key<E: Encode>(elements: &[E], spec: &QuerySpec) -> CacheKey {
+    let mut w = Writer::new();
+    w.put_usize(elements.len());
+    for e in elements {
+        e.encode(&mut w);
+    }
+    let (radius, increment) = spec.radius_bits();
+    (w.into_bytes(), spec.tag(), radius, increment)
+}
+
+/// One admitted unit of work: the uncached queries of one request batch.
+struct QueryJob<E> {
+    spec: QuerySpec,
+    queries: Vec<Sequence<E>>,
+    keys: Vec<CacheKey>,
+    reply: mpsc::Sender<Vec<CachedOutcome>>,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared<E: Element, D: SequenceDistance<E>> {
+    replicas: Vec<SubsequenceDatabase<E, D>>,
+    queue: BoundedQueue<QueryJob<E>>,
+    cache: ShardedMemo<CacheKey, CachedOutcome>,
+    config: ServeConfig,
+    workers: usize,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    queries_executed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected_overload: AtomicU64,
+}
+
+impl<E, D> Shared<E, D>
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    fn stats_snapshot(&self) -> ServerStatsSnapshot {
+        let db = &self.replicas[0];
+        ServerStatsSnapshot {
+            sequences: db.dataset().len(),
+            windows: db.window_count(),
+            arena_bytes: db.windows().arena().resident_bytes(),
+            workers: self.workers,
+            replicas: self.replicas.len(),
+            queries_executed: self.queries_executed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_entries: self.cache.len(),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flips the shutdown flag, closes the queue and nudges the accept loop
+    /// awake with a throwaway self-connection. Idempotent.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // `accept` has no timeout; a self-connect is the portable wake-up.
+        drop(TcpStream::connect(self.local_addr));
+    }
+}
+
+/// A running query server. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] (or send [`Request::Shutdown`] over the wire).
+pub struct Server<E: Element, D: SequenceDistance<E>> {
+    shared: Arc<Shared<E, D>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<E, D> Server<E, D>
+where
+    E: Element + StorableElement + Send + Sync + 'static,
+    D: SequenceDistance<E> + Send + Sync + 'static,
+{
+    /// Binds `addr`, builds `config.replicas` read-only replicas of `db` and
+    /// starts the accept loop plus the worker pool. Returns once the socket
+    /// is listening — [`Server::local_addr`] is immediately connectable.
+    pub fn bind(
+        db: SubsequenceDatabase<E, D>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = resolve_threads(config.workers);
+        let mut replicas = Vec::with_capacity(config.replicas.max(1));
+        replicas.push(db);
+        for _ in 1..config.replicas.max(1) {
+            replicas.push(replicas[0].clone_replica());
+        }
+        let shared = Arc::new(Shared {
+            replicas,
+            queue: BoundedQueue::new(config.queue_depth),
+            cache: ShardedMemo::new(config.cache_shards),
+            workers,
+            config,
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            queries_executed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        for worker_id in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ssr-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&shared, worker_id))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ssr-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
+        Ok(Server { shared, threads })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The server's counter snapshot, as [`Request::Stats`] would report.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.stats_snapshot()
+    }
+
+    /// Stops accepting, drains admitted jobs and joins every server thread.
+    /// Open connections die on their next read (reset or timeout).
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server stops some other way — a wire
+    /// [`Request::Shutdown`], typically. This is `ssr serve`'s foreground
+    /// mode: bind, print the address, then park here.
+    pub fn wait(self) {
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop<E, D>(listener: &TcpListener, shared: &Arc<Shared<E, D>>)
+where
+    E: Element + StorableElement + Send + Sync + 'static,
+    D: SequenceDistance<E> + Send + Sync + 'static,
+{
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        // Connection threads are detached: they exit on client disconnect,
+        // read timeout or queue closure, and hold nothing but the shared
+        // state, so shutdown never needs to join them.
+        let _ = std::thread::Builder::new()
+            .name("ssr-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+/// Per-connection read→dispatch→respond loop. Frame-level damage answers a
+/// typed error and closes (the stream offset is untrustworthy); payload-level
+/// damage answers a typed error and keeps the connection usable.
+fn connection_loop<E, D>(mut stream: TcpStream, shared: &Arc<Shared<E, D>>)
+where
+    E: Element + StorableElement + Send + Sync,
+    D: SequenceDistance<E> + Send + Sync,
+{
+    if stream.set_read_timeout(shared.config.read_timeout).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream, shared.config.max_frame_len) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF between frames: the client hung up.
+            Ok(None) => return,
+            Err(StorageError::Io(_)) => return,
+            Err(err) => {
+                let error = Response::Error(WireError::from_storage(&err));
+                let _ = respond(&mut stream, &error);
+                return;
+            }
+        };
+        let request = match Request::<E>::decode_payload(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                let error = Response::Error(WireError::from_storage(&err));
+                if respond(&mut stream, &error).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(shared.stats_snapshot()),
+            Request::Shutdown => {
+                let _ = respond(&mut stream, &Response::ShuttingDown);
+                shared.begin_shutdown();
+                return;
+            }
+            Request::Query { spec, queries } => answer_query(shared, spec, queries),
+        };
+        if respond(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) -> Result<(), StorageError> {
+    write_frame(stream, &response.encode_payload())?;
+    stream.flush().map_err(StorageError::Io)
+}
+
+/// Splits a request batch into cache hits and misses, admits the misses as
+/// one job and reassembles outcomes in request order.
+fn answer_query<E, D>(shared: &Arc<Shared<E, D>>, spec: QuerySpec, queries: Vec<Vec<E>>) -> Response
+where
+    E: Element + StorableElement + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    let keys: Vec<CacheKey> = queries.iter().map(|q| cache_key(q, &spec)).collect();
+    let mut slots: Vec<Option<CachedOutcome>> = Vec::with_capacity(queries.len());
+    let mut hit_flags: Vec<bool> = Vec::with_capacity(queries.len());
+    let mut miss_indices: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match shared.cache.get(key) {
+            Some(hit) => {
+                slots.push(Some(hit));
+                hit_flags.push(true);
+            }
+            None => {
+                slots.push(None);
+                hit_flags.push(false);
+                miss_indices.push(i);
+            }
+        }
+    }
+    let hits = (queries.len() - miss_indices.len()) as u64;
+    shared.cache_hits.fetch_add(hits, Ordering::Relaxed);
+    shared
+        .cache_misses
+        .fetch_add(miss_indices.len() as u64, Ordering::Relaxed);
+
+    if !miss_indices.is_empty() {
+        let mut job_queries = Vec::with_capacity(miss_indices.len());
+        let mut job_keys = Vec::with_capacity(miss_indices.len());
+        let mut queries = queries;
+        // Drain back-to-front so earlier indices stay valid.
+        for &i in miss_indices.iter().rev() {
+            job_queries.push(Sequence::new(std::mem::take(&mut queries[i])));
+            job_keys.push(keys[i].clone());
+        }
+        job_queries.reverse();
+        job_keys.reverse();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = QueryJob {
+            spec,
+            queries: job_queries,
+            keys: job_keys,
+            reply: reply_tx,
+        };
+        match shared.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full) => {
+                shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                return Response::Error(WireError::Overloaded);
+            }
+            Err(PushError::Closed) => {
+                return Response::Error(WireError::Internal("server is shutting down".into()))
+            }
+        }
+        let fresh = match reply_rx.recv() {
+            Ok(fresh) => fresh,
+            Err(_) => {
+                return Response::Error(WireError::Internal(
+                    "worker pool stopped before the job completed".into(),
+                ))
+            }
+        };
+        debug_assert_eq!(fresh.len(), miss_indices.len());
+        for (slot, outcome) in miss_indices.into_iter().zip(fresh) {
+            slots[slot] = Some(outcome);
+        }
+    }
+
+    let outcomes = slots
+        .into_iter()
+        .zip(hit_flags)
+        .map(|(slot, cached)| {
+            let executed = slot.expect("every slot is filled by a hit or the job reply");
+            WireOutcome {
+                cached,
+                matches: executed.0.clone(),
+                stats: executed.1,
+            }
+        })
+        .collect();
+    Response::Outcomes(outcomes)
+}
+
+/// Executes admitted jobs on this worker's replica until the queue closes.
+fn worker_loop<E, D>(shared: &Arc<Shared<E, D>>, worker_id: usize)
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    let db = &shared.replicas[worker_id % shared.replicas.len()];
+    while let Some(job) = shared.queue.pop() {
+        let engine = QueryEngine::new(db).with_threads(1);
+        let outcomes: Vec<CachedOutcome> = match job.spec {
+            QuerySpec::Type1 { epsilon } => engine
+                .batch_type1(&job.queries, epsilon)
+                .outcomes
+                .into_iter()
+                .map(|o| Arc::new((o.result, o.stats)))
+                .collect(),
+            QuerySpec::Type2 { epsilon } => engine
+                .batch_type2(&job.queries, epsilon)
+                .outcomes
+                .into_iter()
+                .map(|o| Arc::new((o.result.into_iter().collect(), o.stats)))
+                .collect(),
+            QuerySpec::Type3 {
+                epsilon_max,
+                epsilon_increment,
+            } => engine
+                .batch_type3(&job.queries, epsilon_max, epsilon_increment)
+                .outcomes
+                .into_iter()
+                .map(|o| Arc::new((o.result.into_iter().collect(), o.stats)))
+                .collect(),
+        };
+        shared
+            .queries_executed
+            .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+        for (key, outcome) in job.keys.iter().zip(&outcomes) {
+            shared.cache.insert_evicting(
+                key.clone(),
+                Arc::clone(outcome),
+                shared.config.cache_shard_capacity,
+            );
+        }
+        let _ = job.reply.send(outcomes);
+    }
+}
+
+/// A blocking client speaking the wire protocol — the counterpart `bench
+/// --serve` and the parity tests drive.
+pub struct Client<E> {
+    stream: TcpStream,
+    max_frame_len: usize,
+    _marker: PhantomData<E>,
+}
+
+impl<E: StorableElement> Client<E> {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame_len: ServeConfig::default().max_frame_len,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Sends one request and blocks for its response. A closed connection
+    /// surfaces as [`StorageError::Truncated`].
+    pub fn request(&mut self, request: &Request<E>) -> Result<Response, StorageError> {
+        write_frame(&mut self.stream, &request.encode_payload())?;
+        self.stream.flush().map_err(StorageError::Io)?;
+        match read_frame(&mut self.stream, self.max_frame_len)? {
+            Some(payload) => Response::decode_payload(&payload),
+            None => Err(StorageError::Truncated {
+                context: "server closed the connection",
+            }),
+        }
+    }
+
+    /// The underlying stream, for tests that need byte-level control.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -418,7 +418,7 @@ where
         Ok(SubsequenceDatabase {
             config,
             distance,
-            dataset,
+            dataset: std::sync::Arc::new(dataset),
             windows,
             index,
             counter,

@@ -26,6 +26,7 @@ struct Node {
 }
 
 /// A cover tree over items of type `T` under metric `M`.
+#[derive(Clone)]
 pub struct CoverTree<T, M> {
     epsilon_prime: f64,
     metric: M,

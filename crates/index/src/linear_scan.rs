@@ -9,6 +9,7 @@ use crate::traits::{ItemId, RangeIndex, SpaceStats};
 /// every stored item. All pruning ratios in the paper's Figures 8–11 are
 /// expressed relative to this structure, and the correctness property tests of
 /// the other indexes compare against its answers.
+#[derive(Clone)]
 pub struct LinearScan<T, M> {
     metric: M,
     items: Vec<T>,

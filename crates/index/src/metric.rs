@@ -252,6 +252,15 @@ impl<M> CountingMetric<M> {
         self
     }
 
+    /// Redirects future evaluations onto the given counters. A read-only
+    /// replica engine clones its index structure and then calls this so each
+    /// replica accounts on private atomics instead of contending (and mixing
+    /// its tallies) with the engine it was cloned from.
+    pub fn set_counters(&mut self, counter: CallCounter, cells: CellCounter) {
+        self.counter = counter;
+        self.cells = cells;
+    }
+
     /// The shared call counter.
     pub fn counter(&self) -> &CallCounter {
         &self.counter

@@ -27,6 +27,7 @@ use crate::par::fanout_map;
 use crate::traits::{ItemId, RangeIndex, SpaceStats};
 
 /// Reference-based index with Maximum-Variance pivots.
+#[derive(Clone)]
 pub struct MvReferenceIndex<T, M> {
     metric: M,
     num_references: usize,

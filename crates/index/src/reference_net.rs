@@ -80,6 +80,7 @@ struct Node {
 }
 
 /// The Reference Net metric index.
+#[derive(Clone)]
 pub struct ReferenceNet<T, M> {
     config: ReferenceNetConfig,
     metric: M,

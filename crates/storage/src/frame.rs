@@ -1,0 +1,263 @@
+//! Length-prefixed, checksummed byte frames.
+//!
+//! One framing convention is shared by everything in the system that moves
+//! opaque payloads over a byte boundary: the write-ahead log ([`crate::wal`])
+//! frames its records with it on disk, and the query server's wire protocol
+//! (`ssr-core::wire`) frames its requests and responses with it over TCP.
+//!
+//! ```text
+//! +-------------+---------------------+------------------+
+//! | u32 len (LE)| u32 crc32(payload)  | payload (len B)  |
+//! +-------------+---------------------+------------------+
+//! ```
+//!
+//! Payloads must be non-empty: `len == 0` is reserved so that a zero-filled
+//! region (what a crashed filesystem may leave behind a WAL, or a missing
+//! write leaves on a socket) can never parse as an endless run of valid
+//! empty frames — `crc32("") == 0`.
+//!
+//! Decoding is **total**: every input yields a payload or a typed
+//! [`StorageError`], never a panic, and the stream reader
+//! ([`read_frame`]) is bounded by an explicit maximum payload length so a
+//! flipped length byte can never make it wait for gigabytes that will never
+//! arrive.
+
+use std::io::{Read, Write};
+
+use crate::crc32::crc32;
+use crate::error::StorageError;
+
+/// Bytes of the frame header (`u32` length + `u32` CRC-32).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Appends one framed payload to `out`. The payload must be non-empty and at
+/// most `u32::MAX` bytes.
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), StorageError> {
+    check_frame_len(payload)?;
+    out.reserve(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// One framed payload as a fresh byte vector.
+pub fn frame_bytes(payload: &[u8]) -> Result<Vec<u8>, StorageError> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame_into(&mut out, payload)?;
+    Ok(out)
+}
+
+fn check_frame_len(payload: &[u8]) -> Result<(), StorageError> {
+    if payload.is_empty() {
+        return Err(StorageError::Malformed(
+            "frame payloads must be non-empty".into(),
+        ));
+    }
+    if payload.len() > u32::MAX as usize {
+        return Err(StorageError::Malformed(format!(
+            "frame payload of {} bytes exceeds the u32 length limit",
+            payload.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes a buffer holding **exactly one** frame, returning its payload.
+///
+/// Every deviation is a typed error: a buffer shorter than the header or the
+/// declared payload is [`StorageError::Truncated`], a buffer with bytes after
+/// the payload is [`StorageError::TrailingBytes`], a zero length is
+/// [`StorageError::Malformed`] and a checksum failure is
+/// [`StorageError::ChecksumMismatch`].
+pub fn decode_frame(bytes: &[u8]) -> Result<&[u8], StorageError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(StorageError::Truncated {
+            context: "frame header",
+        });
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if len == 0 {
+        return Err(StorageError::Malformed("frame has an empty payload".into()));
+    }
+    let end = FRAME_HEADER_LEN
+        .checked_add(len)
+        .ok_or(StorageError::Malformed("frame length overflows".into()))?;
+    if bytes.len() < end {
+        return Err(StorageError::Truncated {
+            context: "frame payload",
+        });
+    }
+    if bytes.len() > end {
+        return Err(StorageError::TrailingBytes {
+            region: "frame payload".into(),
+        });
+    }
+    let payload = &bytes[FRAME_HEADER_LEN..end];
+    if crc32(payload) != crc {
+        return Err(StorageError::ChecksumMismatch {
+            section: "frame payload".into(),
+        });
+    }
+    Ok(payload)
+}
+
+/// Writes one framed payload to a stream (header + payload, no flush —
+/// callers flush when a message boundary matters, e.g. before awaiting a
+/// response).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), StorageError> {
+    check_frame_len(payload)?;
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one framed payload from a stream.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF before the first header
+/// byte) — the peer hanging up between messages is not an error. Everything
+/// else is total and typed: EOF inside a frame is
+/// [`StorageError::Truncated`], a declared length above `max_payload_len` is
+/// [`StorageError::Malformed`] (refused **before** any payload byte is read,
+/// so a corrupt length can never stall the reader), and a checksum failure
+/// is [`StorageError::ChecksumMismatch`].
+pub fn read_frame(
+    r: &mut impl Read,
+    max_payload_len: usize,
+) -> Result<Option<Vec<u8>>, StorageError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0;
+    while filled < FRAME_HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(StorageError::Truncated {
+                        context: "frame header",
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len == 0 {
+        return Err(StorageError::Malformed("frame has an empty payload".into()));
+    }
+    if len > max_payload_len {
+        return Err(StorageError::Malformed(format!(
+            "frame declares a {len}-byte payload, above the {max_payload_len}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(StorageError::Truncated {
+                    context: "frame payload",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if crc32(&payload) != crc {
+        return Err(StorageError::ChecksumMismatch {
+            section: "frame payload".into(),
+        });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_buffer_and_stream() {
+        let framed = frame_bytes(b"hello frames").unwrap();
+        assert_eq!(decode_frame(&framed).unwrap(), b"hello frames");
+        let mut stream = std::io::Cursor::new(&framed);
+        assert_eq!(
+            read_frame(&mut stream, 1024).unwrap().as_deref(),
+            Some(&b"hello frames"[..])
+        );
+        // Clean EOF after the frame.
+        assert_eq!(read_frame(&mut stream, 1024).unwrap(), None);
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let framed = frame_bytes(b"payload!").unwrap();
+        for cut in 0..framed.len() {
+            let err = decode_frame(&framed[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+            // Stream form: EOF before the first byte is a clean None, EOF
+            // anywhere inside the frame is Truncated.
+            let mut stream = std::io::Cursor::new(&framed[..cut]);
+            match read_frame(&mut stream, 1024) {
+                Ok(None) => assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+                Err(StorageError::Truncated { .. }) => assert!(cut > 0),
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_typed() {
+        let framed = frame_bytes(b"flip me around").unwrap();
+        for pos in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[pos] ^= 1 << bit;
+                let err = decode_frame(&bad).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        StorageError::Truncated { .. }
+                            | StorageError::TrailingBytes { .. }
+                            | StorageError::ChecksumMismatch { .. }
+                            | StorageError::Malformed(_)
+                    ),
+                    "flip bit {bit} at {pos}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_refused_before_reading() {
+        let mut framed = frame_bytes(b"x").unwrap();
+        framed[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut stream = std::io::Cursor::new(&framed);
+        assert!(matches!(
+            read_frame(&mut stream, 1024),
+            Err(StorageError::Malformed(_))
+        ));
+        // The reader stopped at the header: no payload byte was consumed.
+        assert_eq!(stream.position(), FRAME_HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn empty_payloads_are_rejected() {
+        assert!(matches!(frame_bytes(b""), Err(StorageError::Malformed(_))));
+        let bytes = [0u8; FRAME_HEADER_LEN];
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(StorageError::Malformed(_))
+        ));
+    }
+}

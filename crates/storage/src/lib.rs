@@ -6,7 +6,7 @@
 //! rebuilding (minutes of index construction and millions of distance calls
 //! at production scale).
 //!
-//! The crate has four layers and zero dependencies:
+//! The crate has five layers and zero dependencies:
 //!
 //! * [`codec`] — [`Writer`]/[`Reader`] plus the [`Encode`] / [`Decode`] /
 //!   [`DecodeWith`] traits that `ssr-sequence`, `ssr-index` and `ssr-core`
@@ -14,6 +14,10 @@
 //!   loader can check the file matches its generic instantiation before
 //!   decoding payloads.
 //! * [`crc32`](mod@crc32) — the CRC-32 used per section and over the header.
+//! * [`frame`] — the shared `[len][crc][payload]` framing convention: the
+//!   WAL frames its on-disk records with it and the query server's wire
+//!   protocol frames its TCP messages with it, so both inherit one audited
+//!   truncation/corruption story.
 //! * [`snapshot`] — the container format: magic, format version, section
 //!   table, per-section CRC ([`SnapshotBuilder`] to write, [`Snapshot`] to
 //!   read).
@@ -31,12 +35,14 @@
 pub mod codec;
 pub mod crc32;
 pub mod error;
+pub mod frame;
 pub mod snapshot;
 pub mod wal;
 
 pub use codec::{Decode, DecodeWith, Encode, Reader, StorableElement, Writer};
 pub use crc32::crc32;
 pub use error::StorageError;
+pub use frame::{decode_frame, frame_bytes, frame_into, read_frame, write_frame, FRAME_HEADER_LEN};
 pub use snapshot::{write_atomic, SectionEntry, Snapshot, SnapshotBuilder, FORMAT_VERSION, MAGIC};
 pub use wal::{
     decode_wal, read_wal_file, WalBinding, WalRead, WalWriter, WAL_HEADER_LEN, WAL_MAGIC,

@@ -287,21 +287,7 @@ impl WalWriter {
     /// Appends one record (framed, checksummed, synced). The payload must be
     /// non-empty — empty frames are reserved for torn-tail detection.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
-        if payload.is_empty() {
-            return Err(StorageError::Malformed(
-                "wal payloads must be non-empty".into(),
-            ));
-        }
-        if payload.len() > u32::MAX as usize {
-            return Err(StorageError::Malformed(format!(
-                "wal payload of {} bytes exceeds the u32 frame limit",
-                payload.len()
-            )));
-        }
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
+        let frame = crate::frame::frame_bytes(payload)?;
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
         self.len += frame.len() as u64;
@@ -355,9 +341,7 @@ mod tests {
     fn framed(records: &[&[u8]]) -> Vec<u8> {
         let mut bytes = header_for(BINDING).to_vec();
         for payload in records {
-            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            bytes.extend_from_slice(&crc32(payload).to_le_bytes());
-            bytes.extend_from_slice(payload);
+            crate::frame::frame_into(&mut bytes, payload).unwrap();
         }
         bytes
     }
