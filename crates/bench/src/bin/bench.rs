@@ -108,6 +108,12 @@ struct Options {
     /// be at least this factor smaller than the owned Vec-of-Vec layout the
     /// arena replaced (0 disables the gate; the ratio is always reported).
     min_bytes_reduction: f64,
+    /// Gate: telemetry wall-clock overhead — the fractional slowdown of a
+    /// sequential batch with recording enabled vs the same batch with the
+    /// `ssr_obs` kill switch thrown (0 disables the gate and the extra
+    /// passes). Both sides take the min of 5 runs; the stats must be
+    /// bit-identical either way.
+    max_obs_overhead: f64,
 }
 
 fn usage() -> ! {
@@ -115,7 +121,7 @@ fn usage() -> ! {
         "usage: bench [--scale smoke|small|medium] [--threads N] [--queries N] \
          [--out PATH] [--baseline PATH] [--min-speedup X] [--snapshot PATH] \
          [--min-cold-start-speedup X] [--no-pruning] [--min-dp-pruning-ratio X] \
-         [--min-bytes-reduction X]\n       \
+         [--min-bytes-reduction X] [--max-obs-overhead X]\n       \
          bench --serve ADDR --snapshot PATH [--connections N] [--batch N] [--rounds N] \
          [--max-p99-ms X] [--min-cache-hit-rate X] [--serve-shutdown] [--out PATH]"
     );
@@ -137,6 +143,7 @@ fn parse_options() -> Options {
         no_pruning: false,
         min_dp_pruning_ratio: 0.0,
         min_bytes_reduction: 0.0,
+        max_obs_overhead: 0.0,
         serve: None,
         connections: 4,
         batch: 4,
@@ -185,6 +192,9 @@ fn parse_options() -> Options {
             }
             "--min-bytes-reduction" => {
                 opts.min_bytes_reduction = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--max-obs-overhead" => {
+                opts.max_obs_overhead = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
             "--serve" => opts.serve = Some(value(&mut i)),
             "--connections" => {
@@ -400,6 +410,66 @@ fn main() {
             ablation_failures += 1;
         }
         (full_cells, ratio)
+    });
+
+    // Telemetry-overhead measurement: the identical sequential batch with
+    // the ssr-obs kill switch thrown vs recording enabled. min-of-5 on both
+    // sides absorbs scheduler noise; the outcomes (results AND stats) must
+    // be bit-identical either way — telemetry is observation only.
+    let mut obs_failures = 0usize;
+    let obs_overhead = (opts.max_obs_overhead > 0.0).then(|| {
+        let timed_run = || {
+            let started = Instant::now();
+            let batch = QueryEngine::new(&db).batch_type2(&queries, epsilon);
+            (started.elapsed().as_nanos() as u64, batch)
+        };
+        let measure = |enabled: bool| {
+            ssr_obs::set_enabled(enabled);
+            let mut best_ns = u64::MAX;
+            let mut last = None;
+            for _ in 0..5 {
+                let (ns, batch) = timed_run();
+                best_ns = best_ns.min(ns);
+                last = Some(batch);
+            }
+            (best_ns, last.expect("five runs happened"))
+        };
+        let (disabled_ns, disabled_batch) = measure(false);
+        let (enabled_ns, enabled_batch) = measure(true);
+        // Leave telemetry on for the rest of the run, whatever happens.
+        ssr_obs::set_enabled(true);
+        if disabled_batch.outcomes != enabled_batch.outcomes
+            || disabled_batch.outcomes != sequential.outcomes
+        {
+            eprintln!("FAIL telemetry toggling changed batch outcomes or stats");
+            obs_failures += 1;
+        }
+        let overhead = enabled_ns as f64 / disabled_ns.max(1) as f64 - 1.0;
+        eprintln!(
+            "# telemetry overhead: enabled {:.1} ms vs disabled {:.1} ms — {:+.2}% \
+             (gate {:.2}%)",
+            enabled_ns as f64 / 1e6,
+            disabled_ns as f64 / 1e6,
+            overhead * 100.0,
+            opts.max_obs_overhead * 100.0
+        );
+        if overhead > opts.max_obs_overhead {
+            eprintln!(
+                "FAIL telemetry overhead {:.2}% exceeds the {:.2}% gate",
+                overhead * 100.0,
+                opts.max_obs_overhead * 100.0
+            );
+            obs_failures += 1;
+        }
+        JsonValue::object(vec![
+            ("disabled_wall_ns", JsonValue::Number(disabled_ns as f64)),
+            ("enabled_wall_ns", JsonValue::Number(enabled_ns as f64)),
+            (
+                "overhead_fraction",
+                JsonValue::Number((overhead * 10_000.0).round() / 10_000.0),
+            ),
+            ("gate", JsonValue::Number(opts.max_obs_overhead)),
+        ])
     });
 
     // Cold-start measurement: save → load → query parity → speedup gate.
@@ -639,6 +709,13 @@ fn main() {
         }
         (report, _) => report,
     };
+    let report = match (report, obs_overhead) {
+        (JsonValue::Object(mut members), Some(obs)) => {
+            members.push(("obs_overhead".to_string(), obs));
+            JsonValue::Object(members)
+        }
+        (report, _) => report,
+    };
 
     let out_path = opts
         .out
@@ -650,7 +727,8 @@ fn main() {
     });
     eprintln!("# wrote {out_path}");
 
-    let mut failures = parity_failures + snapshot_failures + ablation_failures + bytes_failures;
+    let mut failures =
+        parity_failures + snapshot_failures + ablation_failures + bytes_failures + obs_failures;
     if let Some(baseline_path) = &opts.baseline {
         failures += check_baseline(baseline_path, &report);
     }
@@ -844,6 +922,106 @@ fn serve_mode(opts: &Options) {
         }
     }
 
+    // Telemetry cross-check: scrape the Metrics endpoint and hold the
+    // server's own counters against what the load generator measured from
+    // the outside.
+    let mut server_metrics = JsonValue::Null;
+    match scrape_metrics(addr) {
+        Err(e) => {
+            eprintln!("FAIL scraping the Metrics endpoint at {addr}: {e}");
+            failures += 1;
+        }
+        Ok(text) => match ssr_bench::promcheck::parse(&text) {
+            Err(e) => {
+                eprintln!("FAIL exposition from {addr} does not validate: {e}");
+                failures += 1;
+            }
+            Ok(exposition) => {
+                // Every completed request carried `batch` queries and every
+                // overloaded one was rejected before execution, so the
+                // server's answered-query counter must equal the load
+                // generator's completed-requests tally exactly — a drift
+                // means a request was double-counted or silently dropped.
+                let expected_answered = (report.completed * opts.batch.max(1) as u64) as f64;
+                let answered = exposition.scalar("ssr_queries_answered_total");
+                if answered != Some(expected_answered) {
+                    eprintln!(
+                        "FAIL scraped ssr_queries_answered_total {answered:?} != \
+                         completed x batch = {expected_answered}"
+                    );
+                    failures += 1;
+                } else {
+                    eprintln!(
+                        "# scrape: exposition valid, {expected_answered} answered queries \
+                         match the load generator's count"
+                    );
+                }
+                // Server-side p99 (wall clock inside the server, admission
+                // queue included) can never exceed the client-observed p99,
+                // which additionally pays the wire round trip. The scraped
+                // value is a bucket lower edge, so the comparison is safe
+                // against bucketing error in the server's favor only.
+                let client_p99_us = report.latency.p99_ns / 1_000;
+                let server_p99_lower_us = exposition
+                    .histogram_snapshot("ssr_request_duration_us")
+                    .and_then(|snapshot| snapshot.percentile_lower_edge(0.99));
+                match server_p99_lower_us {
+                    Some(server_us) if server_us > client_p99_us => {
+                        eprintln!(
+                            "FAIL server-side p99 >= {server_us} us exceeds the \
+                             client-side p99 of {client_p99_us} us"
+                        );
+                        failures += 1;
+                    }
+                    Some(server_us) => {
+                        eprintln!(
+                            "# latency cross-check: server-side p99 in ({server_us}, \
+                             {}] us, client-side p99 {client_p99_us} us",
+                            server_us.saturating_mul(2)
+                        );
+                    }
+                    None => {
+                        eprintln!(
+                            "FAIL exposition has no populated ssr_request_duration_us \
+                             histogram"
+                        );
+                        failures += 1;
+                    }
+                }
+                let scraped = |name: &str| {
+                    exposition
+                        .scalar(name)
+                        .map(JsonValue::Number)
+                        .unwrap_or(JsonValue::Null)
+                };
+                server_metrics = JsonValue::object(vec![
+                    ("queries_answered", scraped("ssr_queries_answered_total")),
+                    ("queries_executed", scraped("ssr_queries_executed_total")),
+                    ("cache_hits", scraped("ssr_cache_hits_total")),
+                    ("cache_misses", scraped("ssr_cache_misses_total")),
+                    (
+                        "overload_rejections",
+                        scraped("ssr_overload_rejections_total"),
+                    ),
+                    ("queue_depth", scraped("ssr_queue_depth")),
+                    ("uptime_ms", scraped("ssr_uptime_ms")),
+                    ("cache_bytes_estimate", scraped("ssr_cache_bytes_estimate")),
+                    (
+                        "request_p99_lower_us",
+                        server_p99_lower_us
+                            .map(|us| JsonValue::Number(us as f64))
+                            .unwrap_or(JsonValue::Null),
+                    ),
+                    ("client_p99_us", JsonValue::Number(client_p99_us as f64)),
+                    (
+                        "cache_shard_evictions",
+                        JsonValue::Number(exposition.sum("ssr_cache_shard_evictions_total")),
+                    ),
+                ]);
+            }
+        },
+    }
+
     let json = JsonValue::object(vec![
         ("schema_version", JsonValue::Number(1.0)),
         ("date", JsonValue::String(today())),
@@ -855,6 +1033,7 @@ fn serve_mode(opts: &Options) {
         ("batch", JsonValue::Number(opts.batch as f64)),
         ("wal_ops_replayed", JsonValue::Number(replayed as f64)),
         ("load", report.to_json()),
+        ("server_metrics", server_metrics),
         ("parity_ok", JsonValue::Bool(failures == 0)),
     ]);
     if let Some(out) = &opts.out {
@@ -882,6 +1061,17 @@ fn serve_mode(opts: &Options) {
 
     if failures > 0 {
         std::process::exit(1);
+    }
+}
+
+/// Fetches the server's Prometheus exposition over the wire.
+fn scrape_metrics(addr: &str) -> Result<String, String> {
+    let mut client = ssr_bench::connect_with_retry::<Symbol>(addr, Duration::from_secs(10))
+        .map_err(|e| e.to_string())?;
+    match client.request(&ssr_core::Request::Metrics) {
+        Ok(ssr_core::Response::Metrics(text)) => Ok(text),
+        Ok(other) => Err(format!("metrics answered with {other:?}")),
+        Err(e) => Err(e.to_string()),
     }
 }
 

@@ -12,6 +12,8 @@
 //! ssr compact PATH
 //! ssr serve   PATH [--addr HOST:PORT] [--workers N] [--replicas N]
 //!             [--queue-depth N] [--cache-shards N] [--cache-capacity N]
+//!             [--slow-query-ms N]
+//! ssr stats   ADDR [--check] [--json]
 //! ```
 //!
 //! `build` generates one of the four synthetic datasets, runs steps 1–2 of
@@ -36,6 +38,15 @@
 //! a wire `Shutdown`. `bench --serve ADDR` is the matching load generator.
 //! `info --json` emits the same facts as `info` machine-readably (plus the
 //! pending-WAL op counts), for scripts and the CI smoke job.
+//!
+//! `stats` scrapes a *running* server's telemetry over the wire: by default
+//! it prints the raw Prometheus text exposition (pipe it into any scraper);
+//! `--check` additionally validates the exposition and the presence of the
+//! core metric families, exiting nonzero otherwise (the CI serve-smoke job
+//! runs this mid-load); `--json` prints the wire Stats snapshot — uptime,
+//! cache occupancy and byte estimate included — as one JSON object.
+//! `serve --slow-query-ms N` dumps a span tree plus the per-query
+//! statistics to stderr for every query batch slower than `N` milliseconds.
 //!
 //! Each dataset is bound to its paper distance: DNA and PROTEINS use
 //! Levenshtein over symbols, SONGS uses ERP over pitches, TRAJ uses the
@@ -68,7 +79,8 @@ fn usage() -> ! {
          --text STRING) [--type 1|2|3] [--epsilon X] [--epsilon-max X] [--epsilon-increment X]\n  \
          ssr append PATH --text STRING [--label L]\n  ssr remove PATH --sequence N\n  \
          ssr compact PATH\n  ssr serve PATH [--addr HOST:PORT] [--workers N] [--replicas N] \
-         [--queue-depth N] [--cache-shards N] [--cache-capacity N]"
+         [--queue-depth N] [--cache-shards N] [--cache-capacity N] [--slow-query-ms N]\n  \
+         ssr stats ADDR [--check] [--json]"
     );
     std::process::exit(2);
 }
@@ -88,6 +100,7 @@ fn main() {
         Some("remove") => cmd_remove(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => usage(),
     }
 }
@@ -373,6 +386,13 @@ fn print_info_json(path: &str, snapshot: &Snapshot, manifest: &SnapshotManifest)
             "build_distance_calls".to_string(),
             num(manifest.build_distance_calls as f64),
         ),
+        // Server-runtime fields, present so `info --json` and
+        // `stats --json` share one schema; a snapshot on disk has no
+        // uptime or result cache, so they are null here and populated by
+        // `ssr stats ADDR --json` against a running server.
+        ("uptime_ms".to_string(), JsonValue::Null),
+        ("cache_entries".to_string(), JsonValue::Null),
+        ("cache_bytes_estimate".to_string(), JsonValue::Null),
         (
             "sections".to_string(),
             JsonValue::Array(
@@ -631,6 +651,7 @@ struct ServeOptions {
     queue_depth: usize,
     cache_shards: usize,
     cache_capacity: usize,
+    slow_query_ms: Option<u64>,
 }
 
 fn cmd_serve(args: &[String]) {
@@ -644,6 +665,7 @@ fn cmd_serve(args: &[String]) {
         queue_depth: 64,
         cache_shards: 16,
         cache_capacity: 256,
+        slow_query_ms: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -661,6 +683,9 @@ fn cmd_serve(args: &[String]) {
             }
             "--cache-capacity" => {
                 opts.cache_capacity = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--slow-query-ms" => {
+                opts.slow_query_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             _ => usage(),
         }
@@ -694,6 +719,7 @@ where
         queue_depth: opts.queue_depth,
         cache_shards: opts.cache_shards,
         cache_shard_capacity: opts.cache_capacity,
+        slow_query_ms: opts.slow_query_ms,
         ..ServeConfig::default()
     };
     let server = Server::bind(db, opts.addr.as_str(), config).unwrap_or_else(|e| fail(e));
@@ -708,6 +734,100 @@ where
     );
     server.wait();
     println!("server stopped");
+}
+
+// -- stats ------------------------------------------------------------------
+
+/// Metric families `stats --check` requires of a healthy server — the
+/// observability contract the CI serve-smoke job enforces mid-load.
+const REQUIRED_FAMILIES: [&str; 7] = [
+    "ssr_request_duration_us",
+    "ssr_cache_hits_total",
+    "ssr_cache_misses_total",
+    "ssr_queue_depth",
+    "ssr_overload_rejections_total",
+    "ssr_replica_dp_cells_total",
+    "ssr_wal_pending_ops",
+];
+
+fn cmd_stats(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut check = false;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            other if addr.is_none() && !other.starts_with("--") => addr = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    // Stats and Metrics carry no element payload, so the client's element
+    // type parameter is immaterial; Symbol stands in.
+    let mut client =
+        ssr_bench::connect_with_retry::<Symbol>(&addr, std::time::Duration::from_secs(10))
+            .unwrap_or_else(|e| fail(format!("connecting to {addr}: {e}")));
+    if check || !json {
+        let text = match client.request(&ssr_core::Request::Metrics) {
+            Ok(ssr_core::Response::Metrics(text)) => text,
+            Ok(other) => fail(format!("metrics answered with {other:?}")),
+            Err(e) => fail(format!("scraping {addr}: {e}")),
+        };
+        if check {
+            let doc = ssr_bench::promcheck::parse(&text)
+                .unwrap_or_else(|e| fail(format!("invalid exposition from {addr}: {e}")));
+            let missing: Vec<&str> = REQUIRED_FAMILIES
+                .iter()
+                .copied()
+                .filter(|family| !doc.families.contains_key(*family))
+                .collect();
+            if !missing.is_empty() {
+                fail(format!(
+                    "exposition from {addr} is missing required families: {}",
+                    missing.join(", ")
+                ));
+            }
+            eprintln!(
+                "# exposition valid: {} families, {} samples, all {} required families present",
+                doc.families.len(),
+                doc.samples.len(),
+                REQUIRED_FAMILIES.len()
+            );
+        }
+        if !json {
+            print!("{text}");
+            return;
+        }
+    }
+    let stats = match client.request(&ssr_core::Request::Stats) {
+        Ok(ssr_core::Response::Stats(stats)) => stats,
+        Ok(other) => fail(format!("stats answered with {other:?}")),
+        Err(e) => fail(format!("fetching stats from {addr}: {e}")),
+    };
+    let num = |v: f64| JsonValue::Number(v);
+    println!(
+        "{}",
+        JsonValue::object(vec![
+            ("addr", JsonValue::String(addr)),
+            ("uptime_ms", num(stats.uptime_ms as f64)),
+            ("sequences", num(stats.sequences as f64)),
+            ("windows", num(stats.windows as f64)),
+            ("workers", num(stats.workers as f64)),
+            ("replicas", num(stats.replicas as f64)),
+            ("arena_bytes", num(stats.arena_bytes as f64)),
+            ("queries_executed", num(stats.queries_executed as f64)),
+            ("cache_hits", num(stats.cache_hits as f64)),
+            ("cache_misses", num(stats.cache_misses as f64)),
+            ("cache_entries", num(stats.cache_entries as f64)),
+            (
+                "cache_bytes_estimate",
+                num(stats.cache_bytes_estimate as f64)
+            ),
+            ("rejected_overload", num(stats.rejected_overload as f64)),
+        ])
+        .render()
+    );
 }
 
 // -- query ------------------------------------------------------------------

@@ -15,6 +15,7 @@ pub mod datasets;
 pub mod harness;
 pub mod json;
 pub mod loadgen;
+pub mod promcheck;
 pub mod report;
 
 pub use datasets::{protein_windows, song_windows, traj_windows, Scale};

@@ -80,18 +80,12 @@ impl LatencySummary {
             let idx = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
             samples[idx - 1]
         };
-        let mut histogram = Vec::new();
+        // The shared ssr-obs histogram is the one source of truth for log2
+        // bucketing — the server's request-duration histogram bins the same
+        // way, so client and server distributions are directly comparable.
+        let histogram = ssr_obs::Histogram::standalone();
         for &ns in &samples {
-            let us = ns / 1_000;
-            let bucket = if us <= 1 {
-                0
-            } else {
-                (u64::BITS - (us - 1).leading_zeros()) as usize
-            };
-            if histogram.len() <= bucket {
-                histogram.resize(bucket + 1, 0);
-            }
-            histogram[bucket] += 1;
+            histogram.observe(ns / 1_000);
         }
         LatencySummary {
             count: samples.len(),
@@ -99,7 +93,7 @@ impl LatencySummary {
             p95_ns: rank(0.95),
             p99_ns: rank(0.99),
             max_ns: *samples.last().unwrap(),
-            histogram,
+            histogram: histogram.snapshot().trimmed_counts(),
         }
     }
 
@@ -358,4 +352,63 @@ pub fn request_shutdown<E: StorableElement>(addr: &str) {
 /// script to assert the server exited after a wire shutdown).
 pub fn is_listening(addr: &str) -> bool {
     TcpStream::connect(addr).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The inline bucketing the load generator used before the histogram
+    /// moved into `ssr-obs`, kept verbatim as the reference implementation.
+    fn legacy_bucket(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            (u64::BITS - (us - 1).leading_zeros()) as usize
+        }
+    }
+
+    #[test]
+    fn shared_histogram_matches_legacy_bucketing() {
+        // Exhaustive around every power-of-two edge plus the extremes: the
+        // shared ssr-obs bucketing must be bit-identical to the formula the
+        // loadgen previously inlined, or historical bench JSON artifacts
+        // stop being comparable.
+        let mut values = vec![0u64, 1, 2, 3, u64::MAX - 1, u64::MAX];
+        for shift in 1..64u32 {
+            let edge = 1u64 << shift;
+            values.extend([edge - 1, edge, edge.saturating_add(1)]);
+        }
+        for v in values {
+            assert_eq!(
+                ssr_obs::log2_bucket(v),
+                legacy_bucket(v),
+                "bucket mismatch at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_samples_bins_like_the_legacy_histogram() {
+        let samples: Vec<u64> = vec![
+            500,        // sub-microsecond -> bucket 0
+            1_000,      // 1us -> bucket 0
+            2_000,      // 2us -> bucket 1
+            3_000,      // 3us -> bucket 2
+            1_024_000,  // 1024us -> bucket 10
+            1_025_000,  // 1025us -> bucket 11
+            50_000_000, // 50ms
+        ];
+        let summary = LatencySummary::from_samples(samples.clone());
+        let mut legacy = Vec::new();
+        for &ns in &samples {
+            let bucket = legacy_bucket(ns / 1_000);
+            if legacy.len() <= bucket {
+                legacy.resize(bucket + 1, 0u64);
+            }
+            legacy[bucket] += 1;
+        }
+        assert_eq!(summary.histogram, legacy);
+        assert_eq!(summary.count, samples.len());
+    }
 }

@@ -146,6 +146,7 @@ pub struct QueryEngine<'db, E: Element, D: SequenceDistance<E>> {
     db: &'db SubsequenceDatabase<E, D>,
     threads: usize,
     memo_shards: usize,
+    slow_query_ns: Option<u64>,
 }
 
 impl<'db, E: Element + Send + Sync, D: SequenceDistance<E>> QueryEngine<'db, E, D> {
@@ -155,6 +156,7 @@ impl<'db, E: Element + Send + Sync, D: SequenceDistance<E>> QueryEngine<'db, E, 
             db,
             threads: 1,
             memo_shards: 16,
+            slow_query_ns: None,
         }
     }
 
@@ -169,6 +171,17 @@ impl<'db, E: Element + Send + Sync, D: SequenceDistance<E>> QueryEngine<'db, E, 
     /// Sets the number of mutex shards of the verification memo.
     pub fn with_memo_shards(mut self, shards: usize) -> Self {
         self.memo_shards = shards.max(1);
+        self
+    }
+
+    /// Enables the slow-query log: every executed query is span-traced, its
+    /// spans flushed into the global [`ssr_obs::trace_ring`], and a query
+    /// slower than `threshold_ms` dumps its span tree and statistics to
+    /// stderr. Tracing records deterministic trace ids (the query's slot in
+    /// its batch) and never changes results or counters — only wall-clock
+    /// observations ride along. `None` (the default) skips all of it.
+    pub fn with_slow_query_log(mut self, threshold_ms: Option<u64>) -> Self {
+        self.slow_query_ns = threshold_ms.map(|ms| ms.saturating_mul(1_000_000));
         self
     }
 
@@ -257,13 +270,32 @@ impl<'db, E: Element + Send + Sync, D: SequenceDistance<E>> QueryEngine<'db, E, 
         }
 
         let memo = VerificationMemo::new(self.memo_shards);
+        let slow_query_ns = self.slow_query_ns;
         let executed = parallel_map(threads, &unique, |slot, &query_index| {
             let mut ctx = if use_memo {
                 ExecCtx::with_memo(&memo, slot)
             } else {
                 ExecCtx::detached()
             };
+            if slow_query_ns.is_some() {
+                // Deterministic trace id: the query's dedup slot.
+                ctx = ctx.with_trace(slot as u64);
+            }
+            let query_started = Instant::now();
             let outcome = run_one(&queries[query_index], &mut ctx);
+            if let (Some(threshold), Some(trace)) = (slow_query_ns, ctx.trace.as_ref()) {
+                trace.flush_to(ssr_obs::trace_ring());
+                let elapsed_ns = query_started.elapsed().as_nanos() as u64;
+                if elapsed_ns >= threshold {
+                    eprintln!(
+                        "[ssr] slow query #{slot} ({:.3}ms >= {:.3}ms): {:?}\n{}",
+                        elapsed_ns as f64 / 1e6,
+                        threshold as f64 / 1e6,
+                        outcome.stats,
+                        trace.render_tree(),
+                    );
+                }
+            }
             (outcome, ctx.timings)
         });
 

@@ -77,6 +77,17 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> WindowIndex<E, D> {
         }
     }
 
+    /// Stable backend label for telemetry (the `backend` label of the
+    /// `ssr_index_probe_depth` histogram).
+    pub(crate) fn backend_name(&self) -> &'static str {
+        match self {
+            WindowIndex::ReferenceNet(idx) => idx.backend_name(),
+            WindowIndex::CoverTree(idx) => idx.backend_name(),
+            WindowIndex::MvReference(idx) => idx.backend_name(),
+            WindowIndex::LinearScan(idx) => idx.backend_name(),
+        }
+    }
+
     pub(crate) fn len(&self) -> usize {
         match self {
             WindowIndex::ReferenceNet(idx) => idx.len(),
@@ -313,7 +324,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> DatabaseBuilder<E, D> {
         let build_dp_cells = cell_counter.reset();
         let gap_prefixes = build_gap_prefixes(self.distance.as_ref(), windows.arena());
         let tombstones = vec![false; self.dataset.len()];
+        let probe_depth = probe_depth_histogram(index.backend_name());
         Ok(SubsequenceDatabase {
+            probe_depth,
             index,
             counter,
             cell_counter,
@@ -382,6 +395,21 @@ pub struct SubsequenceDatabase<E: Element, D: SequenceDistance<E>> {
     /// matches from dead sequences before verification. [`crate::storage`]
     /// persists the set and a compaction folds it away by rebuilding.
     pub(crate) tombstones: Vec<bool>,
+    /// Global telemetry histogram of distance evaluations per index probe,
+    /// labelled by backend. A handle into [`ssr_obs::global`], resolved once
+    /// at build/load time so the query path never touches the registry lock.
+    pub(crate) probe_depth: ssr_obs::Histogram,
+}
+
+/// Resolves the shared probe-depth histogram for `backend` from the global
+/// registry (registration is idempotent, so every database and replica of
+/// the same backend feeds the same series).
+pub(crate) fn probe_depth_histogram(backend: &'static str) -> ssr_obs::Histogram {
+    ssr_obs::global().histogram_with(
+        "ssr_index_probe_depth",
+        "Distance evaluations spent inside the index per range query.",
+        Some(("backend", backend.to_string())),
+    )
 }
 
 impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D> {
@@ -486,6 +514,7 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             build_dp_cells: self.build_dp_cells,
             gap_prefixes: self.gap_prefixes.clone(),
             tombstones: self.tombstones.clone(),
+            probe_depth: self.probe_depth.clone(),
         }
     }
 
@@ -588,14 +617,20 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         let spec = self.config.segment_spec();
         let segment_started = Instant::now();
         let segments = ssr_sequence::extract_segments(query, spec);
-        ctx.timings.segment_ns += segment_started.elapsed().as_nanos() as u64;
+        let segment_ns = segment_started.elapsed().as_nanos() as u64;
+        ctx.timings.segment_ns += segment_ns;
+        ctx.span("segment", segment_ns);
         let filter_started = Instant::now();
         let before = CallCounter::thread_total();
         let cells_before = ssr_distance::dp_cells_thread_total();
         let prunes_before = ssr_distance::lower_bound_prunes_thread_total();
         let mut matches = Vec::new();
         for segment in &segments {
-            for id in self.index.range_query(&segment.data, epsilon) {
+            let probe_before = CallCounter::thread_total();
+            let ids = self.index.range_query(&segment.data, epsilon);
+            self.probe_depth
+                .observe(CallCounter::thread_total() - probe_before);
+            for id in ids {
                 let window_id = WindowId(id.0);
                 let window = self
                     .windows
@@ -635,7 +670,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         let distance_calls = CallCounter::thread_total() - before;
         let dp_cells = ssr_distance::dp_cells_thread_total() - cells_before;
         let pruned_by_lower_bound = ssr_distance::lower_bound_prunes_thread_total() - prunes_before;
-        ctx.timings.filter_ns += filter_started.elapsed().as_nanos() as u64;
+        let filter_ns = filter_started.elapsed().as_nanos() as u64;
+        ctx.timings.filter_ns += filter_ns;
+        ctx.span("filter", filter_ns);
         SegmentScan {
             matches,
             distance_calls,

@@ -46,10 +46,11 @@ pub use config::{FrameworkConfig, FrameworkError, IndexBackend};
 pub use database::{DatabaseBuilder, SegmentScan, SubsequenceDatabase};
 pub use expand::{enumerate_pairs, ExpansionLimits};
 pub use live::{load_with_wal, wal_path_for, LiveDatabase, WalOp};
-pub use parallel::{parallel_map, resolve_threads, ShardedMemo};
+pub use parallel::{parallel_map, resolve_threads, ShardStats, ShardedMemo};
 pub use query::{QueryOutcome, QueryStats, StageTimings, SubsequenceMatch};
 pub use serve::{Client, ServeConfig, Server};
 pub use storage::SnapshotManifest;
 pub use wire::{
     QuerySpec, Request, Response, ServerStatsSnapshot, WireError, WireOutcome, WIRE_VERSION,
+    WIRE_VERSION_MIN,
 };

@@ -14,6 +14,7 @@
 //! [`remove_sequence`]: SubsequenceDatabase::remove_sequence
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use ssr_distance::SequenceDistance;
 use ssr_sequence::{Element, Sequence, SequenceId};
@@ -172,6 +173,36 @@ where
     Ok((appends, removes))
 }
 
+/// Publishes open-time telemetry: snapshot decode and WAL replay wall-clock
+/// as global gauges (and spans in the global trace ring, under trace id 0),
+/// plus the replayed op count as the `ssr_wal_pending_ops` gauge — the ops
+/// sitting in the log, not yet folded into the snapshot.
+fn record_open_telemetry(snapshot_us: u64, replay_us: u64, pending_ops: usize) {
+    let registry = ssr_obs::global();
+    registry
+        .gauge(
+            "ssr_snapshot_load_us",
+            "Wall-clock of the last snapshot decode, in microseconds.",
+        )
+        .set(snapshot_us as i64);
+    registry
+        .gauge(
+            "ssr_wal_replay_us",
+            "Wall-clock of the last WAL replay, in microseconds.",
+        )
+        .set(replay_us as i64);
+    registry
+        .gauge(
+            "ssr_wal_pending_ops",
+            "Logged operations not yet folded into the snapshot.",
+        )
+        .set(pending_ops as i64);
+    let mut trace = ssr_obs::TraceBuf::new(0);
+    trace.record("snapshot_load", snapshot_us.saturating_mul(1_000));
+    trace.record("wal_replay", replay_us.saturating_mul(1_000));
+    trace.flush_to(ssr_obs::trace_ring());
+}
+
 /// Read-only open: loads the snapshot at `path` and replays its WAL sibling
 /// **without touching the disk** — no WAL is created when missing, no torn
 /// tail is truncated, no stale log is reset. Returns the database plus the
@@ -188,7 +219,10 @@ where
     let path = path.as_ref();
     let bytes = std::fs::read(path)?;
     let binding = ssr_storage::WalBinding::of(&bytes);
+    let load_started = Instant::now();
     let mut db = SubsequenceDatabase::<E, D>::from_snapshot_bytes(bytes, distance)?;
+    let snapshot_us = load_started.elapsed().as_micros() as u64;
+    let replay_started = Instant::now();
     let records = match std::fs::read(wal_path_for(path)) {
         Ok(wal_bytes) => {
             let read = ssr_storage::decode_wal(&wal_bytes)?;
@@ -204,6 +238,11 @@ where
         Err(e) => return Err(e.into()),
     };
     let (appends, removes) = apply_ops(&mut db, &records)?;
+    record_open_telemetry(
+        snapshot_us,
+        replay_started.elapsed().as_micros() as u64,
+        appends + removes,
+    );
     Ok((db, appends + removes))
 }
 
@@ -259,10 +298,18 @@ where
         let snapshot_path = path.as_ref().to_path_buf();
         let bytes = std::fs::read(&snapshot_path)?;
         let binding = WalBinding::of(&bytes);
+        let load_started = Instant::now();
         let mut db = SubsequenceDatabase::<E, D>::from_snapshot_bytes(bytes, distance)?;
+        let snapshot_us = load_started.elapsed().as_micros() as u64;
         let wal_path = wal_path_for(&snapshot_path);
+        let replay_started = Instant::now();
         let (wal, records) = WalWriter::open(&wal_path, binding)?;
         let (pending_appends, pending_removes) = apply_ops(&mut db, &records)?;
+        record_open_telemetry(
+            snapshot_us,
+            replay_started.elapsed().as_micros() as u64,
+            pending_appends + pending_removes,
+        );
         Ok(LiveDatabase {
             db,
             wal,
@@ -283,6 +330,7 @@ where
         };
         self.wal.append(&op.to_payload())?;
         self.pending_appends += 1;
+        self.publish_pending_gauge();
         Ok(self.db.append_sequence(sequence))
     }
 
@@ -296,6 +344,7 @@ where
         let op = WalOp::<E>::Remove { sequence: id.0 };
         self.wal.append(&op.to_payload())?;
         self.pending_removes += 1;
+        self.publish_pending_gauge();
         let removed = self.db.remove_sequence(id);
         debug_assert!(removed, "is_live guaranteed the removal applies");
         Ok(removed)
@@ -313,7 +362,19 @@ where
         self.wal.reset(WalBinding::of(&bytes))?;
         self.pending_appends = 0;
         self.pending_removes = 0;
+        self.publish_pending_gauge();
         Ok(())
+    }
+
+    /// Mirrors [`Self::pending_ops`] into the global `ssr_wal_pending_ops`
+    /// gauge after every mutation and compaction.
+    fn publish_pending_gauge(&self) {
+        ssr_obs::global()
+            .gauge(
+                "ssr_wal_pending_ops",
+                "Logged operations not yet folded into the snapshot.",
+            )
+            .set(self.pending_ops() as i64);
     }
 
     /// The in-memory database (queries go through this reference).

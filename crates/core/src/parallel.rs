@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Resolves a requested thread count: `0` means "one worker per available
@@ -78,9 +78,33 @@ where
 ///
 /// Values are cloned out on lookup; keep them small (the verification memo
 /// stores `f64` distances).
+///
+/// Every shard also keeps hit/miss/eviction tallies on lock-free atomics
+/// (recorded only while [`ssr_obs::enabled`] — the default), so the query
+/// server's result cache can expose per-shard telemetry without touching
+/// the shard locks at scrape time.
 pub struct ShardedMemo<K, V> {
     hasher: RandomState,
-    shards: Vec<Mutex<HashMap<K, V>>>,
+    shards: Vec<Shard<K, V>>,
+}
+
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evicted: AtomicU64,
+}
+
+/// One shard's cache accounting: lookup hits and misses, plus entries
+/// dropped by [`ShardedMemo::insert_evicting`]'s coarse shard clear.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries dropped when a full shard was cleared for a new insert.
+    pub evicted: u64,
 }
 
 impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
@@ -89,28 +113,47 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
         let shards = shards.max(1);
         ShardedMemo {
             hasher: RandomState::new(),
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    evicted: AtomicU64::new(0),
+                })
+                .collect(),
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+    fn shard(&self, key: &K) -> &Shard<K, V> {
         let h = self.hasher.hash_one(key) as usize;
         &self.shards[h % self.shards.len()]
     }
 
     /// Looks up a key, cloning the value out.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key)
+        let shard = self.shard(key);
+        let value = shard
+            .map
             .lock()
             .expect("memo shard poisoned")
             .get(key)
-            .cloned()
+            .cloned();
+        if ssr_obs::enabled() {
+            let tally = if value.is_some() {
+                &shard.hits
+            } else {
+                &shard.misses
+            };
+            tally.fetch_add(1, Ordering::Relaxed);
+        }
+        value
     }
 
     /// Inserts a value (last writer wins — callers only ever insert the same
     /// deterministic value for a given key).
     pub fn insert(&self, key: K, value: V) {
         self.shard(&key)
+            .map
             .lock()
             .expect("memo shard poisoned")
             .insert(key, value);
@@ -125,24 +168,54 @@ impl<K: Eq + Hash, V: Clone> ShardedMemo<K, V> {
     /// Used by the query server's result cache; the batch engine's
     /// verification memo lives for one batch and never needs a cap.
     pub fn insert_evicting(&self, key: K, value: V, shard_capacity: usize) {
-        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
-        if shard.len() >= shard_capacity.max(1) && !shard.contains_key(&key) {
-            shard.clear();
+        let shard = self.shard(&key);
+        let mut map = shard.map.lock().expect("memo shard poisoned");
+        if map.len() >= shard_capacity.max(1) && !map.contains_key(&key) {
+            if ssr_obs::enabled() {
+                shard.evicted.fetch_add(map.len() as u64, Ordering::Relaxed);
+            }
+            map.clear();
         }
-        shard.insert(key, value);
+        map.insert(key, value);
     }
 
     /// Total number of entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .map(|s| s.map.lock().expect("memo shard poisoned").len())
             .sum()
     }
 
     /// Whether the memo holds no entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Per-shard hit/miss/eviction tallies, in shard order. Lock-free: the
+    /// counts are read from the shard atomics without taking any map lock.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evicted: s.evicted.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Folds over every resident entry (shard by shard, each under its own
+    /// lock). The query server sizes its result cache with this.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &K, &V) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            let map = shard.map.lock().expect("memo shard poisoned");
+            for (k, v) in map.iter() {
+                acc = f(acc, k, v);
+            }
+        }
+        acc
     }
 }
 

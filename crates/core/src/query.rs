@@ -145,9 +145,10 @@ impl StageTimings {
 }
 
 /// Per-query execution context threaded through the query internals: stage
-/// timing accumulators plus an optional handle into the batch engine's shared
-/// verification memo. The plain [`SubsequenceDatabase::query_type1`]-style
-/// entry points run with a detached context (no memo, timings discarded).
+/// timing accumulators, an optional span trace, plus an optional handle into
+/// the batch engine's shared verification memo. The plain
+/// [`SubsequenceDatabase::query_type1`]-style entry points run with a
+/// detached context (no memo, timings discarded, no trace).
 pub(crate) struct ExecCtx<'a> {
     /// Per-stage wall-clock accumulated so far.
     pub timings: StageTimings,
@@ -160,6 +161,10 @@ pub(crate) struct ExecCtx<'a> {
     /// safely recorded as `f64::INFINITY`. Without a memo each radius prunes
     /// against its own `ε` (tighter bands, nothing cached).
     pub verify_tau: Option<f64>,
+    /// Span trace of this query, when the engine runs with tracing (the
+    /// slow-query log). `None` on the hot default path — every recording
+    /// site is a single `Option` check then.
+    pub trace: Option<ssr_obs::TraceBuf>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -169,6 +174,7 @@ impl<'a> ExecCtx<'a> {
             timings: StageTimings::default(),
             memo: None,
             verify_tau: None,
+            trace: None,
         }
     }
 
@@ -178,6 +184,39 @@ impl<'a> ExecCtx<'a> {
             timings: StageTimings::default(),
             memo: Some((memo, query_key)),
             verify_tau: None,
+            trace: None,
+        }
+    }
+
+    /// Attaches a span trace with the given (deterministic) trace id.
+    pub fn with_trace(mut self, trace_id: u64) -> Self {
+        self.trace = Some(ssr_obs::TraceBuf::new(trace_id));
+        self
+    }
+
+    /// Records a completed stage span when tracing is active.
+    pub fn span(&mut self, name: &'static str, dur_ns: u64) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(name, dur_ns);
+        }
+    }
+
+    /// Opens a nesting span when tracing is active; close with
+    /// [`Self::span_end`]. Returns `usize::MAX` (ignored by `span_end`)
+    /// when tracing is off.
+    pub fn span_begin(&mut self, name: &'static str) -> usize {
+        match self.trace.as_mut() {
+            Some(trace) => trace.begin(name),
+            None => usize::MAX,
+        }
+    }
+
+    /// Closes a span opened by [`Self::span_begin`].
+    pub fn span_end(&mut self, token: usize) {
+        if let Some(trace) = self.trace.as_mut() {
+            if token != usize::MAX {
+                trace.end(token);
+            }
         }
     }
 
@@ -296,7 +335,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         stats.dp_cells_evaluated += ssr_distance::dp_cells_thread_total() - cells_before;
         stats.pruned_by_lower_bound +=
             ssr_distance::lower_bound_prunes_thread_total() - prunes_before;
-        ctx.timings.verify_ns += verify_started.elapsed().as_nanos() as u64;
+        let verify_ns = verify_started.elapsed().as_nanos() as u64;
+        ctx.timings.verify_ns += verify_ns;
+        ctx.span("verify", verify_ns);
         QueryOutcome {
             result: results,
             stats,
@@ -395,7 +436,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         stats.dp_cells_evaluated += ssr_distance::dp_cells_thread_total() - cells_before;
         stats.pruned_by_lower_bound +=
             ssr_distance::lower_bound_prunes_thread_total() - prunes_before;
-        ctx.timings.verify_ns += verify_started.elapsed().as_nanos() as u64;
+        let verify_ns = verify_started.elapsed().as_nanos() as u64;
+        ctx.timings.verify_ns += verify_ns;
+        ctx.span("verify", verify_ns);
         QueryOutcome {
             result: best,
             stats,
@@ -480,7 +523,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
         // revisited pair is verified only once across the whole sweep.
         let mut epsilon = hi;
         loop {
+            let round = ctx.span_begin("epsilon_round");
             let outcome = self.query_type1_ctx(query, epsilon, ctx);
+            ctx.span_end(round);
             total_stats.segments = outcome.stats.segments;
             total_stats.index_distance_calls += outcome.stats.index_distance_calls;
             total_stats.segment_matches = outcome.stats.segment_matches;
@@ -532,7 +577,9 @@ impl<E: Element + Send + Sync, D: SequenceDistance<E>> SubsequenceDatabase<E, D>
             self.config().window_len(),
             self.config().max_shift,
         );
-        ctx.timings.chain_ns += chain_started.elapsed().as_nanos() as u64;
+        let chain_ns = chain_started.elapsed().as_nanos() as u64;
+        ctx.timings.chain_ns += chain_ns;
+        ctx.span("chain", chain_ns);
         let consecutive_windows: usize = candidates
             .iter()
             .filter(|c| c.chain_len >= 2)

@@ -38,7 +38,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ssr_distance::SequenceDistance;
 use ssr_sequence::{Element, Sequence};
@@ -72,6 +72,12 @@ pub struct ServeConfig {
     pub read_timeout: Option<Duration>,
     /// Largest frame payload accepted before the payload is read.
     pub max_frame_len: usize,
+    /// Slow-query log threshold in milliseconds. `Some(ms)` span-traces
+    /// every request (server spans plus the engine's per-stage spans, all
+    /// flushed into [`ssr_obs::trace_ring`]) and dumps the span tree and
+    /// statistics of any query slower than `ms` to stderr. `None` (the
+    /// default) records no traces.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +90,7 @@ impl Default for ServeConfig {
             cache_shard_capacity: 256,
             read_timeout: Some(Duration::from_secs(30)),
             max_frame_len: 16 * 1024 * 1024,
+            slow_query_ms: None,
         }
     }
 }
@@ -157,6 +164,12 @@ impl<T> BoundedQueue<T> {
         self.state.lock().expect("queue poisoned").closed = true;
         self.available.notify_all();
     }
+
+    /// Jobs currently waiting for a worker (the admission-queue depth the
+    /// `ssr_queue_depth` gauge reports at scrape time).
+    fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
 }
 
 /// Result-cache key: the query's encoded element bytes plus the spec's tag
@@ -178,6 +191,19 @@ fn cache_key<E: Encode>(elements: &[E], spec: &QuerySpec) -> CacheKey {
     (w.into_bytes(), spec.tag(), radius, increment)
 }
 
+/// Estimated resident bytes of the result cache: encoded key bytes plus the
+/// match vectors, with a fixed per-entry overhead for the key tuple, the
+/// stats and the `Arc` bookkeeping. An estimate — capacities and allocator
+/// slack are deliberately ignored so the figure is deterministic.
+fn cache_bytes_estimate(cache: &ShardedMemo<CacheKey, CachedOutcome>) -> u64 {
+    cache.fold(0u64, |acc, key, outcome| {
+        let key_bytes = key.0.len() + std::mem::size_of::<CacheKey>();
+        let match_bytes = outcome.0.len() * std::mem::size_of::<SubsequenceMatch>();
+        let fixed = std::mem::size_of::<(Vec<SubsequenceMatch>, QueryStats)>();
+        acc + (key_bytes + match_bytes + fixed) as u64
+    })
+}
+
 /// One admitted unit of work: the uncached queries of one request batch.
 struct QueryJob<E> {
     spec: QuerySpec,
@@ -196,9 +222,21 @@ struct Shared<E: Element, D: SequenceDistance<E>> {
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     queries_executed: AtomicU64,
+    queries_answered: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     rejected_overload: AtomicU64,
+    /// When the server bound its socket; origin of `uptime_ms`.
+    started: Instant,
+    /// Server-owned metrics registry: holds the series that must accumulate
+    /// across requests (today just the request-latency histogram — the
+    /// counter families are rendered from the atomics above at scrape time).
+    registry: ssr_obs::Registry,
+    /// Wall-clock of each served `Query` request, in microseconds. A handle
+    /// into `registry`, resolved once at bind.
+    request_duration: ssr_obs::Histogram,
+    /// Monotonic ids for server-side request traces (slow-query log).
+    trace_ids: AtomicU64,
 }
 
 impl<E, D> Shared<E, D>
@@ -219,7 +257,103 @@ where
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_entries: self.cache.len(),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            cache_bytes_estimate: cache_bytes_estimate(&self.cache),
         }
+    }
+
+    /// Renders the full Prometheus exposition: the server registry (the
+    /// cumulative request-latency histogram), a scrape-time registry built
+    /// from the server's atomics / per-shard cache tallies / per-replica
+    /// counters, and the process-global registry (index probe depth, WAL
+    /// and snapshot gauges). The three hold disjoint family names, so the
+    /// concatenation is a valid exposition.
+    fn render_metrics(&self) -> String {
+        let mut out = self.registry.render();
+        let scrape = ssr_obs::Registry::new();
+        scrape
+            .counter(
+                "ssr_queries_executed_total",
+                "Queries executed by the worker pool (cache misses only).",
+            )
+            .add(self.queries_executed.load(Ordering::Relaxed));
+        scrape
+            .counter(
+                "ssr_queries_answered_total",
+                "Queries answered with outcomes, cache hits included.",
+            )
+            .add(self.queries_answered.load(Ordering::Relaxed));
+        scrape
+            .counter("ssr_cache_hits_total", "Result-cache lookup hits.")
+            .add(self.cache_hits.load(Ordering::Relaxed));
+        scrape
+            .counter("ssr_cache_misses_total", "Result-cache lookup misses.")
+            .add(self.cache_misses.load(Ordering::Relaxed));
+        scrape
+            .counter(
+                "ssr_overload_rejections_total",
+                "Requests rejected because the admission queue was full.",
+            )
+            .add(self.rejected_overload.load(Ordering::Relaxed));
+        scrape
+            .gauge("ssr_queue_depth", "Query jobs waiting for a worker.")
+            .set(self.queue.len() as i64);
+        scrape
+            .gauge("ssr_uptime_ms", "Milliseconds since the server bound.")
+            .set(self.started.elapsed().as_millis() as i64);
+        scrape
+            .gauge("ssr_cache_entries", "Resident result-cache entries.")
+            .set(self.cache.len() as i64);
+        scrape
+            .gauge(
+                "ssr_cache_bytes_estimate",
+                "Estimated resident bytes of the result cache.",
+            )
+            .set(cache_bytes_estimate(&self.cache) as i64);
+        for (i, stats) in self.cache.shard_stats().iter().enumerate() {
+            let label = Some(("shard", i.to_string()));
+            scrape
+                .counter_with(
+                    "ssr_cache_shard_hits_total",
+                    "Result-cache hits per shard.",
+                    label.clone(),
+                )
+                .add(stats.hits);
+            scrape
+                .counter_with(
+                    "ssr_cache_shard_misses_total",
+                    "Result-cache misses per shard.",
+                    label.clone(),
+                )
+                .add(stats.misses);
+            scrape
+                .counter_with(
+                    "ssr_cache_shard_evictions_total",
+                    "Entries dropped by per-shard eviction.",
+                    label,
+                )
+                .add(stats.evicted);
+        }
+        for (i, replica) in self.replicas.iter().enumerate() {
+            let label = Some(("replica", i.to_string()));
+            scrape
+                .counter_with(
+                    "ssr_replica_distance_calls_total",
+                    "Query-time distance evaluations inside the index, per replica.",
+                    label.clone(),
+                )
+                .add(replica.query_distance_counter().get());
+            scrape
+                .counter_with(
+                    "ssr_replica_dp_cells_total",
+                    "Query-time DP cells evaluated inside the index, per replica.",
+                    label,
+                )
+                .add(replica.query_dp_cell_counter().get());
+        }
+        out.push_str(&scrape.render());
+        out.push_str(&ssr_obs::global().render());
+        out
     }
 
     /// Flips the shutdown flag, closes the queue and nudges the accept loop
@@ -262,6 +396,11 @@ where
         for _ in 1..config.replicas.max(1) {
             replicas.push(replicas[0].clone_replica());
         }
+        let registry = ssr_obs::Registry::new();
+        let request_duration = registry.histogram(
+            "ssr_request_duration_us",
+            "Server-side wall clock of each Query request, in microseconds.",
+        );
         let shared = Arc::new(Shared {
             replicas,
             queue: BoundedQueue::new(config.queue_depth),
@@ -271,9 +410,14 @@ where
             shutdown: AtomicBool::new(false),
             local_addr,
             queries_executed: AtomicU64::new(0),
+            queries_answered: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
+            started: Instant::now(),
+            registry,
+            request_duration,
+            trace_ids: AtomicU64::new(1),
         });
 
         let mut threads = Vec::with_capacity(workers + 1);
@@ -373,15 +517,19 @@ where
             Err(StorageError::Io(_)) => return,
             Err(err) => {
                 let error = Response::Error(WireError::from_storage(&err));
-                let _ = respond(&mut stream, &error);
+                // An undecodable frame carries no version; answer at the
+                // floor so any peer can decode the error.
+                let _ = respond(&mut stream, &error, crate::wire::WIRE_VERSION_MIN);
                 return;
             }
         };
-        let request = match Request::<E>::decode_payload(&payload) {
-            Ok(request) => request,
+        // Answers echo the request's wire version, so a v1 peer gets v1
+        // response bodies back and never sees fields it cannot decode.
+        let (version, request) = match Request::<E>::decode_payload_versioned(&payload) {
+            Ok(decoded) => decoded,
             Err(err) => {
                 let error = Response::Error(WireError::from_storage(&err));
-                if respond(&mut stream, &error).is_err() {
+                if respond(&mut stream, &error, crate::wire::WIRE_VERSION_MIN).is_err() {
                     return;
                 }
                 continue;
@@ -390,21 +538,29 @@ where
         let response = match request {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats(shared.stats_snapshot()),
+            Request::Metrics => Response::Metrics(shared.render_metrics()),
             Request::Shutdown => {
-                let _ = respond(&mut stream, &Response::ShuttingDown);
+                let _ = respond(&mut stream, &Response::ShuttingDown, version);
                 shared.begin_shutdown();
                 return;
             }
-            Request::Query { spec, queries } => answer_query(shared, spec, queries),
+            Request::Query { spec, queries } => {
+                let started = Instant::now();
+                let response = answer_query(shared, spec, queries);
+                shared
+                    .request_duration
+                    .observe(started.elapsed().as_micros() as u64);
+                response
+            }
         };
-        if respond(&mut stream, &response).is_err() {
+        if respond(&mut stream, &response, version).is_err() {
             return;
         }
     }
 }
 
-fn respond(stream: &mut TcpStream, response: &Response) -> Result<(), StorageError> {
-    write_frame(stream, &response.encode_payload())?;
+fn respond(stream: &mut TcpStream, response: &Response, version: u8) -> Result<(), StorageError> {
+    write_frame(stream, &response.encode_payload_versioned(version))?;
     stream.flush().map_err(StorageError::Io)
 }
 
@@ -415,6 +571,14 @@ where
     E: Element + StorableElement + Send + Sync,
     D: SequenceDistance<E>,
 {
+    // Server-side spans (cache probe, admission wait) ride into the global
+    // trace ring whenever the slow-query log is on. Request trace ids are a
+    // monotonic tally — distinct from the engine's per-batch slot ids.
+    let mut trace = shared
+        .config
+        .slow_query_ms
+        .map(|_| ssr_obs::TraceBuf::new(shared.trace_ids.fetch_add(1, Ordering::Relaxed)));
+    let probe_started = Instant::now();
     let keys: Vec<CacheKey> = queries.iter().map(|q| cache_key(q, &spec)).collect();
     let mut slots: Vec<Option<CachedOutcome>> = Vec::with_capacity(queries.len());
     let mut hit_flags: Vec<bool> = Vec::with_capacity(queries.len());
@@ -437,6 +601,9 @@ where
     shared
         .cache_misses
         .fetch_add(miss_indices.len() as u64, Ordering::Relaxed);
+    if let Some(trace) = trace.as_mut() {
+        trace.record("cache_probe", probe_started.elapsed().as_nanos() as u64);
+    }
 
     if !miss_indices.is_empty() {
         let mut job_queries = Vec::with_capacity(miss_indices.len());
@@ -456,6 +623,7 @@ where
             keys: job_keys,
             reply: reply_tx,
         };
+        let admission_started = Instant::now();
         match shared.queue.try_push(job) {
             Ok(()) => {}
             Err(PushError::Full) => {
@@ -474,13 +642,17 @@ where
                 ))
             }
         };
+        if let Some(trace) = trace.as_mut() {
+            // Queue wait plus worker execution, as the connection sees it.
+            trace.record("admission", admission_started.elapsed().as_nanos() as u64);
+        }
         debug_assert_eq!(fresh.len(), miss_indices.len());
         for (slot, outcome) in miss_indices.into_iter().zip(fresh) {
             slots[slot] = Some(outcome);
         }
     }
 
-    let outcomes = slots
+    let outcomes: Vec<WireOutcome> = slots
         .into_iter()
         .zip(hit_flags)
         .map(|(slot, cached)| {
@@ -492,6 +664,12 @@ where
             }
         })
         .collect();
+    shared
+        .queries_answered
+        .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+    if let Some(trace) = trace.as_ref() {
+        trace.flush_to(ssr_obs::trace_ring());
+    }
     Response::Outcomes(outcomes)
 }
 
@@ -503,7 +681,9 @@ where
 {
     let db = &shared.replicas[worker_id % shared.replicas.len()];
     while let Some(job) = shared.queue.pop() {
-        let engine = QueryEngine::new(db).with_threads(1);
+        let engine = QueryEngine::new(db)
+            .with_threads(1)
+            .with_slow_query_log(shared.config.slow_query_ms);
         let outcomes: Vec<CachedOutcome> = match job.spec {
             QuerySpec::Type1 { epsilon } => engine
                 .batch_type1(&job.queries, epsilon)

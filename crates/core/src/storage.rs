@@ -415,6 +415,7 @@ where
         // non-zero value after loading means decoding evaluated distances —
         // exactly the regression the bench `--snapshot` zero-calls gate
         // exists to catch. Resetting would make that gate vacuous.
+        let probe_depth = crate::database::probe_depth_histogram(index.backend_name());
         Ok(SubsequenceDatabase {
             config,
             distance,
@@ -427,6 +428,7 @@ where
             build_dp_cells: manifest.build_dp_cells,
             gap_prefixes,
             tombstones,
+            probe_depth,
         })
     }
 }

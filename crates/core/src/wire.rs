@@ -15,25 +15,39 @@
 //! element tag so a server can refuse a mismatched element type *before*
 //! attempting to decode elements of the wrong shape.
 //!
+//! **Version negotiation.** The current version is 2; the server also
+//! accepts version-1 requests and *echoes the request's version* in its
+//! response, encoding the response body in that version's layout. Version 2
+//! added the `Metrics` request/response pair and appended `uptime_ms` and
+//! `cache_bytes_estimate` to the `Stats` body — a version-1 `Stats` body
+//! omits them (the decoder defaults them to zero), so old clients keep
+//! decoding every reply bit-for-bit as before.
+//!
 //! The module is pure codec — no sockets. [`crate::serve`] owns the IO.
 
 use ssr_storage::{Decode, Encode, Reader, StorableElement, StorageError, Writer};
 
 use crate::query::{QueryStats, SubsequenceMatch};
 
-/// Wire protocol version; bumped on any incompatible layout change.
-pub const WIRE_VERSION: u8 = 1;
+/// Current wire protocol version; what [`Request::encode_payload`] writes.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest wire version still decoded. Version-1 peers get version-1-shaped
+/// replies (see the module docs on negotiation).
+pub const WIRE_VERSION_MIN: u8 = 1;
 
 const REQ_PING: u8 = 0;
 const REQ_STATS: u8 = 1;
 const REQ_SHUTDOWN: u8 = 2;
 const REQ_QUERY: u8 = 3;
+const REQ_METRICS: u8 = 4;
 
 const RESP_PONG: u8 = 0;
 const RESP_STATS: u8 = 1;
 const RESP_SHUTTING_DOWN: u8 = 2;
 const RESP_OUTCOMES: u8 = 3;
 const RESP_ERROR: u8 = 4;
+const RESP_METRICS: u8 = 5;
 
 const SPEC_TYPE1: u8 = 0;
 const SPEC_TYPE2: u8 = 1;
@@ -152,6 +166,9 @@ pub enum Request<E> {
         /// The query sequences' elements, one `Vec` per query.
         queries: Vec<Vec<E>>,
     },
+    /// The server's telemetry in Prometheus text exposition; answered with
+    /// [`Response::Metrics`] without queueing. Added in wire version 2.
+    Metrics,
 }
 
 impl<E: StorableElement> Request<E> {
@@ -169,6 +186,7 @@ impl<E: StorableElement> Request<E> {
                 spec.encode(&mut w);
                 queries.encode(&mut w);
             }
+            Request::Metrics => w.put_u8(REQ_METRICS),
         }
         w.into_bytes()
     }
@@ -177,9 +195,15 @@ impl<E: StorableElement> Request<E> {
     /// element mismatch surfaces as a typed error before any element is
     /// decoded.
     pub fn decode_payload(payload: &[u8]) -> Result<Self, StorageError> {
+        Self::decode_payload_versioned(payload).map(|(_, request)| request)
+    }
+
+    /// [`Self::decode_payload`] plus the request's wire version, which the
+    /// server echoes when encoding its response.
+    pub fn decode_payload_versioned(payload: &[u8]) -> Result<(u8, Self), StorageError> {
         let mut r = Reader::new(payload);
         let version = r.take_u8()?;
-        if version != WIRE_VERSION {
+        if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
             return Err(StorageError::UnsupportedVersion(u32::from(version)));
         }
         let request = match r.take_u8()? {
@@ -198,6 +222,7 @@ impl<E: StorableElement> Request<E> {
                 let queries = Vec::<Vec<E>>::decode(&mut r)?;
                 Request::Query { spec, queries }
             }
+            REQ_METRICS => Request::Metrics,
             kind => {
                 return Err(StorageError::Malformed(format!(
                     "unknown request kind {kind}"
@@ -205,7 +230,7 @@ impl<E: StorableElement> Request<E> {
             }
         };
         r.expect_empty("wire request")?;
-        Ok(request)
+        Ok((version, request))
     }
 }
 
@@ -321,38 +346,59 @@ pub struct ServerStatsSnapshot {
     pub cache_entries: usize,
     /// Query batches rejected with [`WireError::Overloaded`].
     pub rejected_overload: u64,
+    /// Milliseconds since the server started. Wire version ≥ 2; decodes as
+    /// zero from a version-1 body.
+    pub uptime_ms: u64,
+    /// Estimated resident bytes of the result cache (keys plus cached
+    /// outcomes). Wire version ≥ 2; decodes as zero from a version-1 body.
+    pub cache_bytes_estimate: u64,
 }
 
-impl Encode for ServerStatsSnapshot {
-    fn encode(&self, w: &mut Writer) {
-        w.put_usize(self.sequences);
-        w.put_usize(self.windows);
-        w.put_usize(self.arena_bytes);
-        w.put_usize(self.workers);
-        w.put_usize(self.replicas);
-        w.put_u64(self.queries_executed);
-        w.put_u64(self.cache_hits);
-        w.put_u64(self.cache_misses);
-        w.put_usize(self.cache_entries);
-        w.put_u64(self.rejected_overload);
+/// Encodes a stats body in the layout of `version`: the ten version-1
+/// fields, then — for version ≥ 2 — the uptime and cache-bytes fields. The
+/// split is what keeps old clients decoding (they are answered in their own
+/// version, which simply omits the appended fields, so their
+/// exact-consumption check still passes).
+fn encode_stats_snapshot(s: &ServerStatsSnapshot, w: &mut Writer, version: u8) {
+    w.put_usize(s.sequences);
+    w.put_usize(s.windows);
+    w.put_usize(s.arena_bytes);
+    w.put_usize(s.workers);
+    w.put_usize(s.replicas);
+    w.put_u64(s.queries_executed);
+    w.put_u64(s.cache_hits);
+    w.put_u64(s.cache_misses);
+    w.put_usize(s.cache_entries);
+    w.put_u64(s.rejected_overload);
+    if version >= 2 {
+        w.put_u64(s.uptime_ms);
+        w.put_u64(s.cache_bytes_estimate);
     }
 }
 
-impl Decode for ServerStatsSnapshot {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, StorageError> {
-        Ok(ServerStatsSnapshot {
-            sequences: r.take_usize()?,
-            windows: r.take_usize()?,
-            arena_bytes: r.take_usize()?,
-            workers: r.take_usize()?,
-            replicas: r.take_usize()?,
-            queries_executed: r.take_u64()?,
-            cache_hits: r.take_u64()?,
-            cache_misses: r.take_u64()?,
-            cache_entries: r.take_usize()?,
-            rejected_overload: r.take_u64()?,
-        })
+fn decode_stats_snapshot(
+    r: &mut Reader<'_>,
+    version: u8,
+) -> Result<ServerStatsSnapshot, StorageError> {
+    let mut snapshot = ServerStatsSnapshot {
+        sequences: r.take_usize()?,
+        windows: r.take_usize()?,
+        arena_bytes: r.take_usize()?,
+        workers: r.take_usize()?,
+        replicas: r.take_usize()?,
+        queries_executed: r.take_u64()?,
+        cache_hits: r.take_u64()?,
+        cache_misses: r.take_u64()?,
+        cache_entries: r.take_usize()?,
+        rejected_overload: r.take_u64()?,
+        uptime_ms: 0,
+        cache_bytes_estimate: 0,
+    };
+    if version >= 2 {
+        snapshot.uptime_ms = r.take_u64()?;
+        snapshot.cache_bytes_estimate = r.take_u64()?;
     }
+    Ok(snapshot)
 }
 
 /// A typed refusal. The connection stays usable after any of these — the
@@ -383,7 +429,10 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Overloaded => write!(f, "server overloaded: admission queue full"),
             WireError::UnsupportedVersion(v) => {
-                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+                write!(
+                    f,
+                    "unsupported wire version {v} (expected {WIRE_VERSION_MIN}..={WIRE_VERSION})"
+                )
             }
             WireError::Malformed(msg) => write!(f, "malformed request: {msg}"),
             WireError::ElementMismatch { expected, found } => {
@@ -468,18 +517,29 @@ pub enum Response {
     Outcomes(Vec<WireOutcome>),
     /// The request was refused; see [`WireError`].
     Error(WireError),
+    /// The server's telemetry as Prometheus text exposition, answering
+    /// [`Request::Metrics`]. Added in wire version 2.
+    Metrics(String),
 }
 
 impl Response {
-    /// Encodes the response into a raw (unframed) payload.
+    /// Encodes the response into a raw (unframed) payload at the current
+    /// [`WIRE_VERSION`].
     pub fn encode_payload(&self) -> Vec<u8> {
+        self.encode_payload_versioned(WIRE_VERSION)
+    }
+
+    /// Encodes the response in the layout of `version` — the server echoes
+    /// the version the request arrived in, so version-1 clients receive
+    /// version-1-shaped bodies.
+    pub fn encode_payload_versioned(&self, version: u8) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u8(WIRE_VERSION);
+        w.put_u8(version);
         match self {
             Response::Pong => w.put_u8(RESP_PONG),
             Response::Stats(stats) => {
                 w.put_u8(RESP_STATS);
-                stats.encode(&mut w);
+                encode_stats_snapshot(stats, &mut w, version);
             }
             Response::ShuttingDown => w.put_u8(RESP_SHUTTING_DOWN),
             Response::Outcomes(outcomes) => {
@@ -490,23 +550,30 @@ impl Response {
                 w.put_u8(RESP_ERROR);
                 err.encode(&mut w);
             }
+            Response::Metrics(text) => {
+                w.put_u8(RESP_METRICS);
+                w.put_str(text);
+            }
         }
         w.into_bytes()
     }
 
-    /// Decodes a response payload, demanding exact consumption.
+    /// Decodes a response payload, demanding exact consumption. Accepts any
+    /// version in `WIRE_VERSION_MIN..=WIRE_VERSION`, defaulting fields a
+    /// version-1 body omits.
     pub fn decode_payload(payload: &[u8]) -> Result<Self, StorageError> {
         let mut r = Reader::new(payload);
         let version = r.take_u8()?;
-        if version != WIRE_VERSION {
+        if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
             return Err(StorageError::UnsupportedVersion(u32::from(version)));
         }
         let response = match r.take_u8()? {
             RESP_PONG => Response::Pong,
-            RESP_STATS => Response::Stats(ServerStatsSnapshot::decode(&mut r)?),
+            RESP_STATS => Response::Stats(decode_stats_snapshot(&mut r, version)?),
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
             RESP_OUTCOMES => Response::Outcomes(Vec::<WireOutcome>::decode(&mut r)?),
             RESP_ERROR => Response::Error(WireError::decode(&mut r)?),
+            RESP_METRICS => Response::Metrics(r.take_str()?),
             kind => {
                 return Err(StorageError::Malformed(format!(
                     "unknown response kind {kind}"
@@ -564,10 +631,12 @@ mod tests {
                 },
                 queries: vec![sym("ACDEFG"), sym("")],
             },
+            Request::Metrics,
         ];
         for request in requests {
             let payload = request.encode_payload();
-            let decoded = Request::<Symbol>::decode_payload(&payload).unwrap();
+            let (version, decoded) = Request::<Symbol>::decode_payload_versioned(&payload).unwrap();
+            assert_eq!(version, WIRE_VERSION);
             assert_eq!(decoded, request);
         }
     }
@@ -587,9 +656,12 @@ mod tests {
                 cache_misses: 17,
                 cache_entries: 12,
                 rejected_overload: 1,
+                uptime_ms: 90_000,
+                cache_bytes_estimate: 4096,
             }),
             Response::ShuttingDown,
             Response::Outcomes(vec![sample_outcome()]),
+            Response::Metrics("# TYPE ssr_requests_total counter\nssr_requests_total 3\n".into()),
             Response::Error(WireError::Overloaded),
             Response::Error(WireError::ElementMismatch {
                 expected: "symbol".into(),
@@ -616,11 +688,61 @@ mod tests {
         ));
 
         let mut payload = Request::<Symbol>::Ping.encode_payload();
+        payload[0] = 0;
+        assert!(matches!(
+            Request::<Symbol>::decode_payload(&payload),
+            Err(StorageError::UnsupportedVersion(_))
+        ));
+
+        let mut payload = Request::<Symbol>::Ping.encode_payload();
         payload[1] = 200;
         assert!(matches!(
             Request::<Symbol>::decode_payload(&payload),
             Err(StorageError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn version_1_peers_still_roundtrip() {
+        // A version-1 request (byte-patched: the body layout is identical)
+        // decodes and reports its version, which the server echoes.
+        let mut payload = Request::<Symbol>::Ping.encode_payload();
+        payload[0] = 1;
+        let (version, decoded) = Request::<Symbol>::decode_payload_versioned(&payload).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(decoded, Request::Ping);
+
+        // A stats body encoded for a version-1 client omits the appended
+        // fields; the version-2 decoder fills them with zero.
+        let stats = ServerStatsSnapshot {
+            sequences: 2,
+            windows: 40,
+            arena_bytes: 512,
+            workers: 1,
+            replicas: 1,
+            queries_executed: 9,
+            cache_hits: 1,
+            cache_misses: 9,
+            cache_entries: 3,
+            rejected_overload: 0,
+            uptime_ms: 55_000,
+            cache_bytes_estimate: 777,
+        };
+        let v1 = Response::Stats(stats).encode_payload_versioned(1);
+        let v2 = Response::Stats(stats).encode_payload_versioned(WIRE_VERSION);
+        assert_eq!(v1.len() + 16, v2.len(), "v2 appends two u64s");
+        match Response::decode_payload(&v1).unwrap() {
+            Response::Stats(decoded) => {
+                assert_eq!(decoded.uptime_ms, 0);
+                assert_eq!(decoded.cache_bytes_estimate, 0);
+                assert_eq!(decoded.queries_executed, stats.queries_executed);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        match Response::decode_payload(&v2).unwrap() {
+            Response::Stats(decoded) => assert_eq!(decoded, stats),
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]

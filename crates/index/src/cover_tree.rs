@@ -366,6 +366,11 @@ impl<T, M> CoverTree<T, M> {
     fn structure_encoded_len(&self) -> usize {
         ssr_storage::Writer::measure(|w| self.encode_structure(w))
     }
+
+    /// Stable backend name for telemetry labels.
+    pub fn backend_name(&self) -> &'static str {
+        "cover_tree"
+    }
 }
 
 impl<T: Encode, M> Encode for CoverTree<T, M> {

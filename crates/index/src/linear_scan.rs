@@ -89,6 +89,11 @@ impl<T, M> LinearScan<T, M> {
     pub fn items(&self) -> &[T] {
         &self.items
     }
+
+    /// Stable backend name for telemetry labels.
+    pub fn backend_name(&self) -> &'static str {
+        "linear_scan"
+    }
 }
 
 impl<T, M: Metric<T>> RangeIndex<T> for LinearScan<T, M> {

@@ -297,6 +297,11 @@ impl<T, M> MvReferenceIndex<T, M> {
     fn structure_encoded_len(&self) -> usize {
         ssr_storage::Writer::measure(|w| self.encode_structure(w))
     }
+
+    /// Stable backend name for telemetry labels.
+    pub fn backend_name(&self) -> &'static str {
+        "mv_reference"
+    }
 }
 
 impl<T: Encode, M> Encode for MvReferenceIndex<T, M> {

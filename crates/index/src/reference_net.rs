@@ -748,6 +748,11 @@ impl<T, M> ReferenceNet<T, M> {
     fn structure_encoded_len(&self) -> usize {
         ssr_storage::Writer::measure(|w| self.encode_structure(w))
     }
+
+    /// Stable backend name for telemetry labels.
+    pub fn backend_name(&self) -> &'static str {
+        "reference_net"
+    }
 }
 
 impl<T: Encode, M> Encode for ReferenceNet<T, M> {

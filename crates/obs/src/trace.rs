@@ -1,0 +1,225 @@
+//! Span-based query tracing: a per-query buffer of stage spans and a
+//! bounded ring of the process's most recent events.
+//!
+//! A [`TraceBuf`] rides inside one query's execution context and records a
+//! span per pipeline stage (segment → index filter → chain → verify, plus
+//! the ε-sweep rounds of Type III and the server's admission/cache spans).
+//! Recording appends to a plain `Vec` owned by the executing thread — no
+//! synchronization on the query path. When the query finishes, its events
+//! are flushed into the process-global [`crate::trace_ring`] and, if the
+//! query exceeded the configured slow-query threshold, rendered as an
+//! indented span tree for the stderr slow-query log.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded span: a named stage of one traced query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Identifier of the query (trace) the span belongs to. Assigned
+    /// deterministically by the batch engine (the query's index in its
+    /// batch) or per-request by the server.
+    pub trace_id: u64,
+    /// Stage name (`"segment"`, `"filter"`, `"chain"`, `"verify"`, …).
+    pub name: &'static str,
+    /// Start offset in nanoseconds from the trace's origin.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth: 0 for top-level stages, deeper for spans recorded
+    /// inside an enclosing [`TraceBuf::begin`]/[`TraceBuf::end`] pair.
+    pub depth: u8,
+}
+
+/// A per-query span collector. Owned by the executing thread; recording
+/// never synchronizes.
+pub struct TraceBuf {
+    id: u64,
+    origin: Instant,
+    depth: u8,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuf {
+    /// A new trace with the given id; the origin timestamp is now.
+    pub fn new(id: u64) -> Self {
+        TraceBuf {
+            id,
+            origin: Instant::now(),
+            depth: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The trace's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Records a completed leaf span of `dur_ns` that ended now.
+    pub fn record(&mut self, name: &'static str, dur_ns: u64) {
+        let end_ns = self.origin.elapsed().as_nanos() as u64;
+        self.events.push(TraceEvent {
+            trace_id: self.id,
+            name,
+            start_ns: end_ns.saturating_sub(dur_ns),
+            dur_ns,
+            depth: self.depth,
+        });
+    }
+
+    /// Opens an enclosing span; spans recorded until the matching
+    /// [`TraceBuf::end`] nest one level deeper. Returns a token for `end`.
+    pub fn begin(&mut self, name: &'static str) -> usize {
+        let start_ns = self.origin.elapsed().as_nanos() as u64;
+        self.events.push(TraceEvent {
+            trace_id: self.id,
+            name,
+            start_ns,
+            dur_ns: 0,
+            depth: self.depth,
+        });
+        self.depth = self.depth.saturating_add(1);
+        self.events.len() - 1
+    }
+
+    /// Closes the span opened by [`TraceBuf::begin`], fixing its duration.
+    pub fn end(&mut self, token: usize) {
+        let now_ns = self.origin.elapsed().as_nanos() as u64;
+        if let Some(event) = self.events.get_mut(token) {
+            event.dur_ns = now_ns.saturating_sub(event.start_ns);
+        }
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// The recorded spans, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Pushes every recorded span into `ring`.
+    pub fn flush_to(&self, ring: &TraceRing) {
+        for event in &self.events {
+            ring.push(event.clone());
+        }
+    }
+
+    /// Renders the spans as an indented tree, one line per span, for the
+    /// slow-query log.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            let indent = "  ".repeat(usize::from(event.depth));
+            out.push_str(&format!(
+                "{indent}{} {:.3}ms @+{:.3}ms\n",
+                event.name,
+                event.dur_ns as f64 / 1e6,
+                event.start_ns as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+/// A bounded ring buffer of recent [`TraceEvent`]s. Writers claim a slot
+/// with one atomic increment and store under that slot's (uncontended)
+/// lock; the oldest events are overwritten once the ring is full.
+pub struct TraceRing {
+    slots: Vec<Mutex<Option<TraceEvent>>>,
+    cursor: AtomicUsize,
+}
+
+impl TraceRing {
+    /// A ring holding up to `capacity` events (at least one).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&self, event: TraceEvent) {
+        let index = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[index].lock().expect("trace ring slot poisoned") = Some(event);
+    }
+
+    /// The most recent events, oldest first, up to `max`.
+    pub fn recent(&self, max: usize) -> Vec<TraceEvent> {
+        let written = self.cursor.load(Ordering::Relaxed);
+        let available = written.min(self.slots.len()).min(max);
+        let mut events = Vec::with_capacity(available);
+        for i in (written - available)..written {
+            let slot = self.slots[i % self.slots.len()]
+                .lock()
+                .expect("trace ring slot poisoned");
+            if let Some(event) = slot.as_ref() {
+                events.push(event.clone());
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_render() {
+        let mut trace = TraceBuf::new(7);
+        let round = trace.begin("round");
+        trace.record("segment", 1_000);
+        trace.record("filter", 2_000);
+        trace.end(round);
+        trace.record("verify", 500);
+        let events = trace.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].name, "round");
+        assert_eq!(events[0].depth, 0);
+        assert_eq!(events[1].depth, 1);
+        assert_eq!(events[2].depth, 1);
+        assert_eq!(events[3].depth, 0);
+        let tree = trace.render_tree();
+        assert!(tree.contains("round"));
+        assert!(tree.contains("  segment"));
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.push(TraceEvent {
+                trace_id: i,
+                name: "span",
+                start_ns: 0,
+                dur_ns: i,
+                depth: 0,
+            });
+        }
+        let recent = ring.recent(16);
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<u64> = recent.iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        assert_eq!(ring.recent(2).len(), 2);
+    }
+
+    #[test]
+    fn flush_moves_spans_into_the_ring() {
+        let ring = TraceRing::new(8);
+        let mut trace = TraceBuf::new(3);
+        trace.record("segment", 10);
+        trace.record("verify", 20);
+        trace.flush_to(&ring);
+        let recent = ring.recent(8);
+        assert_eq!(recent.len(), 2);
+        assert!(recent.iter().all(|e| e.trace_id == 3));
+    }
+}

@@ -1,0 +1,30 @@
+//! The global enable flag gates every recording path. This test lives in
+//! its own integration-test binary (own process) because it toggles
+//! process-global state that would race recording tests in other binaries.
+
+use ssr_obs::{Counter, Gauge, Histogram};
+
+#[test]
+fn disabling_turns_recording_into_a_no_op() {
+    let counter = Counter::standalone();
+    let gauge = Gauge::standalone();
+    let histogram = Histogram::standalone();
+
+    assert!(ssr_obs::enabled());
+    counter.inc();
+    gauge.set(5);
+    histogram.observe(100);
+
+    ssr_obs::set_enabled(false);
+    counter.add(10);
+    gauge.set(99);
+    gauge.add(1);
+    histogram.observe(100);
+    assert_eq!(counter.get(), 1);
+    assert_eq!(gauge.get(), 5);
+    assert_eq!(histogram.snapshot().count(), 1);
+
+    ssr_obs::set_enabled(true);
+    counter.inc();
+    assert_eq!(counter.get(), 2);
+}

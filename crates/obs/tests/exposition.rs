@@ -1,0 +1,88 @@
+//! Golden-file pin of the Prometheus text exposition, plus a concurrency
+//! hammer asserting histogram count conservation.
+
+use ssr_obs::{Histogram, Registry};
+
+/// The exposition format is a wire contract (scraped by `ssr stats`, parsed
+/// by the bench checker and by real Prometheus servers), so its exact text
+/// for a fixed registry state is pinned here: typed families sorted by
+/// name, stable label order with `le` last, cumulative buckets, trailing
+/// empty buckets folded into `+Inf`.
+#[test]
+fn exposition_text_is_pinned() {
+    let registry = Registry::new();
+    let requests = registry.counter("ssr_requests_total", "Requests handled.");
+    requests.add(42);
+    let depth = registry.gauge("ssr_queue_depth", "Jobs waiting for a worker.");
+    depth.set(3);
+    for shard in 0u64..2 {
+        let hits = registry.counter_with(
+            "ssr_cache_shard_hits_total",
+            "Result-cache hits per shard.",
+            Some(("shard", shard.to_string())),
+        );
+        hits.add(shard + 1);
+    }
+    let latency = registry.histogram(
+        "ssr_request_duration_us",
+        "Per-request wall clock in microseconds.",
+    );
+    for us in [1u64, 3, 3, 900] {
+        latency.observe(us);
+    }
+
+    let expected = "\
+# HELP ssr_cache_shard_hits_total Result-cache hits per shard.
+# TYPE ssr_cache_shard_hits_total counter
+ssr_cache_shard_hits_total{shard=\"0\"} 1
+ssr_cache_shard_hits_total{shard=\"1\"} 2
+# HELP ssr_queue_depth Jobs waiting for a worker.
+# TYPE ssr_queue_depth gauge
+ssr_queue_depth 3
+# HELP ssr_request_duration_us Per-request wall clock in microseconds.
+# TYPE ssr_request_duration_us histogram
+ssr_request_duration_us_bucket{le=\"1\"} 1
+ssr_request_duration_us_bucket{le=\"2\"} 1
+ssr_request_duration_us_bucket{le=\"4\"} 3
+ssr_request_duration_us_bucket{le=\"8\"} 3
+ssr_request_duration_us_bucket{le=\"16\"} 3
+ssr_request_duration_us_bucket{le=\"32\"} 3
+ssr_request_duration_us_bucket{le=\"64\"} 3
+ssr_request_duration_us_bucket{le=\"128\"} 3
+ssr_request_duration_us_bucket{le=\"256\"} 3
+ssr_request_duration_us_bucket{le=\"512\"} 3
+ssr_request_duration_us_bucket{le=\"1024\"} 4
+ssr_request_duration_us_bucket{le=\"+Inf\"} 4
+ssr_request_duration_us_sum 907
+ssr_request_duration_us_count 4
+# HELP ssr_requests_total Requests handled.
+# TYPE ssr_requests_total counter
+ssr_requests_total 42
+";
+    assert_eq!(registry.render(), expected);
+}
+
+/// 8 threads hammer one histogram; every observation must land in exactly
+/// one bucket and the sum must be exact — no lost updates, no double
+/// counting.
+#[test]
+fn histogram_conserves_counts_under_8_threads() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let histogram = Histogram::standalone();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mixed magnitudes so every thread touches many buckets.
+                    histogram.observe((t * PER_THREAD + i) % 4096);
+                }
+            });
+        }
+    });
+    let snapshot = histogram.snapshot();
+    assert_eq!(snapshot.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|v| v % 4096).sum();
+    assert_eq!(snapshot.sum, expected_sum);
+}
