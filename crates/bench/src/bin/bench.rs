@@ -98,6 +98,10 @@ struct Options {
     min_cache_hit_rate: f64,
     /// After the load, ask the server to shut down and assert it exits.
     serve_shutdown: bool,
+    /// Chaos mode: run the seeded fault schedules instead of benchmarking.
+    chaos: bool,
+    /// Base seed of `--chaos` (each schedule derives its own from it).
+    chaos_seed: u64,
     /// Ablation: disable the threshold-aware pruning machinery entirely.
     no_pruning: bool,
     /// Gate: the pruned run must evaluate at least this factor fewer DP
@@ -123,7 +127,8 @@ fn usage() -> ! {
          [--min-cold-start-speedup X] [--no-pruning] [--min-dp-pruning-ratio X] \
          [--min-bytes-reduction X] [--max-obs-overhead X]\n       \
          bench --serve ADDR --snapshot PATH [--connections N] [--batch N] [--rounds N] \
-         [--max-p99-ms X] [--min-cache-hit-rate X] [--serve-shutdown] [--out PATH]"
+         [--max-p99-ms X] [--min-cache-hit-rate X] [--serve-shutdown] [--out PATH]\n       \
+         bench --chaos [--chaos-seed N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -151,6 +156,8 @@ fn parse_options() -> Options {
         max_p99_ms: 0.0,
         min_cache_hit_rate: 0.0,
         serve_shutdown: false,
+        chaos: false,
+        chaos_seed: 42,
     };
     let mut queries_override = None;
     let mut i = 0;
@@ -209,6 +216,10 @@ fn parse_options() -> Options {
                 opts.min_cache_hit_rate = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
             "--serve-shutdown" => opts.serve_shutdown = true,
+            "--chaos" => opts.chaos = true,
+            "--chaos-seed" => {
+                opts.chaos_seed = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -267,7 +278,15 @@ fn stage_object(batch: &BatchOutcome<Option<ssr_core::SubsequenceMatch>>) -> Jso
 }
 
 fn main() {
+    if let Err(e) = ssr_fault::init_from_env() {
+        eprintln!("bench: SSR_FAILPOINTS: {e}");
+        std::process::exit(2);
+    }
     let opts = parse_options();
+    if opts.chaos {
+        chaos_mode(&opts);
+        return;
+    }
     if opts.serve.is_some() {
         serve_mode(&opts);
         return;
@@ -738,6 +757,59 @@ fn main() {
             failures += 1;
         }
     }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `--chaos` mode: the seeded fault schedules of [`ssr_bench::chaos`], with
+/// a one-line verdict per schedule, an optional JSON artifact, and a nonzero
+/// exit if any invariant broke.
+fn chaos_mode(opts: &Options) {
+    eprintln!("# chaos: base seed {}", opts.chaos_seed);
+    let outcomes = ssr_bench::run_chaos(opts.chaos_seed);
+    let mut failures = 0usize;
+    for outcome in &outcomes {
+        match &outcome.failure {
+            None => eprintln!(
+                "# chaos: PASS {} (seed {}, {} ops, {} acked, {} injected, {} retries)",
+                outcome.name,
+                outcome.seed,
+                outcome.operations,
+                outcome.acked,
+                outcome.injected,
+                outcome.retries
+            ),
+            Some(msg) => {
+                failures += 1;
+                eprintln!(
+                    "# chaos: FAIL {} (seed {}): {msg}",
+                    outcome.name, outcome.seed
+                );
+            }
+        }
+    }
+    if let Some(out) = &opts.out {
+        let report = JsonValue::object(vec![
+            ("kind", JsonValue::String("chaos".to_string())),
+            ("date", JsonValue::String(today())),
+            ("base_seed", JsonValue::Number(opts.chaos_seed as f64)),
+            (
+                "schedules",
+                JsonValue::Array(outcomes.iter().map(|o| o.to_json()).collect()),
+            ),
+        ]);
+        std::fs::write(out, report.render()).unwrap_or_else(|e| {
+            eprintln!("FAIL writing chaos report {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("# chaos: report written to {out}");
+    }
+    eprintln!(
+        "# chaos: {} of {} schedules passed",
+        outcomes.len() - failures,
+        outcomes.len()
+    );
     if failures > 0 {
         std::process::exit(1);
     }

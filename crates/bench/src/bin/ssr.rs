@@ -12,8 +12,9 @@
 //! ssr compact PATH
 //! ssr serve   PATH [--addr HOST:PORT] [--workers N] [--replicas N]
 //!             [--queue-depth N] [--cache-shards N] [--cache-capacity N]
-//!             [--slow-query-ms N]
+//!             [--slow-query-ms N] [--failpoint SPEC]
 //! ssr stats   ADDR [--check] [--json]
+//! ssr drain   ADDR
 //! ```
 //!
 //! `build` generates one of the four synthetic datasets, runs steps 1–2 of
@@ -48,6 +49,15 @@
 //! `serve --slow-query-ms N` dumps a span tree plus the per-query
 //! statistics to stderr for every query batch slower than `N` milliseconds.
 //!
+//! `drain` asks a running server to stop gracefully: in-flight work
+//! finishes, new queries are refused with a typed `Draining` error, probes
+//! keep answering, and the process exits once the worker pool empties. It is
+//! the scripted counterpart to a wire `Shutdown`. For failure drills,
+//! `serve --failpoint SPEC` (or the `SSR_FAILPOINTS` environment variable,
+//! honored by every subcommand) arms deterministic fault-injection sites —
+//! see `ssr_fault` and ARCHITECTURE.md for the site map and the
+//! `name=trigger:action` grammar.
+//!
 //! Each dataset is bound to its paper distance: DNA and PROTEINS use
 //! Levenshtein over symbols, SONGS uses ERP over pitches, TRAJ uses the
 //! discrete Fréchet distance over 2-D points. The snapshot manifest records
@@ -79,8 +89,8 @@ fn usage() -> ! {
          --text STRING) [--type 1|2|3] [--epsilon X] [--epsilon-max X] [--epsilon-increment X]\n  \
          ssr append PATH --text STRING [--label L]\n  ssr remove PATH --sequence N\n  \
          ssr compact PATH\n  ssr serve PATH [--addr HOST:PORT] [--workers N] [--replicas N] \
-         [--queue-depth N] [--cache-shards N] [--cache-capacity N] [--slow-query-ms N]\n  \
-         ssr stats ADDR [--check] [--json]"
+         [--queue-depth N] [--cache-shards N] [--cache-capacity N] [--slow-query-ms N] \
+         [--failpoint SPEC]\n  ssr stats ADDR [--check] [--json]\n  ssr drain ADDR"
     );
     std::process::exit(2);
 }
@@ -91,6 +101,12 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 }
 
 fn main() {
+    // Arm any failpoints requested via SSR_FAILPOINTS before touching disk
+    // or the network; a malformed spec is a configuration error, not a
+    // silently-disarmed drill.
+    if let Err(e) = ssr_fault::init_from_env() {
+        fail(format!("SSR_FAILPOINTS: {e}"));
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
@@ -101,6 +117,7 @@ fn main() {
         Some("compact") => cmd_compact(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("drain") => cmd_drain(&args[1..]),
         _ => usage(),
     }
 }
@@ -687,6 +704,12 @@ fn cmd_serve(args: &[String]) {
             "--slow-query-ms" => {
                 opts.slow_query_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--failpoint" => {
+                let spec = value(&mut i);
+                let armed = ssr_fault::configure_str(&spec)
+                    .unwrap_or_else(|e| fail(format!("--failpoint {spec}: {e}")));
+                eprintln!("# armed {armed} failpoint(s): {spec}");
+            }
             _ => usage(),
         }
         i += 1;
@@ -828,6 +851,36 @@ fn cmd_stats(args: &[String]) {
         ])
         .render()
     );
+}
+
+// -- drain ------------------------------------------------------------------
+
+fn cmd_drain(args: &[String]) {
+    let Some(addr) = args.first() else { usage() };
+    if args.len() > 1 {
+        usage()
+    }
+    // Shutdown is deliberately non-idempotent in the client: one attempt,
+    // no retries, a typed refusal on any ambiguous failure. The element
+    // type parameter is immaterial for a control frame; Symbol stands in.
+    let mut client = ssr_core::WireClient::<Symbol>::connect(addr)
+        .unwrap_or_else(|e| fail(format!("connecting to {addr}: {e}")));
+    match client.request(&ssr_core::Request::Shutdown) {
+        Ok(ssr_core::Response::ShuttingDown) => {}
+        Ok(other) => fail(format!("drain answered with {other:?}")),
+        Err(e) => fail(format!("draining {addr}: {e}")),
+    }
+    // The ack races the drain flag by design (it is written first), so wait
+    // for the observable outcome: the listener going away once in-flight
+    // work finishes and the worker pool empties.
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while ssr_bench::is_listening(addr) {
+        if Instant::now() >= deadline {
+            fail(format!("{addr} still listening 30s after the drain ack"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("drained: {addr} acknowledged shutdown and stopped listening");
 }
 
 // -- query ------------------------------------------------------------------

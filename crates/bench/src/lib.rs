@@ -11,6 +11,7 @@
 //! to a naive linear scan — are machine-independent and directly comparable
 //! in *shape*.
 
+pub mod chaos;
 pub mod datasets;
 pub mod harness;
 pub mod json;
@@ -18,6 +19,7 @@ pub mod loadgen;
 pub mod promcheck;
 pub mod report;
 
+pub use chaos::{run_chaos, ChaosOutcome};
 pub use datasets::{protein_windows, song_windows, traj_windows, Scale};
 pub use harness::{
     build_index, distance_histogram, pruning_ratio, IndexChoice, IndexHandle, QuerySet,

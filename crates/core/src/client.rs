@@ -1,0 +1,330 @@
+//! A production-posture wire client: deadlines on every socket operation,
+//! retries with seeded exponential backoff, and a typed transient/fatal
+//! error split.
+//!
+//! The minimal [`crate::serve::Client`] stays as the raw test harness — it
+//! blocks forever on a stalled server and dies on the first hiccup, which is
+//! exactly what byte-level protocol tests want. [`WireClient`] is the one an
+//! operator's tooling uses:
+//!
+//! * **Deadlines everywhere.** Connect, read and write all carry timeouts
+//!   ([`ClientConfig`]), so a stalled or half-dead server costs bounded
+//!   wall-clock, never a hung process.
+//! * **Retries for idempotent requests only.** `Ping`, `Stats`, `Metrics`
+//!   and `Query` are repeatable (the server's result cache makes a repeated
+//!   query bit-identical, and re-asking for counters is harmless);
+//!   `Shutdown` is **never** retried — an ambiguous first attempt may have
+//!   already started a drain, and a retry against the next replica would
+//!   widen the blast radius.
+//! * **Deterministic backoff.** Delays grow exponentially with a jitter
+//!   drawn from [`ssr_fault::mix64`] seeded by [`ClientConfig::jitter_seed`]
+//!   — the full retry schedule is a pure function of the seed, so tests
+//!   assert it exactly and two fleets with different seeds do not
+//!   thundering-herd in sync.
+//! * **Typed failure.** [`ClientError::Retryable`] means the attempts
+//!   budget ran out on transient trouble (connection refused/reset, timeout,
+//!   [`WireError::Overloaded`], [`WireError::Draining`]); fatal protocol
+//!   errors surface immediately. Decoded non-transient server errors (e.g.
+//!   [`WireError::ElementMismatch`]) are returned as `Ok(Response::Error)` —
+//!   the caller sees exactly what the server said.
+//!
+//! Each retry increments the global `ssr_client_retries_total` counter,
+//! labeled by the reason, so a chaos run can check the observed retry count
+//! against its fault schedule.
+
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ssr_storage::{read_frame, write_frame, StorableElement, StorageError};
+
+use crate::serve::ServeConfig;
+use crate::wire::{Request, Response, WireError};
+
+/// Deadlines and retry policy of a [`WireClient`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Budget for establishing one TCP connection.
+    pub connect_timeout: Duration,
+    /// Socket read deadline; a response slower than this counts as a
+    /// transient failure of the attempt.
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+    /// Largest response frame accepted.
+    pub max_frame_len: usize,
+    /// Total attempts per request (first try included). `1` disables
+    /// retries.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry after that.
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic backoff jitter. Give each client its own
+    /// seed in production (any entropy will do); fix it in tests to pin the
+    /// exact retry schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: ServeConfig::default().max_frame_len,
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Why a [`WireClient`] request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt hit transient trouble (refused, reset, timed out,
+    /// overloaded or draining). Retrying later — or elsewhere — may work.
+    Retryable {
+        /// Attempts spent, [`ClientConfig::max_attempts`] at most.
+        attempts: u32,
+        /// The last attempt's failure, for the log line.
+        last: String,
+    },
+    /// The request cannot succeed by retrying: a protocol violation, an
+    /// undecodable response, or a non-idempotent request that failed once.
+    Fatal(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Retryable { attempts, last } => {
+                write!(f, "request failed after {attempts} attempt(s): {last}")
+            }
+            ClientError::Fatal(msg) => write!(f, "request failed fatally: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A retrying, deadline-bounded wire client. See the module docs for the
+/// policy; see [`crate::serve::Client`] for the raw single-shot harness.
+pub struct WireClient<E> {
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    /// Attempts beyond the first across this client's lifetime; mirrored to
+    /// the global `ssr_client_retries_total` counter as they happen.
+    retries: u64,
+    _marker: PhantomData<E>,
+}
+
+impl<E: StorableElement> WireClient<E> {
+    /// Resolves `addr` once and builds a client. No connection is made yet —
+    /// the first [`Self::request`] connects (and a later one reconnects if
+    /// the server went away in between).
+    pub fn new(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::other("address resolved to nothing"));
+        }
+        Ok(WireClient {
+            addrs,
+            config,
+            stream: None,
+            retries: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// [`Self::new`] with [`ClientConfig::default`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::new(addr, ClientConfig::default())
+    }
+
+    /// The backoff before attempt `attempt + 1` (so `attempt` counts the
+    /// failures seen: 1 after the first). Deterministic in the config's
+    /// seed: exponential growth from [`ClientConfig::base_backoff`], capped
+    /// at [`ClientConfig::max_backoff`], with the upper half of each step
+    /// replaced by seeded jitter. Public so tests (and capacity math) can
+    /// reproduce the exact schedule.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        backoff_delay(&self.config, attempt)
+    }
+
+    /// Attempts beyond the first this client has spent so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The addresses the client rotates over on reconnect.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Sends `request` and waits for the response, retrying transient
+    /// failures (with backoff) for idempotent requests. `Shutdown` gets
+    /// exactly one attempt. Server-side refusals that a retry cannot fix
+    /// come back as `Ok(Response::Error(..))`, verbatim.
+    pub fn request(&mut self, request: &Request<E>) -> Result<Response, ClientError> {
+        // `Shutdown` is not idempotent: an ambiguous failure may already
+        // have started a drain, so a retry could take down a second server.
+        let budget = if matches!(request, Request::Shutdown) {
+            1
+        } else {
+            self.config.max_attempts.max(1)
+        };
+        let payload = request.encode_payload();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.attempt(&payload) {
+                Ok(response) => {
+                    // Overloaded/Draining are the server telling us to come
+                    // back later — transient by definition. Every other
+                    // decoded response (errors included) is the answer.
+                    let transient = matches!(
+                        response,
+                        Response::Error(WireError::Overloaded)
+                            | Response::Error(WireError::Draining)
+                    );
+                    if !transient {
+                        return Ok(response);
+                    }
+                    if attempt >= budget {
+                        return Err(ClientError::Retryable {
+                            attempts: attempt,
+                            last: match response {
+                                Response::Error(err) => err.to_string(),
+                                _ => unreachable!("transient implies an error response"),
+                            },
+                        });
+                    }
+                    self.note_retry("server_busy");
+                }
+                Err(AttemptError::Transient(msg)) => {
+                    // The connection is in an unknown state; reconnect on
+                    // the next attempt.
+                    self.stream = None;
+                    if attempt >= budget {
+                        if budget == 1 && matches!(request, Request::Shutdown) {
+                            return Err(ClientError::Fatal(format!(
+                                "shutdown not retried after ambiguous failure: {msg}"
+                            )));
+                        }
+                        return Err(ClientError::Retryable {
+                            attempts: attempt,
+                            last: msg,
+                        });
+                    }
+                    self.note_retry("io");
+                }
+                Err(AttemptError::Fatal(msg)) => {
+                    self.stream = None;
+                    return Err(ClientError::Fatal(msg));
+                }
+            }
+            std::thread::sleep(self.backoff_delay(attempt));
+        }
+    }
+
+    /// One send/receive over the cached connection (connecting if needed).
+    fn attempt(&mut self, payload: &[u8]) -> Result<Response, AttemptError> {
+        if self.stream.is_none() {
+            self.stream = Some(self.connect_once()?);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        write_frame(stream, payload).map_err(classify_storage)?;
+        use std::io::Write;
+        stream.flush().map_err(classify_io)?;
+        match read_frame(stream, self.config.max_frame_len).map_err(classify_storage)? {
+            Some(response) => {
+                Response::decode_payload(&response).map_err(|err| {
+                    // The frame arrived intact (CRC passed) but the payload
+                    // is not a response we understand: a protocol bug, not
+                    // weather. Retrying would decode the same bytes again.
+                    AttemptError::Fatal(format!("undecodable response: {err}"))
+                })
+            }
+            None => Err(AttemptError::Transient(
+                "server closed the connection before responding".into(),
+            )),
+        }
+    }
+
+    /// Tries every resolved address with the connect deadline; first one
+    /// wins.
+    fn connect_once(&self) -> Result<TcpStream, AttemptError> {
+        let mut last: Option<std::io::Error> = None;
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                    return Ok(stream);
+                }
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(AttemptError::Transient(format!(
+            "connect failed: {}",
+            last.expect("addrs is non-empty")
+        )))
+    }
+
+    fn note_retry(&mut self, reason: &'static str) {
+        self.retries += 1;
+        ssr_obs::global()
+            .counter_with(
+                "ssr_client_retries_total",
+                "Wire-client attempts beyond the first, by trigger.",
+                Some(("reason", reason.to_string())),
+            )
+            .inc();
+    }
+}
+
+/// An attempt's failure, before the retry policy weighs in.
+enum AttemptError {
+    /// Weather: refused, reset, timed out, stream cut mid-frame.
+    Transient(String),
+    /// Protocol damage a retry cannot fix.
+    Fatal(String),
+}
+
+/// IO failures are weather; anything else at the frame layer means the
+/// stream carried bytes that are not the protocol — fatal.
+fn classify_storage(err: StorageError) -> AttemptError {
+    match err {
+        StorageError::Io(err) => classify_io(err),
+        StorageError::Truncated { .. } => AttemptError::Transient("stream ended mid-frame".into()),
+        other => AttemptError::Fatal(format!("frame damage: {other}")),
+    }
+}
+
+fn classify_io(err: std::io::Error) -> AttemptError {
+    AttemptError::Transient(format!("io: {err}"))
+}
+
+/// The deterministic backoff schedule: attempt `n` (1-based count of
+/// failures so far) sleeps `exp/2 + jitter(seed, n) % (exp/2 + 1)` where
+/// `exp = base × 2^(n-1)` capped at `max_backoff`. Full jitter over the
+/// upper half: spreads a fleet while keeping at least half the exponential
+/// spacing.
+pub fn backoff_delay(config: &ClientConfig, attempt: u32) -> Duration {
+    let base = config.base_backoff.as_millis() as u64;
+    let cap = config.max_backoff.as_millis() as u64;
+    let exp = base
+        .saturating_mul(
+            1u64.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u64::MAX),
+        )
+        .min(cap);
+    let half = exp / 2;
+    let jitter = ssr_fault::mix64(config.jitter_seed ^ u64::from(attempt)) % (half + 1);
+    Duration::from_millis(half + jitter)
+}

@@ -29,6 +29,7 @@
 pub mod batch;
 pub mod brute;
 pub mod candidates;
+pub mod client;
 pub mod config;
 pub mod database;
 pub mod expand;
@@ -42,6 +43,7 @@ pub mod wire;
 pub use batch::{BatchOutcome, QueryEngine, VerificationMemo};
 pub use brute::{all_similar_pairs, longest_similar_pair, nearest_pair, BruteConstraints};
 pub use candidates::{build_candidates, Candidate, SegmentMatch};
+pub use client::{backoff_delay, ClientConfig, ClientError, WireClient};
 pub use config::{FrameworkConfig, FrameworkError, IndexBackend};
 pub use database::{DatabaseBuilder, SegmentScan, SubsequenceDatabase};
 pub use expand::{enumerate_pairs, ExpansionLimits};

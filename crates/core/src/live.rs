@@ -356,9 +356,18 @@ where
     /// steps is safe: the surviving log still names the *old* snapshot, so
     /// the next [`Self::open`] detects the stale binding and discards it
     /// instead of double-applying records the new snapshot already contains.
+    ///
+    /// # Failpoints
+    ///
+    /// `live.compact` fires in exactly that window — after the new snapshot
+    /// is durably renamed into place but before the WAL is rebound — so
+    /// chaos tests can exercise the stale-binding recovery path on demand.
     pub fn compact(&mut self) -> Result<(), StorageError> {
         let bytes = self.db.snapshot_bytes();
         write_atomic(&self.snapshot_path, &bytes)?;
+        if ssr_fault::evaluate("live.compact").is_some() {
+            return Err(ssr_fault::injected_io_error("live.compact").into());
+        }
         self.wal.reset(WalBinding::of(&bytes))?;
         self.pending_appends = 0;
         self.pending_removes = 0;

@@ -30,12 +30,25 @@
 //! Every query is executed by the same [`QueryEngine`] the in-process API
 //! uses, one batch per request, so served results are **bit-identical** to
 //! in-process results — `tests/serve_parity.rs` holds that line.
+//!
+//! **Failure posture.** Worker threads wrap each job in `catch_unwind`, so a
+//! panic inside one query poisons nothing: the job's reply channel drops
+//! (the waiting connection answers [`WireError::Internal`]) and the worker
+//! keeps serving. Connections that stall mid-frame past the read timeout
+//! are counted and closed with a typed [`WireError::Malformed`] — a slow
+//! peer cannot pin a connection thread forever. A wire
+//! [`Request::Shutdown`] *drains*: in-flight jobs finish, new queries are
+//! refused with [`WireError::Draining`] (`Ping`/`Stats`/`Metrics` still
+//! answer, so probes keep working), and the server exits once the last
+//! worker runs dry. Failpoints (`serve.accept`, `serve.frame_read`,
+//! `serve.frame_write`, `serve.worker`) let chaos tests force each of these
+//! paths deterministically.
 
 use std::collections::VecDeque;
 use std::io::Write;
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -220,6 +233,15 @@ struct Shared<E: Element, D: SequenceDistance<E>> {
     config: ServeConfig,
     workers: usize,
     shutdown: AtomicBool,
+    /// Set by [`Shared::begin_drain`]: refuse new queries, finish in-flight
+    /// ones, exit when the last worker runs dry.
+    draining: AtomicBool,
+    /// Worker threads still running; the last one out completes a drain.
+    active_workers: AtomicUsize,
+    /// Jobs whose execution panicked (caught; the worker kept serving).
+    worker_panics: AtomicU64,
+    /// Connections dropped because a read stalled past the timeout.
+    connection_timeouts: AtomicU64,
     local_addr: SocketAddr,
     queries_executed: AtomicU64,
     queries_answered: AtomicU64,
@@ -235,6 +257,9 @@ struct Shared<E: Element, D: SequenceDistance<E>> {
     /// Wall-clock of each served `Query` request, in microseconds. A handle
     /// into `registry`, resolved once at bind.
     request_duration: ssr_obs::Histogram,
+    /// `ssr_draining` gauge (0/1) in `registry`, resolved once at bind so a
+    /// scrape can watch a drain progress.
+    draining_gauge: ssr_obs::Gauge,
     /// Monotonic ids for server-side request traces (slow-query log).
     trace_ids: AtomicU64,
 }
@@ -298,6 +323,18 @@ where
         scrape
             .gauge("ssr_queue_depth", "Query jobs waiting for a worker.")
             .set(self.queue.len() as i64);
+        scrape
+            .counter(
+                "ssr_worker_panics_total",
+                "Query jobs whose execution panicked (caught; worker kept serving).",
+            )
+            .add(self.worker_panics.load(Ordering::Relaxed));
+        scrape
+            .counter(
+                "ssr_connection_timeouts_total",
+                "Connections dropped because a read stalled past the timeout.",
+            )
+            .add(self.connection_timeouts.load(Ordering::Relaxed));
         scrape
             .gauge("ssr_uptime_ms", "Milliseconds since the server bound.")
             .set(self.started.elapsed().as_millis() as i64);
@@ -366,6 +403,18 @@ where
         // `accept` has no timeout; a self-connect is the portable wake-up.
         drop(TcpStream::connect(self.local_addr));
     }
+
+    /// Starts a graceful drain: raises the `ssr_draining` gauge, closes the
+    /// admission queue (in-flight jobs finish; new queries are answered
+    /// [`WireError::Draining`]) and lets the last worker to run dry complete
+    /// the shutdown. Idempotent.
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.draining_gauge.set(1);
+        self.queue.close();
+    }
 }
 
 /// A running query server. Dropping the handle does **not** stop the server;
@@ -401,6 +450,10 @@ where
             "ssr_request_duration_us",
             "Server-side wall clock of each Query request, in microseconds.",
         );
+        let draining_gauge = registry.gauge(
+            "ssr_draining",
+            "1 while the server drains in-flight work before exiting.",
+        );
         let shared = Arc::new(Shared {
             replicas,
             queue: BoundedQueue::new(config.queue_depth),
@@ -408,6 +461,10 @@ where
             workers,
             config,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            active_workers: AtomicUsize::new(workers),
+            worker_panics: AtomicU64::new(0),
+            connection_timeouts: AtomicU64::new(0),
             local_addr,
             queries_executed: AtomicU64::new(0),
             queries_answered: AtomicU64::new(0),
@@ -417,6 +474,7 @@ where
             started: Instant::now(),
             registry,
             request_duration,
+            draining_gauge,
             trace_ids: AtomicU64::new(1),
         });
 
@@ -459,6 +517,18 @@ where
         }
     }
 
+    /// Gracefully drains and then stops: in-flight and already-admitted
+    /// jobs finish, new queries are refused with [`WireError::Draining`]
+    /// (probes still answer), and once the last worker runs dry the server
+    /// shuts down. Blocks until every server thread has exited. This is
+    /// what a wire [`Request::Shutdown`] triggers remotely.
+    pub fn drain(self) {
+        self.shared.begin_drain();
+        for handle in self.threads {
+            let _ = handle.join();
+        }
+    }
+
     /// Blocks until the server stops some other way — a wire
     /// [`Request::Shutdown`], typically. This is `ssr serve`'s foreground
     /// mode: bind, print the address, then park here.
@@ -487,6 +557,11 @@ where
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        // Chaos hook: a fired `serve.accept` drops the fresh connection on
+        // the floor, as an accept-time resource failure would.
+        if ssr_fault::evaluate("serve.accept").is_some() {
+            continue;
+        }
         let shared = Arc::clone(shared);
         // Connection threads are detached: they exit on client disconnect,
         // read timeout or queue closure, and hold nothing but the shared
@@ -510,10 +585,32 @@ where
     }
     let _ = stream.set_nodelay(true);
     loop {
+        // Chaos hook: a fired `serve.frame_read` behaves like the peer
+        // vanishing mid-frame — the connection closes without an answer.
+        if ssr_fault::evaluate("serve.frame_read").is_some() {
+            return;
+        }
         let payload = match read_frame(&mut stream, shared.config.max_frame_len) {
             Ok(Some(payload)) => payload,
             // Clean EOF between frames: the client hung up.
             Ok(None) => return,
+            Err(StorageError::Io(err))
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The peer stalled past the read timeout (slowloris or a
+                // dead link). Count it and answer a typed refusal
+                // best-effort — the write side usually still works — then
+                // close: the stream offset cannot be trusted any more.
+                shared.connection_timeouts.fetch_add(1, Ordering::Relaxed);
+                let error = Response::Error(WireError::Malformed(
+                    "read timed out mid-frame; closing connection".into(),
+                ));
+                let _ = respond(&mut stream, &error, crate::wire::WIRE_VERSION_MIN);
+                return;
+            }
             Err(StorageError::Io(_)) => return,
             Err(err) => {
                 let error = Response::Error(WireError::from_storage(&err));
@@ -540,9 +637,17 @@ where
             Request::Stats => Response::Stats(shared.stats_snapshot()),
             Request::Metrics => Response::Metrics(shared.render_metrics()),
             Request::Shutdown => {
+                // Shutdown over the wire is a *drain*: ack, stop admitting,
+                // let in-flight work finish; the last worker to run dry
+                // completes the shutdown.
                 let _ = respond(&mut stream, &Response::ShuttingDown, version);
-                shared.begin_shutdown();
+                shared.begin_drain();
                 return;
+            }
+            // Probes above still answer during a drain; only new query
+            // batches are refused, with the typed retry-elsewhere error.
+            Request::Query { .. } if shared.draining.load(Ordering::SeqCst) => {
+                Response::Error(WireError::Draining)
             }
             Request::Query { spec, queries } => {
                 let started = Instant::now();
@@ -560,6 +665,13 @@ where
 }
 
 fn respond(stream: &mut TcpStream, response: &Response, version: u8) -> Result<(), StorageError> {
+    // Chaos hook: a fired `serve.frame_write` fails the response write, as
+    // a peer resetting the connection mid-reply would.
+    if ssr_fault::evaluate("serve.frame_write").is_some() {
+        return Err(StorageError::Io(ssr_fault::injected_io_error(
+            "serve.frame_write",
+        )));
+    }
     write_frame(stream, &response.encode_payload_versioned(version))?;
     stream.flush().map_err(StorageError::Io)
 }
@@ -631,7 +743,12 @@ where
                 return Response::Error(WireError::Overloaded);
             }
             Err(PushError::Closed) => {
-                return Response::Error(WireError::Internal("server is shutting down".into()))
+                // A drain closes the queue before connections see the flag;
+                // answer the typed drain refusal in that window.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return Response::Error(WireError::Draining);
+                }
+                return Response::Error(WireError::Internal("server is shutting down".into()));
             }
         }
         let fresh = match reply_rx.recv() {
@@ -674,6 +791,12 @@ where
 }
 
 /// Executes admitted jobs on this worker's replica until the queue closes.
+///
+/// Each job runs inside `catch_unwind`: a panicking query (or a fired
+/// `serve.worker` failpoint) drops that job's reply channel — the waiting
+/// connection answers [`WireError::Internal`] — and the worker moves on to
+/// the next job instead of dying, so one poisoned input cannot shrink the
+/// pool. The last worker to exit during a drain completes the shutdown.
 fn worker_loop<E, D>(shared: &Arc<Shared<E, D>>, worker_id: usize)
 where
     E: Element + Send + Sync,
@@ -681,44 +804,65 @@ where
 {
     let db = &shared.replicas[worker_id % shared.replicas.len()];
     while let Some(job) = shared.queue.pop() {
-        let engine = QueryEngine::new(db)
-            .with_threads(1)
-            .with_slow_query_log(shared.config.slow_query_ms);
-        let outcomes: Vec<CachedOutcome> = match job.spec {
-            QuerySpec::Type1 { epsilon } => engine
-                .batch_type1(&job.queries, epsilon)
-                .outcomes
-                .into_iter()
-                .map(|o| Arc::new((o.result, o.stats)))
-                .collect(),
-            QuerySpec::Type2 { epsilon } => engine
-                .batch_type2(&job.queries, epsilon)
-                .outcomes
-                .into_iter()
-                .map(|o| Arc::new((o.result.into_iter().collect(), o.stats)))
-                .collect(),
-            QuerySpec::Type3 {
-                epsilon_max,
-                epsilon_increment,
-            } => engine
-                .batch_type3(&job.queries, epsilon_max, epsilon_increment)
-                .outcomes
-                .into_iter()
-                .map(|o| Arc::new((o.result.into_iter().collect(), o.stats)))
-                .collect(),
-        };
-        shared
-            .queries_executed
-            .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
-        for (key, outcome) in job.keys.iter().zip(&outcomes) {
-            shared.cache.insert_evicting(
-                key.clone(),
-                Arc::clone(outcome),
-                shared.config.cache_shard_capacity,
-            );
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if ssr_fault::evaluate("serve.worker").is_some() {
+                panic!("failpoint 'serve.worker' fired: injected worker panic");
+            }
+            execute_job(shared, db, job)
+        }));
+        if ran.is_err() {
+            shared.worker_panics.fetch_add(1, Ordering::Relaxed);
         }
-        let _ = job.reply.send(outcomes);
     }
+    if shared.active_workers.fetch_sub(1, Ordering::SeqCst) == 1
+        && shared.draining.load(Ordering::SeqCst)
+    {
+        shared.begin_shutdown();
+    }
+}
+
+fn execute_job<E, D>(shared: &Arc<Shared<E, D>>, db: &SubsequenceDatabase<E, D>, job: QueryJob<E>)
+where
+    E: Element + Send + Sync,
+    D: SequenceDistance<E>,
+{
+    let engine = QueryEngine::new(db)
+        .with_threads(1)
+        .with_slow_query_log(shared.config.slow_query_ms);
+    let outcomes: Vec<CachedOutcome> = match job.spec {
+        QuerySpec::Type1 { epsilon } => engine
+            .batch_type1(&job.queries, epsilon)
+            .outcomes
+            .into_iter()
+            .map(|o| Arc::new((o.result, o.stats)))
+            .collect(),
+        QuerySpec::Type2 { epsilon } => engine
+            .batch_type2(&job.queries, epsilon)
+            .outcomes
+            .into_iter()
+            .map(|o| Arc::new((o.result.into_iter().collect(), o.stats)))
+            .collect(),
+        QuerySpec::Type3 {
+            epsilon_max,
+            epsilon_increment,
+        } => engine
+            .batch_type3(&job.queries, epsilon_max, epsilon_increment)
+            .outcomes
+            .into_iter()
+            .map(|o| Arc::new((o.result.into_iter().collect(), o.stats)))
+            .collect(),
+    };
+    shared
+        .queries_executed
+        .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+    for (key, outcome) in job.keys.iter().zip(&outcomes) {
+        shared.cache.insert_evicting(
+            key.clone(),
+            Arc::clone(outcome),
+            shared.config.cache_shard_capacity,
+        );
+    }
+    let _ = job.reply.send(outcomes);
 }
 
 /// A blocking client speaking the wire protocol — the counterpart `bench

@@ -15,13 +15,17 @@
 //! element tag so a server can refuse a mismatched element type *before*
 //! attempting to decode elements of the wrong shape.
 //!
-//! **Version negotiation.** The current version is 2; the server also
-//! accepts version-1 requests and *echoes the request's version* in its
-//! response, encoding the response body in that version's layout. Version 2
-//! added the `Metrics` request/response pair and appended `uptime_ms` and
-//! `cache_bytes_estimate` to the `Stats` body — a version-1 `Stats` body
-//! omits them (the decoder defaults them to zero), so old clients keep
-//! decoding every reply bit-for-bit as before.
+//! **Version negotiation.** The current version is 3; the server also
+//! accepts version-1 and version-2 requests and *echoes the request's
+//! version* in its response, encoding the response body in that version's
+//! layout. Version 2 added the `Metrics` request/response pair and appended
+//! `uptime_ms` and `cache_bytes_estimate` to the `Stats` body — a version-1
+//! `Stats` body omits them (the decoder defaults them to zero), so old
+//! clients keep decoding every reply bit-for-bit as before. Version 3 added
+//! the [`WireError::Draining`] refusal a draining server answers new queries
+//! with; when replying to a pre-3 peer the server downgrades it to
+//! [`WireError::Internal`] (same retry-later meaning, a tag the old decoder
+//! knows), so old clients never see an unknown error tag.
 //!
 //! The module is pure codec — no sockets. [`crate::serve`] owns the IO.
 
@@ -30,7 +34,7 @@ use ssr_storage::{Decode, Encode, Reader, StorableElement, StorageError, Writer}
 use crate::query::{QueryStats, SubsequenceMatch};
 
 /// Current wire protocol version; what [`Request::encode_payload`] writes.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 /// Oldest wire version still decoded. Version-1 peers get version-1-shaped
 /// replies (see the module docs on negotiation).
@@ -58,6 +62,7 @@ const ERR_UNSUPPORTED_VERSION: u8 = 1;
 const ERR_MALFORMED: u8 = 2;
 const ERR_ELEMENT_MISMATCH: u8 = 3;
 const ERR_INTERNAL: u8 = 4;
+const ERR_DRAINING: u8 = 5;
 
 /// Which of the paper's three query types a request asks for, with its
 /// radii. One spec applies to every query sequence in the request — the
@@ -422,6 +427,11 @@ pub enum WireError {
     },
     /// The server failed internally (e.g. a worker disappeared mid-drain).
     Internal(String),
+    /// The server is draining: it finishes in-flight work but refuses new
+    /// query batches. Retry against another replica or after the restart.
+    /// Added in wire version 3; pre-3 peers receive [`WireError::Internal`]
+    /// instead (see the module docs on negotiation).
+    Draining,
 }
 
 impl std::fmt::Display for WireError {
@@ -439,6 +449,7 @@ impl std::fmt::Display for WireError {
                 write!(f, "element mismatch: server holds {expected}, got {found}")
             }
             WireError::Internal(msg) => write!(f, "internal server error: {msg}"),
+            WireError::Draining => write!(f, "server is draining: not accepting new queries"),
         }
     }
 }
@@ -482,6 +493,7 @@ impl Encode for WireError {
                 w.put_u8(ERR_INTERNAL);
                 w.put_str(msg);
             }
+            WireError::Draining => w.put_u8(ERR_DRAINING),
         }
     }
 }
@@ -497,6 +509,7 @@ impl Decode for WireError {
                 found: r.take_str()?,
             }),
             ERR_INTERNAL => Ok(WireError::Internal(r.take_str()?)),
+            ERR_DRAINING => Ok(WireError::Draining),
             tag => Err(StorageError::Malformed(format!(
                 "unknown wire error tag {tag}"
             ))),
@@ -548,7 +561,13 @@ impl Response {
             }
             Response::Error(err) => {
                 w.put_u8(RESP_ERROR);
-                err.encode(&mut w);
+                // `Draining` is a version-3 tag; a pre-3 peer gets the
+                // closest error its decoder knows (same retry-later intent).
+                if version < 3 && *err == WireError::Draining {
+                    WireError::Internal("server is draining".to_string()).encode(&mut w);
+                } else {
+                    err.encode(&mut w);
+                }
             }
             Response::Metrics(text) => {
                 w.put_u8(RESP_METRICS);
@@ -670,6 +689,7 @@ mod tests {
             Response::Error(WireError::Malformed("bad".into())),
             Response::Error(WireError::UnsupportedVersion(9)),
             Response::Error(WireError::Internal("worker gone".into())),
+            Response::Error(WireError::Draining),
         ];
         for response in responses {
             let payload = response.encode_payload();
@@ -742,6 +762,27 @@ mod tests {
         match Response::decode_payload(&v2).unwrap() {
             Response::Stats(decoded) => assert_eq!(decoded, stats),
             other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn draining_downgrades_for_pre_v3_peers() {
+        // A version-3 peer sees the typed refusal verbatim.
+        let v3 = Response::Error(WireError::Draining).encode_payload_versioned(3);
+        assert_eq!(
+            Response::decode_payload(&v3).unwrap(),
+            Response::Error(WireError::Draining)
+        );
+        // Version-1 and version-2 peers get an `Internal` their decoders
+        // already know, carrying the same retry-later meaning.
+        for version in [1, 2] {
+            let old = Response::Error(WireError::Draining).encode_payload_versioned(version);
+            match Response::decode_payload(&old).unwrap() {
+                Response::Error(WireError::Internal(msg)) => {
+                    assert!(msg.contains("draining"), "message should say why: {msg}")
+                }
+                other => panic!("expected downgraded internal error, got {other:?}"),
+            }
         }
     }
 

@@ -6,7 +6,9 @@
 //! rebuilding (minutes of index construction and millions of distance calls
 //! at production scale).
 //!
-//! The crate has five layers and zero dependencies:
+//! The crate has five layers and no dependencies beyond the std-only
+//! `ssr-fault` failpoint layer (the WAL append and snapshot-rename paths
+//! host failpoints so chaos tests can model torn writes and crashes):
 //!
 //! * [`codec`] — [`Writer`]/[`Reader`] plus the [`Encode`] / [`Decode`] /
 //!   [`DecodeWith`] traits that `ssr-sequence`, `ssr-index` and `ssr-core`

@@ -148,18 +148,44 @@ impl SnapshotBuilder {
     }
 }
 
-/// Writes `bytes` to `path` atomically (a `.tmp` sibling, synced, then
-/// renamed into place): readers observe either the old file or the complete
-/// new one, never a torn mixture. The WAL layer relies on this when a
-/// compaction replaces the snapshot its log is bound to.
+/// Writes `bytes` to `path` atomically (a `.tmp` sibling, fully fsynced,
+/// then renamed into place): readers observe either the old file or the
+/// complete new one, never a torn mixture. The WAL layer relies on this when
+/// a compaction replaces the snapshot its log is bound to.
+///
+/// The temp file is synced with `sync_all` (data *and* metadata) **before**
+/// the rename: renaming a file whose length is not yet durable can surface a
+/// truncated snapshot after power loss on some filesystems, which would turn
+/// an "atomic" replace into data loss.
+///
+/// # Failpoints
+///
+/// `snapshot.write_atomic` fires while the temp file is being written (a
+/// `partial-N` action models a torn temp write — the target file is
+/// untouched), and `snapshot.rename` fires after the temp file is durable
+/// but before the rename — the crash window chaos tests probe.
 pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StorageError> {
     let path = path.as_ref();
     let tmp = path.with_extension("tmp");
     {
         let mut file = std::fs::File::create(&tmp)?;
         use std::io::Write;
+        match ssr_fault::evaluate("snapshot.write_atomic") {
+            Some(ssr_fault::Fault::PartialWrite(n)) => {
+                file.write_all(&bytes[..n.min(bytes.len())])?;
+                file.sync_all()?;
+                return Err(ssr_fault::injected_io_error("snapshot.write_atomic").into());
+            }
+            Some(ssr_fault::Fault::Error) => {
+                return Err(ssr_fault::injected_io_error("snapshot.write_atomic").into());
+            }
+            None => {}
+        }
         file.write_all(bytes)?;
-        file.sync_data()?;
+        file.sync_all()?;
+    }
+    if ssr_fault::evaluate("snapshot.rename").is_some() {
+        return Err(ssr_fault::injected_io_error("snapshot.rename").into());
     }
     std::fs::rename(&tmp, path)?;
     Ok(())

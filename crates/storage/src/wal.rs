@@ -210,9 +210,19 @@ pub fn read_wal_file(path: impl AsRef<Path>) -> Result<WalRead, StorageError> {
 }
 
 /// An open, resumable WAL. Every append is one `write_all` of a fully framed
-/// record followed by a data sync, so the file only ever grows by whole
-/// frames plus at most one torn tail — exactly the shape [`decode_wal`]
-/// recovers from.
+/// record followed by a full `fsync` (`sync_all` — data *and* metadata, so
+/// an acked record survives power loss even when the append grew the file),
+/// so the file only ever grows by whole frames plus at most one torn tail —
+/// exactly the shape [`decode_wal`] recovers from.
+///
+/// # Failpoints
+///
+/// [`Self::append`] hosts the `wal.append` failpoint (a `partial-N` action
+/// writes only the first N bytes of the frame — a modelled torn write) and
+/// [`Self::reset`] hosts `wal.reset`. An append that returns an injected
+/// error leaves the file with a torn tail, exactly like a crash mid-append;
+/// the writer must be discarded and reopened, which is what the chaos
+/// harness does to simulate the crash.
 pub struct WalWriter {
     file: File,
     len: u64,
@@ -230,7 +240,7 @@ impl WalWriter {
             .truncate(true)
             .open(path)?;
         file.write_all(&header_for(binding))?;
-        file.sync_data()?;
+        file.sync_all()?;
         Ok(WalWriter {
             file,
             len: WAL_HEADER_LEN as u64,
@@ -284,12 +294,30 @@ impl WalWriter {
         }
     }
 
-    /// Appends one record (framed, checksummed, synced). The payload must be
-    /// non-empty — empty frames are reserved for torn-tail detection.
+    /// Appends one record (framed, checksummed, fsynced — the record is
+    /// durable when this returns). The payload must be non-empty — empty
+    /// frames are reserved for torn-tail detection.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
         let frame = crate::frame::frame_bytes(payload)?;
+        match ssr_fault::evaluate("wal.append") {
+            Some(ssr_fault::Fault::PartialWrite(n)) => {
+                // A torn write: only a prefix of the frame reaches the disk
+                // before the "crash". The tear is synced so the recovery
+                // path sees exactly what a real power loss would leave.
+                self.file.write_all(&frame[..n.min(frame.len())])?;
+                self.file.sync_all()?;
+                return Err(ssr_fault::injected_io_error("wal.append").into());
+            }
+            Some(ssr_fault::Fault::Error) => {
+                return Err(ssr_fault::injected_io_error("wal.append").into());
+            }
+            None => {}
+        }
         self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        // sync_all, not sync_data: an append grows the file, and on many
+        // filesystems the new length is metadata — without it an acked
+        // record can vanish on power loss even though its bytes were synced.
+        self.file.sync_all()?;
         self.len += frame.len() as u64;
         self.records += 1;
         Ok(())
@@ -299,10 +327,13 @@ impl WalWriter {
     /// tail end of a compaction, after the folded snapshot (whose identity
     /// `binding` names) has been durably renamed into place.
     pub fn reset(&mut self, binding: WalBinding) -> Result<(), StorageError> {
+        if ssr_fault::evaluate("wal.reset").is_some() {
+            return Err(ssr_fault::injected_io_error("wal.reset").into());
+        }
         self.file.set_len(WAL_HEADER_LEN as u64)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(&header_for(binding))?;
-        self.file.sync_data()?;
+        self.file.sync_all()?;
         self.len = WAL_HEADER_LEN as u64;
         self.records = 0;
         Ok(())

@@ -1,0 +1,176 @@
+//! Failpoint-backed crash tests for the WAL and snapshot layers.
+//!
+//! These live in their own test binary (not the lib's unit tests) because
+//! the failpoint registry is process-global: arming `wal.append` here must
+//! not make an unrelated unit test's append fail. Within this binary every
+//! test serializes on one mutex and clears the registry when done.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use ssr_storage::{
+    read_wal_file, write_atomic, Snapshot, SnapshotBuilder, StorageError, WalBinding, WalWriter,
+};
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ssr-failpoint-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+const BINDING: WalBinding = WalBinding {
+    snapshot_len: 64,
+    snapshot_crc: 0xFEED_F00D,
+};
+
+fn assert_injected(result: Result<(), StorageError>, site: &str) {
+    match result {
+        Err(StorageError::Io(e)) => assert!(
+            e.to_string().contains(&format!("failpoint '{site}'")),
+            "error should name the site: {e}"
+        ),
+        other => panic!("expected injected io error from '{site}', got {other:?}"),
+    }
+}
+
+/// The durability-gap regression test: every append that returned Ok was
+/// fsynced (`sync_all` — data AND length metadata) and survives a crash; an
+/// append torn mid-write by the failpoint loses only itself. Before the
+/// `sync_data` → `sync_all` fix, the acked records' very existence (the file
+/// length) was not durable — this pins the failpoint-modelled half of that
+/// story: the torn frame never resurrects and every acked record replays
+/// byte-exactly.
+#[test]
+fn torn_wal_append_loses_only_the_unacked_record() {
+    let _guard = serialize();
+    ssr_fault::clear();
+    let path = temp_path("torn-append.wal");
+    let _ = std::fs::remove_file(&path);
+    let (mut wal, _) = WalWriter::open(&path, BINDING).unwrap();
+    wal.append(b"acked-one").unwrap();
+    wal.append(b"acked-two").unwrap();
+    // The 3rd append tears after 5 bytes of its frame.
+    ssr_fault::configure_str("wal.append=nth-1:partial-5").unwrap();
+    let torn = wal.append(b"never-acked");
+    ssr_fault::clear();
+    assert_injected(torn, "wal.append");
+    drop(wal); // the "crash": the writer is gone, the torn tail remains
+    let read = read_wal_file(&path).unwrap();
+    assert_eq!(read.dropped_bytes, 5, "the torn frame prefix is on disk");
+    let (mut wal, replay) = WalWriter::open(&path, BINDING).unwrap();
+    assert_eq!(
+        replay,
+        vec![b"acked-one".to_vec(), b"acked-two".to_vec()],
+        "acked records survive, the unacked one is gone"
+    );
+    wal.append(b"after-recovery").unwrap();
+    drop(wal);
+    let read = read_wal_file(&path).unwrap();
+    assert_eq!(read.records.len(), 3);
+    assert_eq!(read.dropped_bytes, 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// An injected (non-torn) append failure leaves the log byte-identical:
+/// nothing was acked, nothing may change.
+#[test]
+fn injected_append_error_leaves_the_log_intact() {
+    let _guard = serialize();
+    ssr_fault::clear();
+    let path = temp_path("error-append.wal");
+    let _ = std::fs::remove_file(&path);
+    let (mut wal, _) = WalWriter::open(&path, BINDING).unwrap();
+    wal.append(b"kept").unwrap();
+    let before = std::fs::read(&path).unwrap();
+    ssr_fault::configure_str("wal.append=always:error").unwrap();
+    let result = wal.append(b"refused");
+    ssr_fault::clear();
+    assert_injected(result, "wal.append");
+    assert_eq!(std::fs::read(&path).unwrap(), before);
+    std::fs::remove_file(&path).unwrap();
+}
+
+fn snapshot_bytes(tag: &str) -> Vec<u8> {
+    let mut builder = SnapshotBuilder::new();
+    builder.section("payload", |w| w.put_str(tag));
+    builder.to_bytes()
+}
+
+/// A torn temp-file write never touches the target snapshot: the old file
+/// still opens and validates, and a retry after the "crash" succeeds.
+#[test]
+fn torn_write_atomic_preserves_the_old_snapshot() {
+    let _guard = serialize();
+    ssr_fault::clear();
+    let path = temp_path("torn.snapshot");
+    let old = snapshot_bytes("old-and-valid");
+    write_atomic(&path, &old).unwrap();
+    ssr_fault::configure_str("snapshot.write_atomic=nth-1:partial-9").unwrap();
+    let result = write_atomic(&path, &snapshot_bytes("newer"));
+    ssr_fault::clear();
+    assert_injected(result, "snapshot.write_atomic");
+    assert_eq!(std::fs::read(&path).unwrap(), old, "target untouched");
+    Snapshot::open(&path).expect("old snapshot still validates");
+    // The torn temp file is on disk but harmless; the retry overwrites it.
+    let newer = snapshot_bytes("newer");
+    write_atomic(&path, &newer).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), newer);
+    let _ = std::fs::remove_file(path.with_extension("tmp"));
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A crash between the durable temp write and the rename (the
+/// `snapshot.rename` window) also leaves the old snapshot in place — the
+/// atomicity contract holds on both sides of the rename.
+#[test]
+fn crash_before_rename_preserves_the_old_snapshot() {
+    let _guard = serialize();
+    ssr_fault::clear();
+    let path = temp_path("prerename.snapshot");
+    let old = snapshot_bytes("survives");
+    write_atomic(&path, &old).unwrap();
+    ssr_fault::configure_str("snapshot.rename=nth-1:error").unwrap();
+    let result = write_atomic(&path, &snapshot_bytes("lost-in-window"));
+    ssr_fault::clear();
+    assert_injected(result, "snapshot.rename");
+    assert_eq!(std::fs::read(&path).unwrap(), old);
+    // The fully-written temp file was left behind, as a real crash would.
+    let tmp = path.with_extension("tmp");
+    assert_eq!(
+        std::fs::read(&tmp).unwrap(),
+        snapshot_bytes("lost-in-window")
+    );
+    let _ = std::fs::remove_file(tmp);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Disarmed failpoints cost nothing and change nothing: the same workload
+/// produces byte-identical files with the registry armed-then-cleared and
+/// never-armed.
+#[test]
+fn disarmed_failpoints_do_not_alter_behavior() {
+    let _guard = serialize();
+    ssr_fault::clear();
+    assert!(!ssr_fault::armed());
+    let run = |tag: &str| -> Vec<u8> {
+        let path = temp_path(&format!("disarmed-{tag}.wal"));
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = WalWriter::open(&path, BINDING).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        bytes
+    };
+    let baseline = run("a");
+    // Arm an unrelated site, clear, run again: identical bytes.
+    ssr_fault::configure_str("some.other.site=always:error").unwrap();
+    ssr_fault::clear();
+    assert_eq!(run("b"), baseline);
+}
