@@ -102,6 +102,12 @@ struct Options {
     chaos: bool,
     /// Base seed of `--chaos` (each schedule derives its own from it).
     chaos_seed: u64,
+    /// Cluster chaos mode: three in-process `ssr serve` nodes, a seeded
+    /// node-kill/restart schedule, and schedule-exact counter replay.
+    /// `--snapshot` (optional here) names the database all nodes serve.
+    cluster: bool,
+    /// Base seed of `--cluster` (routing, kill schedule, hedge placement).
+    cluster_seed: u64,
     /// Ablation: disable the threshold-aware pruning machinery entirely.
     no_pruning: bool,
     /// Gate: the pruned run must evaluate at least this factor fewer DP
@@ -128,7 +134,8 @@ fn usage() -> ! {
          [--min-bytes-reduction X] [--max-obs-overhead X]\n       \
          bench --serve ADDR --snapshot PATH [--connections N] [--batch N] [--rounds N] \
          [--max-p99-ms X] [--min-cache-hit-rate X] [--serve-shutdown] [--out PATH]\n       \
-         bench --chaos [--chaos-seed N] [--out PATH]"
+         bench --chaos [--chaos-seed N] [--out PATH]\n       \
+         bench --cluster [--cluster-seed N] [--snapshot PATH] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -158,6 +165,8 @@ fn parse_options() -> Options {
         serve_shutdown: false,
         chaos: false,
         chaos_seed: 42,
+        cluster: false,
+        cluster_seed: 42,
     };
     let mut queries_override = None;
     let mut i = 0;
@@ -219,6 +228,10 @@ fn parse_options() -> Options {
             "--chaos" => opts.chaos = true,
             "--chaos-seed" => {
                 opts.chaos_seed = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--cluster" => opts.cluster = true,
+            "--cluster-seed" => {
+                opts.cluster_seed = value(&mut i).parse().unwrap_or_else(|_| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -285,6 +298,10 @@ fn main() {
     let opts = parse_options();
     if opts.chaos {
         chaos_mode(&opts);
+        return;
+    }
+    if opts.cluster {
+        cluster_mode(&opts);
         return;
     }
     if opts.serve.is_some() {
@@ -811,6 +828,41 @@ fn chaos_mode(opts: &Options) {
         outcomes.len()
     );
     if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `--cluster` mode: the seeded node-kill chaos harness of
+/// [`ssr_bench::cluster`] — three in-process nodes, two identical scripted
+/// passes whose failover/hedge/breaker-trip counters must replay exactly,
+/// and a live recovery phase. Nonzero exit on any broken invariant.
+fn cluster_mode(opts: &Options) {
+    eprintln!("# cluster: seed {}", opts.cluster_seed);
+    let outcome = ssr_bench::run_cluster_chaos(opts.cluster_seed, opts.snapshot.as_deref());
+    match &outcome.failure {
+        None => eprintln!(
+            "# cluster: PASS (seed {}, {} requests, {} failovers, {} hedges, {} trips)",
+            outcome.seed,
+            outcome.requests,
+            outcome.counters.failovers,
+            outcome.counters.hedges,
+            outcome.counters.breaker_trips
+        ),
+        Some(msg) => eprintln!("# cluster: FAIL (seed {}): {msg}", outcome.seed),
+    }
+    if let Some(out) = &opts.out {
+        let report = JsonValue::object(vec![
+            ("kind", JsonValue::String("cluster-chaos".to_string())),
+            ("date", JsonValue::String(today())),
+            ("run", outcome.to_json()),
+        ]);
+        std::fs::write(out, report.render()).unwrap_or_else(|e| {
+            eprintln!("FAIL writing cluster report {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("# cluster: report written to {out}");
+    }
+    if outcome.failure.is_some() {
         std::process::exit(1);
     }
 }

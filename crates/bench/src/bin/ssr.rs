@@ -15,6 +15,10 @@
 //!             [--slow-query-ms N] [--failpoint SPEC]
 //! ssr stats   ADDR [--check] [--json]
 //! ssr drain   ADDR
+//! ssr cluster ADDR1,ADDR2,... query --text STRING [--type 1|2|3] [--epsilon X]
+//!             [--epsilon-max X] [--epsilon-increment X] [--hedge-ms N]
+//! ssr cluster ADDR1,ADDR2,... stats
+//! ssr cluster ADDR1,ADDR2,... drain
 //! ```
 //!
 //! `build` generates one of the four synthetic datasets, runs steps 1–2 of
@@ -58,6 +62,15 @@
 //! see `ssr_fault` and ARCHITECTURE.md for the site map and the
 //! `name=trigger:action` grammar.
 //!
+//! `cluster` speaks to N servers at once through `ssr_cluster`'s
+//! fault-tolerant client: `query` routes one query by seeded
+//! power-of-two-choices over the healthy nodes, fails over across nodes on
+//! node-level failures (circuit breakers quarantine repeat offenders), and
+//! optionally hedges with `--hedge-ms` (`0` hedges immediately); it prints
+//! the matches plus the failover/hedge counters the request spent. `stats`
+//! and `drain` fan out to every node individually and report per-node
+//! outcomes — a dead node fails its own line without blocking the rest.
+//!
 //! Each dataset is bound to its paper distance: DNA and PROTEINS use
 //! Levenshtein over symbols, SONGS uses ERP over pitches, TRAJ uses the
 //! discrete Fréchet distance over 2-D points. The snapshot manifest records
@@ -90,7 +103,10 @@ fn usage() -> ! {
          ssr append PATH --text STRING [--label L]\n  ssr remove PATH --sequence N\n  \
          ssr compact PATH\n  ssr serve PATH [--addr HOST:PORT] [--workers N] [--replicas N] \
          [--queue-depth N] [--cache-shards N] [--cache-capacity N] [--slow-query-ms N] \
-         [--failpoint SPEC]\n  ssr stats ADDR [--check] [--json]\n  ssr drain ADDR"
+         [--failpoint SPEC]\n  ssr stats ADDR [--check] [--json]\n  ssr drain ADDR\n  \
+         ssr cluster ADDR1,ADDR2,... query --text STRING [--type 1|2|3] [--epsilon X] \
+         [--epsilon-max X] [--epsilon-increment X] [--hedge-ms N]\n  \
+         ssr cluster ADDR1,ADDR2,... stats\n  ssr cluster ADDR1,ADDR2,... drain"
     );
     std::process::exit(2);
 }
@@ -118,6 +134,7 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("drain") => cmd_drain(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         _ => usage(),
     }
 }
@@ -881,6 +898,196 @@ fn cmd_drain(args: &[String]) {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     println!("drained: {addr} acknowledged shutdown and stopped listening");
+}
+
+// -- cluster ----------------------------------------------------------------
+
+/// A cluster client over the comma-separated address list, tuned for CLI
+/// one-shots: health probing on, modest timeouts, the cluster's failover as
+/// the only retry.
+fn cluster_client(addrs: &str, hedge_ms: Option<u64>) -> ssr_cluster::ClusterClient<Symbol> {
+    let addrs: Vec<String> = addrs
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(String::from)
+        .collect();
+    if addrs.len() < 2 {
+        fail("cluster takes at least two comma-separated node addresses");
+    }
+    let config = ssr_cluster::ClusterConfig {
+        hedge_after: hedge_ms.map(std::time::Duration::from_millis),
+        ..ssr_cluster::ClusterConfig::default()
+    };
+    ssr_cluster::ClusterClient::new(addrs, config).unwrap_or_else(|e| fail(e))
+}
+
+fn cmd_cluster(args: &[String]) {
+    let (Some(addrs), Some(verb)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    match verb.as_str() {
+        "query" => cluster_query(addrs, &args[2..]),
+        "stats" => cluster_stats(addrs),
+        "drain" => cluster_drain(addrs),
+        _ => usage(),
+    }
+}
+
+/// `cluster ... query`: one Type I/II/III query through the fault-tolerant
+/// client — whichever healthy node answers, plus the failover/hedge spend.
+/// `--text` only (and therefore symbol snapshots only), like `append`.
+fn cluster_query(addrs: &str, args: &[String]) {
+    let mut opts = QueryOptions {
+        query_type: 2,
+        epsilon: 8.0,
+        epsilon_max: 16.0,
+        epsilon_increment: 1.0,
+        plant: None,
+        text: None,
+    };
+    let mut hedge_ms = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--type" => opts.query_type = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--epsilon" => opts.epsilon = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--epsilon-max" => opts.epsilon_max = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--epsilon-increment" => {
+                opts.epsilon_increment = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--text" => opts.text = Some(value(&mut i)),
+            "--hedge-ms" => hedge_ms = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(text) = &opts.text else { usage() };
+    if !(1..=3).contains(&opts.query_type) {
+        usage();
+    }
+    let spec = match opts.query_type {
+        1 => ssr_core::QuerySpec::Type1 {
+            epsilon: opts.epsilon,
+        },
+        2 => ssr_core::QuerySpec::Type2 {
+            epsilon: opts.epsilon,
+        },
+        _ => ssr_core::QuerySpec::Type3 {
+            epsilon_max: opts.epsilon_max,
+            epsilon_increment: opts.epsilon_increment,
+        },
+    };
+    let request = ssr_core::Request::Query {
+        spec,
+        queries: vec![text.chars().map(Symbol::from_char).collect::<Vec<_>>()],
+    };
+    let cluster = cluster_client(addrs, hedge_ms);
+    let started = Instant::now();
+    let response = cluster.request(&request).unwrap_or_else(|e| fail(e));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let counters = cluster.counters();
+    match response {
+        ssr_core::Response::Outcomes(outcomes) => {
+            for outcome in &outcomes {
+                println!(
+                    "{} match(es){}:",
+                    outcome.matches.len(),
+                    if outcome.cached { " (cached)" } else { "" }
+                );
+                for m in &outcome.matches {
+                    print_match(m);
+                }
+            }
+            eprintln!(
+                "# cluster: answered in {wall_ms:.1} ms — {} failover(s), {} hedge(s) \
+                 ({} won), {} breaker trip(s)",
+                counters.failovers, counters.hedges, counters.hedge_wins, counters.breaker_trips
+            );
+        }
+        ssr_core::Response::Error(e) => fail(format!("the cluster answered with: {e}")),
+        other => fail(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// `cluster ... stats`: the wire Stats snapshot from every node, one JSON
+/// object per line tagged with the node address. Dead nodes report their
+/// failure without blocking the rest; exits nonzero only when *no* node
+/// answered.
+fn cluster_stats(addrs: &str) {
+    let cluster = cluster_client(addrs, None);
+    let mut answered = 0usize;
+    for (addr, outcome) in cluster.for_each_node(&ssr_core::Request::Stats) {
+        match outcome {
+            Ok(ssr_core::Response::Stats(stats)) => {
+                answered += 1;
+                let num = |v: f64| JsonValue::Number(v);
+                println!(
+                    "{}",
+                    JsonValue::object(vec![
+                        ("node", JsonValue::String(addr)),
+                        ("uptime_ms", num(stats.uptime_ms as f64)),
+                        ("sequences", num(stats.sequences as f64)),
+                        ("windows", num(stats.windows as f64)),
+                        ("queries_executed", num(stats.queries_executed as f64)),
+                        ("cache_hits", num(stats.cache_hits as f64)),
+                        ("cache_misses", num(stats.cache_misses as f64)),
+                        ("rejected_overload", num(stats.rejected_overload as f64)),
+                    ])
+                    .render()
+                );
+            }
+            Ok(other) => eprintln!("# {addr}: unexpected response {other:?}"),
+            Err(e) => eprintln!("# {addr}: DOWN ({e})"),
+        }
+    }
+    if answered == 0 {
+        fail("no node answered stats");
+    }
+}
+
+/// `cluster ... drain`: graceful shutdown fanned out to every node; waits
+/// for each acknowledging node's listener to go away. Exits nonzero when any
+/// listed node fails to drain — pass only the nodes you mean to stop.
+fn cluster_drain(addrs: &str) {
+    let cluster = cluster_client(addrs, None);
+    let mut failures = 0usize;
+    let mut acked = Vec::new();
+    for (addr, outcome) in cluster.for_each_node(&ssr_core::Request::Shutdown) {
+        match outcome {
+            Ok(ssr_core::Response::ShuttingDown) => {
+                println!("{addr}: acknowledged shutdown");
+                acked.push(addr);
+            }
+            Ok(other) => {
+                eprintln!("# {addr}: drain answered with {other:?}");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("# {addr}: drain failed ({e})");
+                failures += 1;
+            }
+        }
+    }
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    for addr in &acked {
+        while ssr_bench::is_listening(addr) {
+            if Instant::now() >= deadline {
+                eprintln!("# {addr}: still listening 30s after the drain ack");
+                failures += 1;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("drained {} node(s)", acked.len());
 }
 
 // -- query ------------------------------------------------------------------

@@ -12,6 +12,7 @@
 //! in *shape*.
 
 pub mod chaos;
+pub mod cluster;
 pub mod datasets;
 pub mod harness;
 pub mod json;
@@ -20,6 +21,7 @@ pub mod promcheck;
 pub mod report;
 
 pub use chaos::{run_chaos, ChaosOutcome};
+pub use cluster::{run_cluster_chaos, ClusterChaosOutcome};
 pub use datasets::{protein_windows, song_windows, traj_windows, Scale};
 pub use harness::{
     build_index, distance_histogram, pruning_ratio, IndexChoice, IndexHandle, QuerySet,

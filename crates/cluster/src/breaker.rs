@@ -1,0 +1,270 @@
+//! A per-node circuit breaker: closed → open on consecutive transport-level
+//! failures, half-open probe after a seeded cooldown, closed again on the
+//! first success.
+//!
+//! The breaker is a pure state machine over explicit `Instant`s — every
+//! method that consults the clock takes `now` as an argument, so unit tests
+//! drive it with fabricated time and the whole trajectory is deterministic.
+//! The cooldown carries seeded jitter ([`ssr_fault::mix64`] of the trip
+//! ordinal), so a fleet of breakers tripped by the same outage does not
+//! re-probe the recovering node in lockstep — and the jitter is still a
+//! pure function of the seed, so chaos runs replay exactly.
+
+use std::time::{Duration, Instant};
+
+/// Trip-and-readmit policy of one [`Breaker`].
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker (min 1).
+    pub threshold: u32,
+    /// Base open duration before the half-open probe window.
+    pub cooldown: Duration,
+    /// Seed of the deterministic cooldown jitter: each trip waits
+    /// `cooldown + mix64(seed ^ trip_ordinal) % (cooldown/2 + 1)`.
+    pub jitter_seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Where a [`Breaker`] currently stands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BreakerState {
+    /// Traffic flows; failures are counted.
+    Closed,
+    /// The node is quarantined until its cooldown expires.
+    Open,
+    /// Cooldown expired; exactly one probe request is allowed through.
+    HalfOpen,
+}
+
+/// The circuit breaker itself. See the module docs for the state machine;
+/// [`Breaker::try_acquire`] is the routing-side gate, [`Breaker::on_success`]
+/// / [`Breaker::on_failure`] feed outcomes back.
+#[derive(Debug)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// End of the current quarantine, while `Open`.
+    open_until: Option<Instant>,
+    /// A half-open probe has been admitted and has not reported back yet.
+    probe_in_flight: bool,
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker under `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: None,
+            probe_in_flight: false,
+            trips: 0,
+        }
+    }
+
+    /// Whether a request *could* be admitted at `now`, without mutating
+    /// anything — the routing layer's candidate filter.
+    pub fn routable(&self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => self.open_until.is_none_or(|until| now >= until),
+            BreakerState::HalfOpen => !self.probe_in_flight,
+        }
+    }
+
+    /// Admits one request at `now`. An expired quarantine transitions to
+    /// half-open here, and the admitted request becomes the probe: until it
+    /// reports back, further `try_acquire` calls refuse. Returns `false`
+    /// when the node must not be tried.
+    pub fn try_acquire(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if self.open_until.is_none_or(|until| now >= until) {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// A request (probe or regular) succeeded: close fully and reset the
+    /// failure streak.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.open_until = None;
+        self.probe_in_flight = false;
+    }
+
+    /// A request hit transport-level trouble (refused, reset, timed out,
+    /// `Overloaded`, `Draining`). Returns `true` when this failure *trips*
+    /// the breaker — the caller mirrors trips into the
+    /// `ssr_cluster_breaker_trips_total` counter. A failed half-open probe
+    /// re-trips immediately; failures while already open (concurrent
+    /// requests admitted before the trip) extend nothing and count no
+    /// second trip.
+    pub fn on_failure(&mut self, now: Instant) -> bool {
+        self.probe_in_flight = false;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.config.threshold.max(1) {
+                    self.trip(now);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.trip(now);
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.trips += 1;
+        let base = self.config.cooldown.as_millis() as u64;
+        let jitter = ssr_fault::mix64(self.config.jitter_seed ^ self.trips) % (base / 2 + 1);
+        self.state = BreakerState::Open;
+        self.open_until = Some(now + Duration::from_millis(base + jitter));
+    }
+
+    /// Current state (quarantine expiry is *not* applied here; expiry is
+    /// observed by [`Breaker::routable`] / [`Breaker::try_acquire`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Closed→open transitions so far, half-open re-trips included.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Current run of consecutive failures.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64, seed: u64) -> Breaker {
+        Breaker::new(BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+            jitter_seed: seed,
+        })
+    }
+
+    #[test]
+    fn trips_after_exactly_threshold_consecutive_failures() {
+        let mut b = breaker(3, 100, 7);
+        let now = Instant::now();
+        assert!(!b.on_failure(now));
+        assert!(!b.on_failure(now));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.on_failure(now), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.try_acquire(now), "quarantined immediately");
+    }
+
+    #[test]
+    fn a_success_resets_the_streak() {
+        let mut b = breaker(3, 100, 7);
+        let now = Instant::now();
+        assert!(!b.on_failure(now));
+        assert!(!b.on_failure(now));
+        b.on_success();
+        assert!(!b.on_failure(now));
+        assert!(!b.on_failure(now));
+        assert_eq!(b.state(), BreakerState::Closed, "streaks do not accumulate");
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_on_success() {
+        let mut b = breaker(1, 100, 7);
+        let t0 = Instant::now();
+        assert!(b.on_failure(t0));
+        // Jitter is bounded by cooldown/2, so 151ms in the future is always
+        // inside quarantine and 151+50ms always past it.
+        let still_open = t0 + Duration::from_millis(99);
+        assert!(!b.routable(still_open));
+        let expired = t0 + Duration::from_millis(151);
+        assert!(b.routable(expired));
+        assert!(b.try_acquire(expired), "the probe is admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.try_acquire(expired), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_acquire(expired));
+    }
+
+    #[test]
+    fn a_failed_probe_retrips_with_seeded_jitter() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut b = breaker(1, 100, seed);
+            let mut now = Instant::now();
+            let mut waits = Vec::new();
+            for _ in 0..4 {
+                assert!(b.on_failure(now));
+                // Recover the exact quarantine length via binary probing of
+                // `routable` — 1ms resolution is enough for the envelope.
+                let mut wait_ms = 0u64;
+                while !b.routable(now + Duration::from_millis(wait_ms)) {
+                    wait_ms += 1;
+                }
+                waits.push(wait_ms);
+                now += Duration::from_millis(wait_ms);
+                assert!(b.try_acquire(now), "probe admitted after cooldown");
+            }
+            waits
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same quarantine schedule");
+        for wait in &a {
+            assert!(
+                (100..=150).contains(wait),
+                "quarantine {wait}ms outside [cooldown, cooldown*1.5]"
+            );
+        }
+        assert_ne!(a, run(43), "seeds steer the jitter");
+    }
+
+    #[test]
+    fn failures_while_open_do_not_double_trip() {
+        let mut b = breaker(1, 100, 7);
+        let now = Instant::now();
+        assert!(b.on_failure(now));
+        assert!(!b.on_failure(now), "a straggler failure while open");
+        assert_eq!(b.trips(), 1);
+    }
+}

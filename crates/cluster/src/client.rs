@@ -1,0 +1,697 @@
+//! [`ClusterClient`]: one fault-tolerant endpoint over N `ssr serve` nodes.
+//!
+//! Routing is seeded power-of-two-choices: each request draws two candidate
+//! nodes from the healthy set by hashing a monotonic ticket with
+//! [`ssr_fault::mix64`] and sends to whichever has fewer requests in flight
+//! (ties keep the first draw). Health is a per-node [`Breaker`] fed by both
+//! response outcomes and optional background `Ping` probes. An idempotent
+//! request that fails on one node **fails over** to the next healthy node —
+//! under the per-op deadline ([`ClientConfig::op_deadline`]) when one is
+//! set — and an optional **hedge** fires a second copy to a different node
+//! once the primary has been quiet for `hedge_after`, taking whichever
+//! typed success lands first. Every decision that involves chance is a pure
+//! function of a seed, so a chaos schedule replays its failover, hedge and
+//! breaker-trip counts exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use ssr_core::client::{ClientConfig, ClientError, WireClient};
+use ssr_core::wire::{Request, Response};
+use ssr_storage::StorableElement;
+
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
+
+/// Cached idle connections kept per node.
+const POOL_CAP: usize = 4;
+
+/// Policy of a [`ClusterClient`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-node wire-client policy. [`ClientConfig::op_deadline`] doubles as
+    /// the budget of a whole failover chain: once it elapses, no further
+    /// node is tried. The default sets `max_attempts: 1` — the cluster
+    /// layer's failover *is* the retry, and single-node backoff would only
+    /// delay it.
+    pub client: ClientConfig,
+    /// Per-node circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// When set, idempotent requests hedge: after this long without a
+    /// response from the primary node, a second copy goes to a different
+    /// healthy node and the first typed success wins. The loser is
+    /// discarded client-side, so query stats are never double-counted in
+    /// the response the caller sees.
+    pub hedge_after: Option<Duration>,
+    /// Seed of the power-of-two-choices candidate draws.
+    pub route_seed: u64,
+    /// Background `Ping` probe cadence. Probes drive breaker readmission
+    /// without user traffic; `None` disables the prober thread entirely
+    /// (the deterministic chaos harness does this — outcomes alone then
+    /// drive health).
+    pub probe_interval: Option<Duration>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            client: ClientConfig {
+                max_attempts: 1,
+                op_deadline: Some(Duration::from_secs(10)),
+                ..ClientConfig::default()
+            },
+            breaker: BreakerConfig::default(),
+            hedge_after: None,
+            route_seed: 0,
+            probe_interval: Some(Duration::from_millis(500)),
+        }
+    }
+}
+
+/// Why a cluster request failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// No node admitted the request: every breaker is open (or the cluster
+    /// has no nodes at all).
+    NoHealthyNodes {
+        /// The most recent node-level failure, for the log line.
+        last: String,
+    },
+    /// Every healthy node was tried and failed transiently.
+    Exhausted {
+        /// Nodes tried.
+        attempts: u32,
+        /// The last node's failure.
+        last: String,
+    },
+    /// The per-op deadline ran out mid-failover.
+    DeadlineExceeded {
+        /// Nodes tried before the budget died.
+        attempts: u32,
+        /// Wall-clock spent.
+        elapsed: Duration,
+    },
+    /// A protocol-level failure no failover can fix.
+    Fatal(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoHealthyNodes { last } => {
+                write!(f, "no healthy node available (last failure: {last})")
+            }
+            ClusterError::Exhausted { attempts, last } => {
+                write!(f, "all {attempts} healthy node(s) failed; last: {last}")
+            }
+            ClusterError::DeadlineExceeded { attempts, elapsed } => write!(
+                f,
+                "per-op deadline exceeded after {attempts} node(s) and {}ms",
+                elapsed.as_millis()
+            ),
+            ClusterError::Fatal(msg) => write!(f, "fatal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Snapshot of a [`ClusterClient`]'s own tallies. These mirror the global
+/// `ssr_cluster_*` metric families but belong to *this* client, so a chaos
+/// harness that runs the same schedule twice can compare per-run counts
+/// without untangling the cumulative process-global registry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClusterCounters {
+    /// Requests answered (exactly one response each, hedged or not).
+    pub requests: u64,
+    /// Idempotent requests re-sent to another node after a node-level
+    /// transient failure (`ssr_cluster_failovers_total`).
+    pub failovers: u64,
+    /// Hedge copies fired (`ssr_cluster_hedges_total`).
+    pub hedges: u64,
+    /// Hedged requests won by the hedge copy, not the primary
+    /// (`ssr_cluster_hedge_wins_total`). Timing-dependent by nature —
+    /// deterministic harnesses assert on [`ClusterCounters::hedges`].
+    pub hedge_wins: u64,
+    /// Breaker trips summed over nodes (`ssr_cluster_breaker_trips_total`).
+    pub breaker_trips: u64,
+    /// Node-level transient failures (`ssr_cluster_node_failures_total`).
+    pub node_failures: u64,
+    /// Requests abandoned on the per-op deadline
+    /// (`ssr_cluster_deadline_exceeded_total`).
+    pub deadline_exceeded: u64,
+    /// Background health probes sent (`ssr_cluster_probes_total`).
+    pub probes: u64,
+}
+
+/// One node's health, as the router sees it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeHealth {
+    /// The node's address, verbatim from [`ClusterClient::new`].
+    pub addr: String,
+    /// Breaker state at snapshot time.
+    pub state: BreakerState,
+    /// Requests currently in flight to this node.
+    pub in_flight: usize,
+    /// Current run of consecutive transient failures.
+    pub consecutive_failures: u32,
+    /// Times this node's breaker has tripped.
+    pub trips: u64,
+}
+
+struct CounterCells {
+    requests: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    node_failures: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl CounterCells {
+    fn new() -> Self {
+        CounterCells {
+            requests: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            node_failures: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Node<E> {
+    addr: String,
+    breaker: Mutex<Breaker>,
+    pool: Mutex<Vec<WireClient<E>>>,
+    in_flight: AtomicUsize,
+}
+
+struct Inner<E> {
+    nodes: Vec<Node<E>>,
+    config: ClusterConfig,
+    counters: CounterCells,
+    /// Monotonic routing tickets: the p2c draws hash `route_seed ^ ticket`,
+    /// so the full routing trajectory is a pure function of the seed and
+    /// the request order.
+    tickets: AtomicU64,
+    /// Requests (primary or hedge copies) handed to worker threads that
+    /// have not reported back yet. [`ClusterClient::quiesce`] waits on this
+    /// so a deterministic harness can drain hedge losers between steps.
+    outstanding: AtomicUsize,
+}
+
+/// Bumps a client-local cell and mirrors it into the process-global
+/// registry, unlabelled.
+fn bump(cell: &AtomicU64, family: &'static str, help: &'static str) {
+    cell.fetch_add(1, Ordering::Relaxed);
+    ssr_obs::global().counter(family, help).inc();
+}
+
+/// Bumps a client-local cell and mirrors it into the process-global
+/// registry labelled by node address.
+fn bump_node(cell: &AtomicU64, family: &'static str, help: &'static str, addr: &str) {
+    cell.fetch_add(1, Ordering::Relaxed);
+    ssr_obs::global()
+        .counter_with(family, help, Some(("node", addr.to_string())))
+        .inc();
+}
+
+impl<E> Inner<E>
+where
+    E: StorableElement + Clone + Send + Sync + 'static,
+{
+    fn breaker_of(&self, idx: usize) -> MutexGuard<'_, Breaker> {
+        self.nodes[idx]
+            .breaker
+            .lock()
+            .expect("breaker lock poisoned")
+    }
+
+    /// Seeded power-of-two-choices over the currently-routable nodes, minus
+    /// `excluded`. The chosen node's breaker is acquired (an expired
+    /// quarantine becomes the half-open probe); a lost acquisition race
+    /// excludes that node and redraws.
+    fn route(&self, excluded: &[usize], ticket: u64) -> Option<usize> {
+        let mut excluded = excluded.to_vec();
+        loop {
+            let now = Instant::now();
+            let candidates: Vec<usize> = (0..self.nodes.len())
+                .filter(|i| !excluded.contains(i))
+                .filter(|&i| self.breaker_of(i).routable(now))
+                .collect();
+            let chosen = match candidates.len() {
+                0 => return None,
+                1 => candidates[0],
+                n => {
+                    let seed = self.config.route_seed;
+                    let n = n as u64;
+                    let a = candidates[(ssr_fault::mix64(seed ^ (ticket << 1)) % n) as usize];
+                    let b = candidates[(ssr_fault::mix64(seed ^ ((ticket << 1) | 1)) % n) as usize];
+                    let load_a = self.nodes[a].in_flight.load(Ordering::SeqCst);
+                    let load_b = self.nodes[b].in_flight.load(Ordering::SeqCst);
+                    if load_b < load_a {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            };
+            if self.breaker_of(chosen).try_acquire(Instant::now()) {
+                return Some(chosen);
+            }
+            excluded.push(chosen);
+        }
+    }
+
+    /// One request to one node, with breaker and counter accounting. The
+    /// node's breaker must have been acquired by [`Inner::route`] (or the
+    /// prober) first.
+    fn send_to(&self, idx: usize, request: &Request<E>) -> Result<Response, ClientError> {
+        let node = &self.nodes[idx];
+        node.in_flight.fetch_add(1, Ordering::SeqCst);
+        let result = self.send_raw(node, request);
+        // Transient node-level trouble feeds the breaker; a decoded
+        // response — a fatal protocol refusal included — proves the node is
+        // alive and answering, which is all the breaker measures.
+        match &result {
+            Err(ClientError::Retryable { .. }) | Err(ClientError::DeadlineExceeded { .. }) => {
+                bump_node(
+                    &self.counters.node_failures,
+                    "ssr_cluster_node_failures_total",
+                    "Node-level transient failures seen by the cluster client.",
+                    &node.addr,
+                );
+                if self.breaker_of(idx).on_failure(Instant::now()) {
+                    ssr_obs::global()
+                        .counter_with(
+                            "ssr_cluster_breaker_trips_total",
+                            "Circuit-breaker trips (closed/half-open to open), by node.",
+                            Some(("node", node.addr.clone())),
+                        )
+                        .inc();
+                }
+            }
+            _ => self.breaker_of(idx).on_success(),
+        }
+        node.in_flight.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    /// The wire exchange itself, with per-node connection pooling: a
+    /// connection that just carried a successful exchange is parked for
+    /// reuse; one that failed is dropped (its stream state is untrusted).
+    fn send_raw(&self, node: &Node<E>, request: &Request<E>) -> Result<Response, ClientError> {
+        let pooled = node.pool.lock().expect("pool lock poisoned").pop();
+        let mut client =
+            match pooled {
+                Some(client) => client,
+                None => WireClient::new(node.addr.as_str(), self.config.client.clone()).map_err(
+                    |err| ClientError::Retryable {
+                        attempts: 1,
+                        last: format!("resolve {}: {err}", node.addr),
+                    },
+                )?,
+            };
+        let result = client.request(request);
+        if result.is_ok() {
+            let mut pool = node.pool.lock().expect("pool lock poisoned");
+            if pool.len() < POOL_CAP {
+                pool.push(client);
+            }
+        }
+        result
+    }
+
+    /// Hands one send to a worker thread; the outcome comes back on `tx`
+    /// tagged with the node index. `outstanding` is raised *before* the
+    /// spawn so [`ClusterClient::quiesce`] can never observe a gap.
+    fn spawn_send(
+        self: &Arc<Self>,
+        idx: usize,
+        request: Request<E>,
+        tx: &mpsc::Sender<(usize, Result<Response, ClientError>)>,
+    ) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        let inner = Arc::clone(self);
+        let worker_tx = tx.clone();
+        let spawned = std::thread::Builder::new()
+            .name("ssr-cluster-send".to_string())
+            .spawn(move || {
+                let result = inner.send_to(idx, &request);
+                inner.outstanding.fetch_sub(1, Ordering::SeqCst);
+                let _ = worker_tx.send((idx, result));
+            });
+        if let Err(err) = spawned {
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            let _ = tx.send((
+                idx,
+                Err(ClientError::Retryable {
+                    attempts: 0,
+                    last: format!("spawn failed: {err}"),
+                }),
+            ));
+        }
+    }
+
+    /// Primary-plus-hedge send: the primary goes out on a worker thread; if
+    /// `delay` passes without its outcome, one hedge copy goes to a
+    /// different healthy node. The first typed success wins and is the
+    /// *only* response the caller sees — a losing copy is received and
+    /// dropped here (or its send fails against the closed channel), so the
+    /// caller can never double-count a hedged query's stats.
+    fn send_hedged(
+        self: &Arc<Self>,
+        primary: usize,
+        request: &Request<E>,
+        delay: Duration,
+    ) -> Result<Response, ClientError> {
+        let (tx, rx) = mpsc::channel();
+        self.spawn_send(primary, request.clone(), &tx);
+        let mut launched = 1usize;
+        // A zero delay means "always hedge": skipping the wait entirely
+        // keeps the hedge count independent of how fast the primary answers
+        // (a warm server cache can beat even an immediate poll), which is
+        // what makes hedge counters replayable under a fixed seed.
+        let mut pending = if delay.is_zero() {
+            None
+        } else {
+            rx.recv_timeout(delay).ok()
+        };
+        if pending.is_none() {
+            // The primary is slow. Acquire a different node and hedge.
+            let ticket = self.tickets.fetch_add(1, Ordering::Relaxed);
+            if let Some(hedge_idx) = self.route(&[primary], ticket) {
+                bump(
+                    &self.counters.hedges,
+                    "ssr_cluster_hedges_total",
+                    "Hedge copies fired after a quiet primary.",
+                );
+                self.spawn_send(hedge_idx, request.clone(), &tx);
+                launched += 1;
+            }
+        }
+        drop(tx);
+        let mut last_err = None;
+        for _ in 0..launched {
+            let (idx, result) = match pending.take() {
+                Some(outcome) => outcome,
+                None => match rx.recv() {
+                    Ok(outcome) => outcome,
+                    Err(_) => break,
+                },
+            };
+            match result {
+                Ok(response) => {
+                    if idx != primary {
+                        bump(
+                            &self.counters.hedge_wins,
+                            "ssr_cluster_hedge_wins_total",
+                            "Hedged requests won by the hedge copy.",
+                        );
+                    }
+                    return Ok(response);
+                }
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Retryable {
+            attempts: 0,
+            last: "hedge pipeline produced no outcome".into(),
+        }))
+    }
+}
+
+/// The fault-tolerant multi-node client. See the module docs for the
+/// routing, breaker, failover and hedging policy. Cheap to share: requests
+/// take `&self`, so one client can serve many threads.
+pub struct ClusterClient<E> {
+    inner: Arc<Inner<E>>,
+    prober_stop: Arc<AtomicBool>,
+    prober: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<E> ClusterClient<E>
+where
+    E: StorableElement + Clone + Send + Sync + 'static,
+{
+    /// Builds a client over `addrs` (one `ssr serve` endpoint each) and —
+    /// unless [`ClusterConfig::probe_interval`] is `None` — starts the
+    /// background prober. No connection is made until the first request or
+    /// probe. Errors only on an empty address list.
+    pub fn new<S: Into<String>>(
+        addrs: impl IntoIterator<Item = S>,
+        config: ClusterConfig,
+    ) -> std::io::Result<Self> {
+        let nodes: Vec<Node<E>> = addrs
+            .into_iter()
+            .map(|addr| Node {
+                addr: addr.into(),
+                breaker: Mutex::new(Breaker::new(config.breaker)),
+                pool: Mutex::new(Vec::new()),
+                in_flight: AtomicUsize::new(0),
+            })
+            .collect();
+        if nodes.is_empty() {
+            return Err(std::io::Error::other("a cluster needs at least one node"));
+        }
+        let probe_interval = config.probe_interval;
+        let inner = Arc::new(Inner {
+            nodes,
+            config,
+            counters: CounterCells::new(),
+            tickets: AtomicU64::new(0),
+            outstanding: AtomicUsize::new(0),
+        });
+        let prober_stop = Arc::new(AtomicBool::new(false));
+        let prober = match probe_interval {
+            Some(interval) => Some(
+                std::thread::Builder::new()
+                    .name("ssr-cluster-probe".to_string())
+                    .spawn({
+                        let inner = Arc::clone(&inner);
+                        let stop = Arc::clone(&prober_stop);
+                        move || prober_loop(&inner, &stop, interval)
+                    })?,
+            ),
+            None => None,
+        };
+        Ok(ClusterClient {
+            inner,
+            prober_stop,
+            prober,
+        })
+    }
+
+    /// [`ClusterClient::new`] with [`ClusterConfig::default`].
+    pub fn connect<S: Into<String>>(addrs: impl IntoIterator<Item = S>) -> std::io::Result<Self> {
+        Self::new(addrs, ClusterConfig::default())
+    }
+
+    /// Sends `request` with the configured hedging policy. Idempotent
+    /// requests fail over across healthy nodes (under the per-op deadline
+    /// when one is configured); `Shutdown` gets exactly one node and one
+    /// attempt, like [`WireClient`].
+    pub fn request(&self, request: &Request<E>) -> Result<Response, ClusterError> {
+        self.request_with_hedge(request, self.inner.config.hedge_after)
+    }
+
+    /// [`ClusterClient::request`] with an explicit hedging override —
+    /// `None` never hedges, `Some(d)` hedges after `d` of primary silence.
+    /// The chaos harness uses this to hedge exactly the schedule's chosen
+    /// requests.
+    pub fn request_with_hedge(
+        &self,
+        request: &Request<E>,
+        hedge_after: Option<Duration>,
+    ) -> Result<Response, ClusterError> {
+        let inner = &self.inner;
+        let started = Instant::now();
+        let idempotent = !matches!(request, Request::Shutdown);
+        let max_hops = if idempotent { inner.nodes.len() } else { 1 };
+        let mut excluded: Vec<usize> = Vec::new();
+        let mut last = String::from("no node admitted the request");
+        let mut hops = 0u32;
+        while (hops as usize) < max_hops {
+            // The failover chain shares one per-op budget: once it is
+            // spent, trying further nodes only makes the caller later.
+            if let Some(deadline) = inner.config.client.op_deadline {
+                if hops > 0 && started.elapsed() >= deadline {
+                    bump(
+                        &inner.counters.deadline_exceeded,
+                        "ssr_cluster_deadline_exceeded_total",
+                        "Requests abandoned because the per-op deadline ran out mid-failover.",
+                    );
+                    return Err(ClusterError::DeadlineExceeded {
+                        attempts: hops,
+                        elapsed: started.elapsed(),
+                    });
+                }
+            }
+            let ticket = inner.tickets.fetch_add(1, Ordering::Relaxed);
+            let Some(idx) = inner.route(&excluded, ticket) else {
+                break;
+            };
+            if hops > 0 {
+                bump(
+                    &inner.counters.failovers,
+                    "ssr_cluster_failovers_total",
+                    "Idempotent requests re-sent to another node after a node-level failure.",
+                );
+            }
+            hops += 1;
+            let result = match hedge_after {
+                Some(delay) if idempotent && inner.nodes.len() > 1 => {
+                    inner.send_hedged(idx, request, delay)
+                }
+                _ => inner.send_to(idx, request),
+            };
+            match result {
+                Ok(response) => {
+                    bump(
+                        &inner.counters.requests,
+                        "ssr_cluster_requests_total",
+                        "Requests answered by the cluster client.",
+                    );
+                    return Ok(response);
+                }
+                Err(ClientError::Fatal(msg)) => return Err(ClusterError::Fatal(msg)),
+                Err(err) => {
+                    last = err.to_string();
+                    excluded.push(idx);
+                }
+            }
+        }
+        if hops == 0 {
+            Err(ClusterError::NoHealthyNodes { last })
+        } else {
+            Err(ClusterError::Exhausted {
+                attempts: hops,
+                last,
+            })
+        }
+    }
+
+    /// Sends `request` to **every** node individually (no routing, no
+    /// breaker, no failover) and reports per-node outcomes in address
+    /// order — the administrative fan-out behind `ssr cluster stats` and
+    /// `ssr cluster drain`.
+    pub fn for_each_node(
+        &self,
+        request: &Request<E>,
+    ) -> Vec<(String, Result<Response, ClientError>)> {
+        self.inner
+            .nodes
+            .iter()
+            .map(|node| {
+                let result = WireClient::new(node.addr.as_str(), self.inner.config.client.clone())
+                    .map_err(|err| ClientError::Retryable {
+                        attempts: 1,
+                        last: format!("resolve {}: {err}", node.addr),
+                    })
+                    .and_then(|mut client| client.request(request));
+                (node.addr.clone(), result)
+            })
+            .collect()
+    }
+
+    /// The node addresses, in routing-index order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.inner.nodes.iter().map(|n| n.addr.clone()).collect()
+    }
+
+    /// This client's own counter snapshot (breaker trips summed over
+    /// nodes). Distinct from the cumulative process-global `ssr_cluster_*`
+    /// families, which aggregate every client in the process.
+    pub fn counters(&self) -> ClusterCounters {
+        let cells = &self.inner.counters;
+        ClusterCounters {
+            requests: cells.requests.load(Ordering::Relaxed),
+            failovers: cells.failovers.load(Ordering::Relaxed),
+            hedges: cells.hedges.load(Ordering::Relaxed),
+            hedge_wins: cells.hedge_wins.load(Ordering::Relaxed),
+            breaker_trips: (0..self.inner.nodes.len())
+                .map(|i| self.inner.breaker_of(i).trips())
+                .sum(),
+            node_failures: cells.node_failures.load(Ordering::Relaxed),
+            deadline_exceeded: cells.deadline_exceeded.load(Ordering::Relaxed),
+            probes: cells.probes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-node health snapshot, in routing-index order.
+    pub fn node_health(&self) -> Vec<NodeHealth> {
+        self.inner
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let breaker = self.inner.breaker_of(i);
+                NodeHealth {
+                    addr: node.addr.clone(),
+                    state: breaker.state(),
+                    in_flight: node.in_flight.load(Ordering::SeqCst),
+                    consecutive_failures: breaker.consecutive_failures(),
+                    trips: breaker.trips(),
+                }
+            })
+            .collect()
+    }
+
+    /// Blocks until no send is outstanding on any worker thread — i.e.
+    /// until every hedge loser has reported back into the breakers. The
+    /// deterministic chaos harness calls this between schedule steps so
+    /// in-flight counts (and therefore routing) depend only on the seed.
+    pub fn quiesce(&self) {
+        while self.inner.outstanding.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl<E> Drop for ClusterClient<E> {
+    fn drop(&mut self) {
+        self.prober_stop.store(true, Ordering::SeqCst);
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+}
+
+/// Background health probing: every `interval`, ping each node whose
+/// breaker admits a request. Probe outcomes feed the breakers exactly like
+/// user traffic, so an open breaker whose cooldown expired is readmitted
+/// (or re-quarantined) without waiting for a real request to gamble on it.
+fn prober_loop<E>(inner: &Arc<Inner<E>>, stop: &AtomicBool, interval: Duration)
+where
+    E: StorableElement + Clone + Send + Sync + 'static,
+{
+    while !stop.load(Ordering::SeqCst) {
+        for idx in 0..inner.nodes.len() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if !inner.breaker_of(idx).try_acquire(Instant::now()) {
+                continue;
+            }
+            bump_node(
+                &inner.counters.probes,
+                "ssr_cluster_probes_total",
+                "Background health probes sent, by node.",
+                &inner.nodes[idx].addr,
+            );
+            let _ = inner.send_to(idx, &Request::Ping);
+        }
+        // Sleep in slices so a drop does not wait out the whole interval.
+        let slept_until = Instant::now() + interval;
+        while Instant::now() < slept_until {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

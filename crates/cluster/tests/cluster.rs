@@ -1,0 +1,358 @@
+//! [`ClusterClient`] contracts against real `ssr serve` nodes: failover
+//! covers a dead node, the breaker quarantines and readmits it, hedges fire
+//! exactly when asked and never produce a second response, the per-op
+//! deadline caps a failover chain, and a fully-dark cluster fails typed.
+//!
+//! Node outages come from two sources: genuinely dead addresses (a bound
+//! listener dropped before the test, so connections are refused instantly)
+//! and [`ssr_fault::kill_node`] (the server holds its port but drops every
+//! connection), which is what lets a "crashed" node come back without a
+//! rebind race. Node names are unique per test — the kill registry is
+//! process-global and these tests run in parallel.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use ssr_cluster::{BreakerConfig, BreakerState, ClusterClient, ClusterConfig, ClusterError};
+use ssr_core::client::ClientConfig;
+use ssr_core::serve::{ServeConfig, Server};
+use ssr_core::wire::{QuerySpec, Request, Response};
+use ssr_core::{FrameworkConfig, QueryEngine, SubsequenceDatabase};
+use ssr_distance::Levenshtein;
+use ssr_sequence::{Sequence, Symbol};
+
+fn sym(text: &str) -> Vec<Symbol> {
+    text.chars().map(Symbol::from_char).collect()
+}
+
+const DB_TEXTS: &[&str] = &[
+    "MMMMMMMMACDEFGHIKLMNPQRSTVWYMMMMMMMM",
+    "ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY",
+    "ACACACACACACACACACACACACACACACAC",
+];
+
+fn build_db() -> SubsequenceDatabase<Symbol, Levenshtein> {
+    let config = FrameworkConfig::new(8).with_max_shift(1);
+    let mut builder = SubsequenceDatabase::builder(config, Levenshtein::new());
+    for text in DB_TEXTS {
+        builder = builder.add_sequence(Sequence::new(sym(text)));
+    }
+    builder.build().expect("test database builds")
+}
+
+fn query_request() -> Request<Symbol> {
+    Request::Query {
+        spec: QuerySpec::Type1 { epsilon: 2.0 },
+        queries: vec![sym("YYYYACDEFGHIKLMNPQRSTVWYYYYY"), sym("ACACACACACACACAC")],
+    }
+}
+
+fn node(name: Option<&str>) -> Server<Symbol, Levenshtein> {
+    Server::bind(
+        build_db(),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            node_name: name.map(String::from),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("node binds")
+}
+
+/// An address that refuses connections instantly: bind, record, drop.
+fn dead_addr() -> String {
+    let throwaway = TcpListener::bind("127.0.0.1:0").expect("bind");
+    throwaway.local_addr().expect("addr").to_string()
+}
+
+/// Fast-failing cluster policy: one wire attempt per node (the cluster *is*
+/// the retry), no prober, no hedging, and a quarantine far longer than any
+/// test so a tripped breaker stays tripped.
+fn test_config(threshold: u32, cooldown: Duration) -> ClusterConfig {
+    ClusterConfig {
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            max_attempts: 1,
+            op_deadline: None,
+            ..ClientConfig::default()
+        },
+        breaker: BreakerConfig {
+            threshold,
+            cooldown,
+            jitter_seed: 7,
+        },
+        hedge_after: None,
+        route_seed: 42,
+        probe_interval: None,
+    }
+}
+
+#[test]
+fn failover_covers_a_dead_node_until_the_breaker_quarantines_it() {
+    let a = node(None);
+    let b = node(None);
+    let addrs = vec![
+        a.local_addr().to_string(),
+        dead_addr(),
+        b.local_addr().to_string(),
+    ];
+    let cluster = ClusterClient::<Symbol>::new(addrs, test_config(1, Duration::from_secs(60)))
+        .expect("cluster");
+
+    // Every request must succeed: the dead node costs a failover the first
+    // time routing picks it, then its breaker (threshold 1, quarantine far
+    // beyond the test) takes it out of the candidate set for good.
+    let mut answered = 0;
+    for _ in 0..25 {
+        match cluster
+            .request(&query_request())
+            .expect("idempotent queries never fail")
+        {
+            Response::Outcomes(outcomes) => {
+                assert_eq!(outcomes.len(), 2);
+                answered += 1;
+            }
+            other => panic!("expected outcomes, got {other:?}"),
+        }
+    }
+    let counters = cluster.counters();
+    assert_eq!(answered, 25);
+    assert_eq!(counters.requests, 25);
+    assert_eq!(
+        counters.breaker_trips, 1,
+        "the dead node tripped once and was never gambled on again"
+    );
+    assert_eq!(
+        counters.node_failures, 1,
+        "exactly one request ever reached the dead node"
+    );
+    assert_eq!(
+        counters.failovers, 1,
+        "that one request failed over and still succeeded"
+    );
+    let health = cluster.node_health();
+    assert_eq!(health[1].state, BreakerState::Open, "dead node quarantined");
+    assert_eq!(health[0].state, BreakerState::Closed);
+    assert_eq!(health[2].state, BreakerState::Closed);
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn a_killed_node_is_readmitted_through_the_half_open_probe_after_revival() {
+    let server = node(Some("cluster-test-readmit"));
+    let cluster = ClusterClient::<Symbol>::new(
+        vec![server.local_addr().to_string()],
+        test_config(1, Duration::from_millis(100)),
+    )
+    .expect("cluster");
+
+    ssr_fault::kill_node("cluster-test-readmit");
+    match cluster.request(&query_request()) {
+        Err(ClusterError::Exhausted { attempts, .. }) => assert_eq!(attempts, 1),
+        other => panic!("expected exhaustion against the killed node, got {other:?}"),
+    }
+    assert_eq!(cluster.counters().breaker_trips, 1);
+    assert_eq!(cluster.node_health()[0].state, BreakerState::Open);
+
+    // While quarantined, requests are refused without touching the wire.
+    match cluster.request(&query_request()) {
+        Err(ClusterError::NoHealthyNodes { .. }) => {}
+        other => panic!("expected no-healthy-nodes while quarantined, got {other:?}"),
+    }
+    assert_eq!(
+        cluster.counters().node_failures,
+        1,
+        "the quarantined node was not re-dialed"
+    );
+
+    ssr_fault::revive_node("cluster-test-readmit");
+    // Past cooldown + max jitter (100 + 50ms), the next request becomes the
+    // half-open probe and its success closes the breaker.
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(matches!(
+        cluster
+            .request(&query_request())
+            .expect("revived node answers"),
+        Response::Outcomes(_)
+    ));
+    assert_eq!(cluster.node_health()[0].state, BreakerState::Closed);
+    assert_eq!(cluster.counters().breaker_trips, 1, "no re-trip on revival");
+    server.shutdown();
+}
+
+#[test]
+fn the_background_prober_readmits_a_revived_node_without_user_traffic() {
+    let server = node(Some("cluster-test-prober"));
+    let mut config = test_config(1, Duration::from_millis(50));
+    config.probe_interval = Some(Duration::from_millis(20));
+    let cluster = ClusterClient::<Symbol>::new(vec![server.local_addr().to_string()], config)
+        .expect("cluster");
+
+    ssr_fault::kill_node("cluster-test-prober");
+    // Either a user request or a probe trips the breaker first; both feed
+    // the same state machine.
+    let _ = cluster.request(&query_request());
+    assert_eq!(cluster.node_health()[0].state, BreakerState::Open);
+
+    ssr_fault::revive_node("cluster-test-prober");
+    // No user traffic from here on: probes alone must walk the breaker
+    // open → half-open → closed. Generous budget; the cadence is 20ms.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while cluster.node_health()[0].state != BreakerState::Closed {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prober failed to readmit the revived node in 5s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        cluster.counters().probes > 0,
+        "readmission came from probes"
+    );
+    assert!(matches!(
+        cluster.request(&query_request()).expect("readmitted"),
+        Response::Outcomes(_)
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn a_forced_hedge_fires_exactly_once_and_yields_exactly_one_response() {
+    let a = node(None);
+    let b = node(None);
+    let cluster = ClusterClient::<Symbol>::new(
+        vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        test_config(3, Duration::from_secs(60)),
+    )
+    .expect("cluster");
+
+    // hedge_after = 0 forces the hedge on every request regardless of how
+    // fast the primary answers — the determinism knob the chaos harness
+    // leans on.
+    let response = cluster
+        .request_with_hedge(&query_request(), Some(Duration::ZERO))
+        .expect("hedged request succeeds");
+    assert!(matches!(response, Response::Outcomes(_)));
+    cluster.quiesce(); // the losing copy must fully land before we count
+    let counters = cluster.counters();
+    assert_eq!(counters.hedges, 1, "exactly one hedge copy was fired");
+    assert_eq!(
+        counters.requests, 1,
+        "exactly one response reached the caller"
+    );
+    assert!(
+        counters.hedge_wins <= 1,
+        "a win is a race; more than one is double-counting"
+    );
+    assert_eq!(counters.failovers, 0);
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn the_per_op_deadline_caps_a_failover_chain() {
+    let mut config = test_config(3, Duration::from_secs(60));
+    config.client.op_deadline = Some(Duration::ZERO);
+    let cluster = ClusterClient::<Symbol>::new(vec![dead_addr(), dead_addr(), dead_addr()], config)
+        .expect("cluster");
+    // A zero budget admits the first hop (the deadline is only consulted
+    // before *continuing* a chain) and refuses every hop after it.
+    match cluster.request(&query_request()) {
+        Err(ClusterError::DeadlineExceeded { attempts, .. }) => {
+            assert_eq!(attempts, 1, "the chain was cut after the first hop");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(cluster.counters().deadline_exceeded, 1);
+    assert_eq!(cluster.counters().node_failures, 1);
+}
+
+#[test]
+fn a_fully_dark_cluster_fails_typed_and_then_refuses_fast() {
+    let cluster = ClusterClient::<Symbol>::new(
+        vec![dead_addr(), dead_addr()],
+        test_config(1, Duration::from_secs(60)),
+    )
+    .expect("cluster");
+    // First request walks both nodes, trips both breakers.
+    match cluster.request(&query_request()) {
+        Err(ClusterError::Exhausted { attempts, .. }) => assert_eq!(attempts, 2),
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+    assert_eq!(cluster.counters().breaker_trips, 2);
+    // Second request finds no routable candidate and never dials.
+    match cluster.request(&query_request()) {
+        Err(ClusterError::NoHealthyNodes { .. }) => {}
+        other => panic!("expected no healthy nodes, got {other:?}"),
+    }
+    assert_eq!(cluster.counters().node_failures, 2, "no further dialing");
+}
+
+#[test]
+fn cluster_responses_are_bit_identical_to_the_in_process_engine() {
+    let db = build_db();
+    let engine = QueryEngine::new(&db);
+    let queries = vec![
+        Sequence::new(sym("YYYYACDEFGHIKLMNPQRSTVWYYYYY")),
+        Sequence::new(sym("ACACACACACACACAC")),
+    ];
+    let expected = engine.batch_type1(&queries, 2.0);
+
+    let a = node(None);
+    let b = node(None);
+    let cluster = ClusterClient::<Symbol>::new(
+        vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        test_config(3, Duration::from_secs(60)),
+    )
+    .expect("cluster");
+    // Whichever node routing picks, the answer is the same bits — the
+    // invariant that makes failover and hedging safe at all.
+    for _ in 0..6 {
+        let Response::Outcomes(served) = cluster.request(&query_request()).expect("query") else {
+            panic!("expected outcomes");
+        };
+        assert_eq!(served.len(), expected.outcomes.len());
+        for (wire, local) in served.iter().zip(&expected.outcomes) {
+            assert_eq!(wire.matches, local.result, "matches are bit-identical");
+            assert_eq!(wire.stats, local.stats, "work stats are bit-identical");
+        }
+    }
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn administrative_fanout_reaches_every_node_individually() {
+    let a = node(None);
+    let b = node(None);
+    let dead = dead_addr();
+    let cluster = ClusterClient::<Symbol>::new(
+        vec![
+            a.local_addr().to_string(),
+            dead.clone(),
+            b.local_addr().to_string(),
+        ],
+        test_config(1, Duration::from_secs(60)),
+    )
+    .expect("cluster");
+
+    let outcomes = cluster.for_each_node(&Request::Stats);
+    assert_eq!(outcomes.len(), 3, "one outcome per node, address order");
+    assert!(matches!(outcomes[0].1, Ok(Response::Stats(_))));
+    assert_eq!(outcomes[1].0, dead);
+    assert!(outcomes[1].1.is_err(), "the dead node reports its failure");
+    assert!(matches!(outcomes[2].1, Ok(Response::Stats(_))));
+
+    // Drain fans out the same way; dead nodes fail individually without
+    // blocking the live ones.
+    let drains = cluster.for_each_node(&Request::Shutdown);
+    assert!(matches!(drains[0].1, Ok(Response::ShuttingDown)));
+    assert!(drains[1].1.is_err());
+    assert!(matches!(drains[2].1, Ok(Response::ShuttingDown)));
+    a.wait();
+    b.wait();
+}

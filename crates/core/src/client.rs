@@ -9,7 +9,10 @@
 //!
 //! * **Deadlines everywhere.** Connect, read and write all carry timeouts
 //!   ([`ClientConfig`]), so a stalled or half-dead server costs bounded
-//!   wall-clock, never a hung process.
+//!   wall-clock, never a hung process. An optional *per-op* deadline
+//!   ([`ClientConfig::op_deadline`]) bounds the whole request across
+//!   attempts: a backoff sleep that would overrun it returns
+//!   [`ClientError::DeadlineExceeded`] without sleeping.
 //! * **Retries for idempotent requests only.** `Ping`, `Stats`, `Metrics`
 //!   and `Query` are repeatable (the server's result cache makes a repeated
 //!   query bit-identical, and re-asking for counters is harmless);
@@ -34,7 +37,7 @@
 
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ssr_storage::{read_frame, write_frame, StorableElement, StorageError};
 
@@ -64,6 +67,15 @@ pub struct ClientConfig {
     /// seed in production (any entropy will do); fix it in tests to pin the
     /// exact retry schedule.
     pub jitter_seed: u64,
+    /// Total wall-clock budget for one [`WireClient::request`] call, across
+    /// every attempt *and* every backoff sleep. When the budget would be
+    /// blown by the next backoff, the client returns
+    /// [`ClientError::DeadlineExceeded`] immediately instead of sleeping
+    /// into a deadline it already knows it will miss. `None` (the default)
+    /// bounds a request only by the per-attempt socket deadlines and the
+    /// attempts budget. The cluster layer sets this so a failover chain
+    /// stays inside one predictable per-op deadline.
+    pub op_deadline: Option<Duration>,
 }
 
 impl Default for ClientConfig {
@@ -77,6 +89,7 @@ impl Default for ClientConfig {
             base_backoff: Duration::from_millis(25),
             max_backoff: Duration::from_secs(1),
             jitter_seed: 0,
+            op_deadline: None,
         }
     }
 }
@@ -92,6 +105,18 @@ pub enum ClientError {
         /// The last attempt's failure, for the log line.
         last: String,
     },
+    /// The per-op deadline ([`ClientConfig::op_deadline`]) ran out — or the
+    /// next backoff sleep would have run it out, in which case the client
+    /// returns *without sleeping*: the remaining budget is already known to
+    /// be insufficient, so burning it in a sleep helps nobody. Transient by
+    /// nature (the server may be fine, the budget was not), so a cluster
+    /// layer treats it like [`ClientError::Retryable`] when failing over.
+    DeadlineExceeded {
+        /// Attempts actually spent before the budget ran out.
+        attempts: u32,
+        /// Wall-clock elapsed when the client gave up.
+        elapsed: Duration,
+    },
     /// The request cannot succeed by retrying: a protocol violation, an
     /// undecodable response, or a non-idempotent request that failed once.
     Fatal(String),
@@ -103,6 +128,11 @@ impl std::fmt::Display for ClientError {
             ClientError::Retryable { attempts, last } => {
                 write!(f, "request failed after {attempts} attempt(s): {last}")
             }
+            ClientError::DeadlineExceeded { attempts, elapsed } => write!(
+                f,
+                "per-op deadline exceeded after {attempts} attempt(s) and {}ms",
+                elapsed.as_millis()
+            ),
             ClientError::Fatal(msg) => write!(f, "request failed fatally: {msg}"),
         }
     }
@@ -126,6 +156,15 @@ impl<E: StorableElement> WireClient<E> {
     /// Resolves `addr` once and builds a client. No connection is made yet —
     /// the first [`Self::request`] connects (and a later one reconnects if
     /// the server went away in between).
+    ///
+    /// When `addr` resolves to **multiple** addresses (a dual-stack
+    /// hostname, or an explicit `&[SocketAddr]` slice), every candidate is
+    /// tried in resolution order on each connect, each with the full
+    /// [`ClientConfig::connect_timeout`]; the first that accepts wins. A
+    /// candidate list is therefore a poor man's failover across equivalent
+    /// endpoints — `tests/client_retry.rs` pins that a dead first address
+    /// does not prevent the second from answering. Distinct *replicas*
+    /// deserve the real health-checked routing in `ssr-cluster` instead.
     pub fn new(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Self> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         if addrs.is_empty() {
@@ -178,6 +217,7 @@ impl<E: StorableElement> WireClient<E> {
             self.config.max_attempts.max(1)
         };
         let payload = request.encode_payload();
+        let started = Instant::now();
         let mut attempt = 0u32;
         loop {
             attempt += 1;
@@ -227,7 +267,22 @@ impl<E: StorableElement> WireClient<E> {
                     return Err(ClientError::Fatal(msg));
                 }
             }
-            std::thread::sleep(self.backoff_delay(attempt));
+            // The deadline edge: when the upcoming backoff sleep cannot fit
+            // inside the per-op budget, give up *now* — sleeping first would
+            // spend the caller's remaining budget on a failure it could
+            // already predict. The retry just noted above stays counted; the
+            // attempt it would have bought never happens.
+            let delay = self.backoff_delay(attempt);
+            if let Some(deadline) = self.config.op_deadline {
+                let elapsed = started.elapsed();
+                if elapsed + delay > deadline {
+                    return Err(ClientError::DeadlineExceeded {
+                        attempts: attempt,
+                        elapsed,
+                    });
+                }
+            }
+            std::thread::sleep(delay);
         }
     }
 

@@ -91,6 +91,14 @@ pub struct ServeConfig {
     /// statistics of any query slower than `ms` to stderr. `None` (the
     /// default) records no traces.
     pub slow_query_ms: Option<u64>,
+    /// Name this server answers to on the [`ssr_fault::node_killed`] kill
+    /// switch. While the named switch is thrown the server models a crashed
+    /// process: new connections are dropped at accept and in-flight
+    /// connections are abandoned mid-stream, with no response either way —
+    /// but the listener keeps its port, so [`ssr_fault::revive_node`] is an
+    /// instant, deterministic "restart". `None` (the default) opts out
+    /// entirely; production servers pay one relaxed atomic load per check.
+    pub node_name: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +112,7 @@ impl Default for ServeConfig {
             read_timeout: Some(Duration::from_secs(30)),
             max_frame_len: 16 * 1024 * 1024,
             slow_query_ms: None,
+            node_name: None,
         }
     }
 }
@@ -562,6 +571,15 @@ where
         if ssr_fault::evaluate("serve.accept").is_some() {
             continue;
         }
+        // Node-level kill switch: while this named node is "killed", every
+        // fresh connection dies unanswered — the client sees the reset a
+        // crashed process would produce, but the port stays bound so a
+        // revive is an instant restart.
+        if let Some(name) = &shared.config.node_name {
+            if ssr_fault::node_killed(name) {
+                continue;
+            }
+        }
         let shared = Arc::clone(shared);
         // Connection threads are detached: they exit on client disconnect,
         // read timeout or queue closure, and hold nothing but the shared
@@ -589,6 +607,13 @@ where
         // vanishing mid-frame — the connection closes without an answer.
         if ssr_fault::evaluate("serve.frame_read").is_some() {
             return;
+        }
+        // A killed node abandons persistent connections too: a client that
+        // connected before the "crash" must not keep getting answers.
+        if let Some(name) = &shared.config.node_name {
+            if ssr_fault::node_killed(name) {
+                return;
+            }
         }
         let payload = match read_frame(&mut stream, shared.config.max_frame_len) {
             Ok(Some(payload)) => payload,
@@ -620,6 +645,14 @@ where
                 return;
             }
         };
+        // Re-check the kill switch *after* the read: a thread parked in
+        // `read_frame` when the kill landed wakes holding a request — a
+        // crashed process would never answer it, so neither do we.
+        if let Some(name) = &shared.config.node_name {
+            if ssr_fault::node_killed(name) {
+                return;
+            }
+        }
         // Answers echo the request's wire version, so a v1 peer gets v1
         // response bodies back and never sees fields it cannot decode.
         let (version, request) = match Request::<E>::decode_payload_versioned(&payload) {

@@ -6,26 +6,22 @@
 //!
 //! Each schedule is a pure function of its seed: the `prob-P-SEED` trigger
 //! hashes the per-site hit counter, so a re-run fires the same faults at the
-//! same operations. The failpoint registry is process-global — this binary
-//! serializes every test on one mutex and clears the registry at both ends,
-//! and the armed tests live here (not in the lib's unit tests) so they
-//! cannot fire inside an unrelated threaded test.
+//! same operations. The failpoint registry is process-global — every test
+//! here owns it through an [`ssr_fault::FailpointGuard`], which both
+//! serializes the armed section and disarms on drop, and the armed tests
+//! live here (not in the lib's unit tests) so they cannot fire inside an
+//! unrelated threaded test.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use ssr_core::serve::{Client, ServeConfig, Server};
 use ssr_core::wire::{QuerySpec, Request, Response, WireError};
 use ssr_core::{ClientConfig, FrameworkConfig, LiveDatabase, SubsequenceDatabase, WireClient};
 use ssr_distance::Levenshtein;
+use ssr_fault::FailpointGuard;
 use ssr_sequence::{Sequence, Symbol};
-
-fn serialize() -> MutexGuard<'static, ()> {
-    static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
-}
 
 fn sym(text: &str) -> Vec<Symbol> {
     text.chars().map(Symbol::from_char).collect()
@@ -73,7 +69,7 @@ const APPEND_SCRIPT: &[&str] = &[
 /// under `seed`, crashes (drops the writer), reopens, and demands the
 /// recovered state equal a reference holding exactly the acked appends.
 /// Returns (acked, injected) so the caller can check the schedule shape.
-fn run_torn_wal_schedule(seed: u64, permille: u32) -> (usize, u64) {
+fn run_torn_wal_schedule(guard: &FailpointGuard, seed: u64, permille: u32) -> (usize, u64) {
     let path = scratch_path(&format!("torn-wal-{seed}"));
     let mut live = LiveDatabase::create(&path, initial_database()).expect("create succeeds");
     let initial_snapshot = std::fs::read(&path).expect("initial snapshot readable");
@@ -85,7 +81,9 @@ fn run_torn_wal_schedule(seed: u64, permille: u32) -> (usize, u64) {
         SubsequenceDatabase::from_snapshot_bytes(initial_snapshot, Levenshtein::new())
             .expect("initial snapshot loads");
 
-    ssr_fault::configure_str(&format!("wal.append=prob-{permille}-{seed}:error")).unwrap();
+    guard
+        .rearm(&format!("wal.append=prob-{permille}-{seed}:error"))
+        .unwrap();
     let mut acked = 0usize;
     for text in APPEND_SCRIPT {
         match live.append_sequence(seq(text)) {
@@ -101,9 +99,9 @@ fn run_torn_wal_schedule(seed: u64, permille: u32) -> (usize, u64) {
     }
     // Finale: tear the very last append mid-frame. The torn tail must be
     // dropped on recovery without touching the acked records before it.
-    ssr_fault::configure_str("wal.append=nth-1:partial-7").unwrap();
+    guard.rearm("wal.append=nth-1:partial-7").unwrap();
     let torn = live.append_sequence(seq("TORNTORNTORNTORN"));
-    ssr_fault::clear();
+    guard.disarm();
     assert!(torn.is_err(), "the torn append must not be acked");
 
     let wal_path = live.wal_path().to_path_buf();
@@ -131,27 +129,24 @@ fn run_torn_wal_schedule(seed: u64, permille: u32) -> (usize, u64) {
 
 #[test]
 fn torn_wal_schedules_lose_no_acked_append_under_any_seed() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     // Distinct seeds produce distinct-but-deterministic schedules; each must
     // fire at least once and ack at least once for the assertion to bite.
     let mut shapes = Vec::new();
     for seed in [7, 23, 5151] {
-        let (acked, injected) = run_torn_wal_schedule(seed, 350);
+        let (acked, injected) = run_torn_wal_schedule(&guard, seed, 350);
         assert!(acked > 0, "seed {seed}: schedule acked nothing");
         assert!(injected > 1, "seed {seed}: schedule never fired mid-script");
         shapes.push((acked, injected));
     }
     // Determinism: replaying a seed replays its exact schedule.
-    let (acked, injected) = run_torn_wal_schedule(7, 350);
+    let (acked, injected) = run_torn_wal_schedule(&guard, 7, 350);
     assert_eq!((acked, injected), shapes[0], "seed 7 must replay exactly");
-    ssr_fault::clear();
 }
 
 #[test]
 fn compact_window_crash_never_double_applies() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     let path = scratch_path("compact-window");
     let mut live = LiveDatabase::create(&path, initial_database()).expect("create succeeds");
     for text in &APPEND_SCRIPT[..4] {
@@ -162,9 +157,9 @@ fn compact_window_crash_never_double_applies() {
     // Crash in the compaction window: the new snapshot is durably renamed
     // into place, the WAL still carries the (now stale) log bound to the
     // old snapshot.
-    ssr_fault::configure_str("live.compact=nth-1:error").unwrap();
+    guard.rearm("live.compact=nth-1:error").unwrap();
     let err = live.compact().expect_err("the window failpoint fires");
-    ssr_fault::clear();
+    guard.disarm();
     assert!(err.to_string().contains("failpoint 'live.compact'"));
     let wal_path = live.wal_path().to_path_buf();
     drop(live); // the crash
@@ -180,7 +175,6 @@ fn compact_window_crash_never_double_applies() {
 
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&wal_path);
-    ssr_fault::clear();
 }
 
 /// Kill-and-reopen torture: across several seeds, interleave appends and
@@ -188,8 +182,7 @@ fn compact_window_crash_never_double_applies() {
 /// after each stretch and reopen, demanding parity every time.
 #[test]
 fn kill_and_reopen_cycles_preserve_parity_across_seeds() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     for seed in [101u64, 202, 303] {
         let path = scratch_path(&format!("kill-reopen-{seed}"));
         let mut live = LiveDatabase::create(&path, initial_database()).expect("create succeeds");
@@ -201,12 +194,13 @@ fn kill_and_reopen_cycles_preserve_parity_across_seeds() {
         let mut wal_path = live.wal_path().to_path_buf();
 
         for (cycle, chunk) in APPEND_SCRIPT.chunks(3).enumerate() {
-            ssr_fault::configure_str(&format!(
-                "wal.append=prob-250-{}:error;wal.reset=prob-500-{}:error",
-                seed + cycle as u64,
-                seed ^ cycle as u64
-            ))
-            .unwrap();
+            guard
+                .rearm(&format!(
+                    "wal.append=prob-250-{}:error;wal.reset=prob-500-{}:error",
+                    seed + cycle as u64,
+                    seed ^ cycle as u64
+                ))
+                .unwrap();
             for text in chunk {
                 if live.append_sequence(seq(text)).is_ok() {
                     reference.append_sequence(seq(text));
@@ -216,7 +210,7 @@ fn kill_and_reopen_cycles_preserve_parity_across_seeds() {
             // — either way the state must survive the kill below. No append
             // follows a failed compact on the same writer: its log is stale.
             let _ = live.compact();
-            ssr_fault::clear();
+            guard.disarm();
             wal_path = live.wal_path().to_path_buf();
             drop(live); // kill
             live = LiveDatabase::<Symbol, _>::open(&path, Levenshtein::new())
@@ -231,7 +225,6 @@ fn kill_and_reopen_cycles_preserve_parity_across_seeds() {
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&wal_path);
     }
-    ssr_fault::clear();
 }
 
 fn build_server_db() -> SubsequenceDatabase<Symbol, Levenshtein> {
@@ -260,8 +253,7 @@ fn metric_value(exposition: &str, family: &str) -> Option<u64> {
 
 #[test]
 fn worker_panic_is_isolated_and_counted() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     let server = Server::bind(
         build_server_db(),
         "127.0.0.1:0",
@@ -275,9 +267,9 @@ fn worker_panic_is_isolated_and_counted() {
 
     // First query panics inside the (only) worker; the connection gets a
     // typed Internal, not a hang, and the worker survives to serve more.
-    ssr_fault::configure_str("serve.worker=nth-1:error").unwrap();
+    guard.rearm("serve.worker=nth-1:error").unwrap();
     let first = client.request(&query_request()).expect("connection lives");
-    ssr_fault::clear();
+    guard.disarm();
     assert!(
         matches!(first, Response::Error(WireError::Internal(_))),
         "a panicked job answers Internal, got {first:?}"
@@ -299,13 +291,11 @@ fn worker_panic_is_isolated_and_counted() {
         other => panic!("expected metrics, got {other:?}"),
     }
     server.shutdown();
-    ssr_fault::clear();
 }
 
 #[test]
 fn stalled_peer_is_timed_out_and_counted_without_pinning_the_server() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let _guard = FailpointGuard::disarmed();
     let server = Server::bind(
         build_server_db(),
         "127.0.0.1:0",
@@ -360,13 +350,11 @@ fn stalled_peer_is_timed_out_and_counted_without_pinning_the_server() {
         other => panic!("expected metrics, got {other:?}"),
     }
     server.shutdown();
-    ssr_fault::clear();
 }
 
 #[test]
 fn drain_finishes_probes_refuses_queries_and_exits() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let _guard = FailpointGuard::disarmed();
     let server = Server::bind(
         build_server_db(),
         "127.0.0.1:0",
@@ -429,13 +417,11 @@ fn drain_finishes_probes_refuses_queries_and_exits() {
     // The drain completes: every server thread exits (the test harness
     // itself is the hang bound — wait() returning is the assertion).
     server.wait();
-    ssr_fault::clear();
 }
 
 #[test]
 fn retrying_client_rides_out_accept_faults_deterministically() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     let server =
         Server::bind(build_server_db(), "127.0.0.1:0", ServeConfig::default()).expect("bind");
 
@@ -452,14 +438,13 @@ fn retrying_client_rides_out_accept_faults_deterministically() {
         },
     )
     .expect("client");
-    ssr_fault::configure_str("serve.accept=nth-1:error").unwrap();
+    guard.rearm("serve.accept=nth-1:error").unwrap();
     let response = client.request(&Request::Ping).expect("retries succeed");
-    ssr_fault::clear();
+    guard.disarm();
     assert!(matches!(response, Response::Pong));
     assert!(
         client.retries() >= 1,
         "the dropped accept must have cost at least one retry"
     );
     server.shutdown();
-    ssr_fault::clear();
 }

@@ -183,6 +183,92 @@ fn shutdown_is_never_retried() {
 }
 
 #[test]
+fn a_backoff_that_would_blow_the_deadline_returns_without_sleeping() {
+    // A server that refuses instantly, forever: every attempt is cheap, so
+    // the request's wall-clock is dominated by backoff sleeps — exactly the
+    // budget the per-op deadline is supposed to protect.
+    let addr = stub(|listener| {
+        while let Ok((mut stream, _)) = listener.accept() {
+            while let Ok(Some(payload)) = read_frame(&mut stream, 1 << 20) {
+                assert!(Request::<Symbol>::decode_payload(&payload).is_ok());
+                let refusal = Response::Error(WireError::Overloaded).encode_payload();
+                if write_frame(&mut stream, &refusal).is_err() {
+                    break;
+                }
+                let _ = stream.flush();
+            }
+        }
+    });
+    let config = ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_millis(200),
+        write_timeout: Duration::from_millis(200),
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(2000),
+        max_backoff: Duration::from_millis(2000),
+        jitter_seed: 11,
+        op_deadline: Some(Duration::from_millis(50)),
+        ..ClientConfig::default()
+    };
+    // The seeded schedule is known in advance: the very first backoff sits
+    // in [1000ms, 2000ms], which cannot fit the 50ms budget left after a
+    // local-loopback attempt. The client must see that coming.
+    let first_delay = backoff_delay(&config, 1);
+    assert!(
+        first_delay >= Duration::from_millis(1000),
+        "schedule envelope: exp/2 floor"
+    );
+    let mut client = WireClient::<Symbol>::new(addr, config).expect("client");
+    let started = Instant::now();
+    match client.request(&Request::Ping) {
+        Err(ClientError::DeadlineExceeded { attempts, elapsed }) => {
+            assert_eq!(attempts, 1, "the budget died before a second attempt");
+            assert!(
+                elapsed < first_delay,
+                "the recorded elapsed time contains no backoff sleep"
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // The proof it never slept: total wall-clock stays under the schedule's
+    // first delay (one instant refusal plus bookkeeping, not 100ms+).
+    assert!(
+        started.elapsed() < first_delay,
+        "DeadlineExceeded must not pay the sleep it refused: {:?} >= {:?}",
+        started.elapsed(),
+        first_delay
+    );
+    assert_eq!(client.retries(), 1, "the noted retry was never attempted");
+}
+
+#[test]
+fn a_dead_first_address_falls_through_to_the_second_inside_one_attempt() {
+    // A freshly-freed port: connecting gets an instant refusal.
+    let dead = {
+        let throwaway = TcpListener::bind("127.0.0.1:0").expect("bind");
+        throwaway.local_addr().expect("addr")
+    };
+    let live = stub(|listener| {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let _ = read_frame(&mut stream, 1 << 20);
+        write_frame(&mut stream, &Response::Pong.encode_payload()).expect("pong");
+        stream.flush().expect("flush");
+    });
+    // Multi-address candidates: the dead one first, on purpose.
+    let mut client = WireClient::<Symbol>::new(&[dead, live][..], test_config()).expect("client");
+    assert_eq!(client.addrs(), &[dead, live], "resolution order preserved");
+    assert!(matches!(
+        client
+            .request(&Request::Ping)
+            .expect("second address answers"),
+        Response::Pong
+    ));
+    // The fall-through happens inside `connect`, not by burning a retry:
+    // candidate iteration is free, the retry budget is for real weather.
+    assert_eq!(client.retries(), 0);
+}
+
+#[test]
 fn the_backoff_schedule_is_a_pure_function_of_the_seed() {
     let config = ClientConfig {
         base_backoff: Duration::from_millis(25),

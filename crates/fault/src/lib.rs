@@ -45,11 +45,19 @@
 //! the observed fault count against its schedule.
 //!
 //! The registry is process-global (like [`ssr_obs::global`]): tests that arm
-//! failpoints must serialize against each other and [`clear`] when done.
+//! failpoints must serialize against each other and [`clear`] when done —
+//! [`FailpointGuard`] packages both obligations as one RAII value.
+//!
+//! Beyond per-site failpoints, the crate also hosts a **node-level kill
+//! switch** ([`kill_node`] / [`revive_node`]) for multi-node harnesses: a
+//! server started with a node name consults [`node_killed`] and, while the
+//! switch is thrown, drops every connection without answering — the closest
+//! in-process model of a crashed process that keeps the listener's port
+//! (so a "restart" is instant and deterministic, with no rebind race).
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
@@ -313,6 +321,125 @@ pub fn init_from_env() -> Result<usize, String> {
     }
 }
 
+/// RAII ownership of the process-global failpoint registry.
+///
+/// The registry is shared by every test in a binary, so armed tests carry
+/// two manual obligations: serialize against each other, and [`clear`] on
+/// every exit path. `FailpointGuard` folds both into one value — creating
+/// a guard takes a process-wide arming lock and clears any leftover state;
+/// dropping it disarms the registry and resets every per-site hit counter
+/// (by removing the sites), even when the test panics mid-way.
+///
+/// ```
+/// let guard = ssr_fault::FailpointGuard::arm("wal.append=nth-1:error").unwrap();
+/// assert!(ssr_fault::armed());
+/// drop(guard);
+/// assert!(!ssr_fault::armed());
+/// ```
+pub struct FailpointGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+/// The process-wide lock [`FailpointGuard`] serializes on. Poisoning is
+/// recovered: a panicking armed test must not wedge every later one.
+fn arming_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl FailpointGuard {
+    /// Takes the arming lock, clears leftover registry state and applies
+    /// `spec` (the [`configure_str`] grammar). On a malformed spec the
+    /// registry is left cleared and the error is returned.
+    pub fn arm(spec: &str) -> Result<FailpointGuard, String> {
+        let guard = FailpointGuard::disarmed();
+        match configure_str(spec) {
+            Ok(_) => Ok(guard),
+            Err(err) => {
+                clear();
+                Err(err)
+            }
+        }
+    }
+
+    /// Takes the arming lock and clears the registry without configuring
+    /// anything — for tests that must observe *disarmed* behavior without
+    /// racing armed ones, or that arm later via [`FailpointGuard::rearm`].
+    pub fn disarmed() -> FailpointGuard {
+        let serial = arming_lock();
+        clear();
+        FailpointGuard { _serial: serial }
+    }
+
+    /// Replaces the armed configuration: clears every site (resetting hit
+    /// counters), then applies `spec`. The serialization lock is already
+    /// held, so mid-test reconfiguration stays race-free.
+    pub fn rearm(&self, spec: &str) -> Result<usize, String> {
+        clear();
+        configure_str(spec)
+    }
+
+    /// Disarms the registry without releasing the serialization lock — the
+    /// mid-test counterpart of dropping the guard.
+    pub fn disarm(&self) {
+        clear();
+    }
+}
+
+impl Drop for FailpointGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Set of node names currently "killed" by [`kill_node`].
+fn killed_registry() -> MutexGuard<'static, HashSet<String>> {
+    static KILLED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    KILLED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("killed-node registry poisoned")
+}
+
+/// Fast path for [`node_killed`]: true iff at least one node is down.
+static ANY_NODE_DOWN: AtomicBool = AtomicBool::new(false);
+
+/// Throws the kill switch for `name`: a server bound with this node name
+/// drops every new connection and abandons every in-flight one without a
+/// response, modelling a crashed process whose port stays reserved. The
+/// cluster chaos harness uses this to kill and restart nodes at exact,
+/// seeded schedule points.
+pub fn kill_node(name: &str) {
+    let mut killed = killed_registry();
+    killed.insert(name.to_string());
+    ANY_NODE_DOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the kill switch for `name` — the in-process "restart". The server
+/// resumes accepting on its existing listener immediately.
+pub fn revive_node(name: &str) {
+    let mut killed = killed_registry();
+    killed.remove(name);
+    ANY_NODE_DOWN.store(!killed.is_empty(), Ordering::Relaxed);
+}
+
+/// Revives every killed node — harness teardown.
+pub fn revive_all_nodes() {
+    let mut killed = killed_registry();
+    killed.clear();
+    ANY_NODE_DOWN.store(false, Ordering::Relaxed);
+}
+
+/// Whether `name`'s kill switch is thrown. With no node killed anywhere
+/// this is one relaxed atomic load, so production servers (which never call
+/// [`kill_node`]) pay nothing per connection.
+pub fn node_killed(name: &str) -> bool {
+    if !ANY_NODE_DOWN.load(Ordering::Relaxed) {
+        return false;
+    }
+    killed_registry().contains(name)
+}
+
 fn parse_trigger(text: &str) -> Result<Trigger, String> {
     if text == "always" {
         return Ok(Trigger::Always);
@@ -381,26 +508,17 @@ fn parse_action(text: &str) -> Result<Action, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::MutexGuard as TestGuard;
-
-    /// The registry is process-global; tests arming it must not interleave.
-    fn serialize() -> TestGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
-    }
 
     #[test]
     fn disarmed_evaluate_is_a_noop() {
-        let _guard = serialize();
-        clear();
+        let _guard = FailpointGuard::disarmed();
         assert!(!armed());
         assert_eq!(evaluate("anything"), None);
     }
 
     #[test]
     fn nth_hit_fires_exactly_once() {
-        let _guard = serialize();
-        clear();
+        let guard = FailpointGuard::disarmed();
         configure(
             "t.nth",
             FailpointConfig {
@@ -412,13 +530,12 @@ mod tests {
         assert_eq!(fired, [false, false, true, false, false, false]);
         let status = &snapshot()[0];
         assert_eq!((status.hits, status.fired), (6, 1));
-        clear();
+        drop(guard);
     }
 
     #[test]
     fn every_k_fires_periodically_and_unconfigured_sites_pass() {
-        let _guard = serialize();
-        clear();
+        let _guard = FailpointGuard::disarmed();
         configure(
             "t.every",
             FailpointConfig {
@@ -437,13 +554,11 @@ mod tests {
                 Some(Fault::PartialWrite(7))
             ]
         );
-        clear();
     }
 
     #[test]
     fn probability_is_deterministic_per_seed() {
-        let _guard = serialize();
-        clear();
+        let _guard = FailpointGuard::disarmed();
         let run = |seed: u64| -> Vec<bool> {
             configure(
                 "t.prob",
@@ -464,16 +579,13 @@ mod tests {
         assert_ne!(a, c, "different seed, different schedule");
         let hits = a.iter().filter(|&&f| f).count();
         assert!((10..=54).contains(&hits), "500‰ fired {hits}/64 times");
-        clear();
     }
 
     #[test]
     fn spec_strings_parse_and_misparse() {
-        let _guard = serialize();
-        clear();
-        let n = configure_str("a.b=nth-2:error; c.d=every-3:delay-5,e.f=prob-250-9:partial-10;")
-            .unwrap();
-        assert_eq!(n, 3);
+        let guard =
+            FailpointGuard::arm("a.b=nth-2:error; c.d=every-3:delay-5,e.f=prob-250-9:partial-10;")
+                .unwrap();
         let status = snapshot();
         assert_eq!(status.len(), 3);
         assert_eq!(
@@ -501,9 +613,8 @@ mod tests {
             "a=prob-2000:error",
             "=always:error",
         ] {
-            assert!(configure_str(bad).is_err(), "spec '{bad}' should fail");
+            assert!(guard.rearm(bad).is_err(), "spec '{bad}' should fail");
         }
-        clear();
     }
 
     #[test]
@@ -515,10 +626,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "failpoint 't.panic' fired: injected panic")]
     fn panic_action_panics_inside_evaluate() {
-        // The panic poisons the serialize lock; the other tests recover it
-        // with `into_inner`.
-        let _guard = serialize();
-        clear();
+        // The panic poisons the arming lock; later guards recover it with
+        // `into_inner` and the dropped guard still disarms the registry.
+        let _guard = FailpointGuard::disarmed();
         configure(
             "t.panic",
             FailpointConfig {
@@ -527,5 +637,53 @@ mod tests {
             },
         );
         let _ = evaluate("t.panic");
+    }
+
+    #[test]
+    fn guard_drop_disarms_and_resets_counters() {
+        {
+            let _guard = FailpointGuard::arm("t.guarded=always:error").unwrap();
+            assert!(armed());
+            assert_eq!(evaluate("t.guarded"), Some(Fault::Error));
+            assert_eq!(snapshot()[0].hits, 1);
+        }
+        // Out of scope: disarmed, every site (and its counters) gone.
+        let _check = FailpointGuard::disarmed();
+        assert!(!armed());
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn guard_rearm_replaces_the_schedule_atomically() {
+        let guard = FailpointGuard::arm("t.one=always:error").unwrap();
+        assert_eq!(evaluate("t.one"), Some(Fault::Error));
+        guard.rearm("t.two=always:partial-3").unwrap();
+        assert_eq!(evaluate("t.one"), None, "old site is gone");
+        assert_eq!(evaluate("t.two"), Some(Fault::PartialWrite(3)));
+        assert_eq!(snapshot().len(), 1);
+        guard.disarm();
+        assert!(!armed());
+    }
+
+    #[test]
+    fn a_malformed_guard_spec_leaves_the_registry_disarmed() {
+        assert!(FailpointGuard::arm("broken-spec").is_err());
+        let _check = FailpointGuard::disarmed();
+        assert!(!armed());
+    }
+
+    #[test]
+    fn node_kill_switch_is_cheap_scoped_and_reversible() {
+        revive_all_nodes();
+        assert!(!node_killed("node-a"), "nothing killed yet");
+        kill_node("node-a");
+        assert!(node_killed("node-a"));
+        assert!(!node_killed("node-b"), "the switch is per node");
+        kill_node("node-b");
+        revive_node("node-a");
+        assert!(!node_killed("node-a"));
+        assert!(node_killed("node-b"));
+        revive_all_nodes();
+        assert!(!node_killed("node-b"));
     }
 }

@@ -2,20 +2,17 @@
 //!
 //! These live in their own test binary (not the lib's unit tests) because
 //! the failpoint registry is process-global: arming `wal.append` here must
-//! not make an unrelated unit test's append fail. Within this binary every
-//! test serializes on one mutex and clears the registry when done.
+//! not make an unrelated unit test's append fail. Every test owns the
+//! registry through an [`ssr_fault::FailpointGuard`], which serializes the
+//! armed section and disarms (resetting the per-site counters) on drop —
+//! even when an assertion panics mid-test.
 
 use std::path::PathBuf;
-use std::sync::{Mutex, MutexGuard};
 
+use ssr_fault::FailpointGuard;
 use ssr_storage::{
     read_wal_file, write_atomic, Snapshot, SnapshotBuilder, StorageError, WalBinding, WalWriter,
 };
-
-fn serialize() -> MutexGuard<'static, ()> {
-    static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
-}
 
 fn temp_path(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("ssr-failpoint-tests");
@@ -47,17 +44,16 @@ fn assert_injected(result: Result<(), StorageError>, site: &str) {
 /// byte-exactly.
 #[test]
 fn torn_wal_append_loses_only_the_unacked_record() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     let path = temp_path("torn-append.wal");
     let _ = std::fs::remove_file(&path);
     let (mut wal, _) = WalWriter::open(&path, BINDING).unwrap();
     wal.append(b"acked-one").unwrap();
     wal.append(b"acked-two").unwrap();
     // The 3rd append tears after 5 bytes of its frame.
-    ssr_fault::configure_str("wal.append=nth-1:partial-5").unwrap();
+    guard.rearm("wal.append=nth-1:partial-5").unwrap();
     let torn = wal.append(b"never-acked");
-    ssr_fault::clear();
+    guard.disarm();
     assert_injected(torn, "wal.append");
     drop(wal); // the "crash": the writer is gone, the torn tail remains
     let read = read_wal_file(&path).unwrap();
@@ -80,16 +76,15 @@ fn torn_wal_append_loses_only_the_unacked_record() {
 /// nothing was acked, nothing may change.
 #[test]
 fn injected_append_error_leaves_the_log_intact() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     let path = temp_path("error-append.wal");
     let _ = std::fs::remove_file(&path);
     let (mut wal, _) = WalWriter::open(&path, BINDING).unwrap();
     wal.append(b"kept").unwrap();
     let before = std::fs::read(&path).unwrap();
-    ssr_fault::configure_str("wal.append=always:error").unwrap();
+    guard.rearm("wal.append=always:error").unwrap();
     let result = wal.append(b"refused");
-    ssr_fault::clear();
+    guard.disarm();
     assert_injected(result, "wal.append");
     assert_eq!(std::fs::read(&path).unwrap(), before);
     std::fs::remove_file(&path).unwrap();
@@ -105,14 +100,15 @@ fn snapshot_bytes(tag: &str) -> Vec<u8> {
 /// still opens and validates, and a retry after the "crash" succeeds.
 #[test]
 fn torn_write_atomic_preserves_the_old_snapshot() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     let path = temp_path("torn.snapshot");
     let old = snapshot_bytes("old-and-valid");
     write_atomic(&path, &old).unwrap();
-    ssr_fault::configure_str("snapshot.write_atomic=nth-1:partial-9").unwrap();
+    guard
+        .rearm("snapshot.write_atomic=nth-1:partial-9")
+        .unwrap();
     let result = write_atomic(&path, &snapshot_bytes("newer"));
-    ssr_fault::clear();
+    guard.disarm();
     assert_injected(result, "snapshot.write_atomic");
     assert_eq!(std::fs::read(&path).unwrap(), old, "target untouched");
     Snapshot::open(&path).expect("old snapshot still validates");
@@ -129,14 +125,13 @@ fn torn_write_atomic_preserves_the_old_snapshot() {
 /// atomicity contract holds on both sides of the rename.
 #[test]
 fn crash_before_rename_preserves_the_old_snapshot() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     let path = temp_path("prerename.snapshot");
     let old = snapshot_bytes("survives");
     write_atomic(&path, &old).unwrap();
-    ssr_fault::configure_str("snapshot.rename=nth-1:error").unwrap();
+    guard.rearm("snapshot.rename=nth-1:error").unwrap();
     let result = write_atomic(&path, &snapshot_bytes("lost-in-window"));
-    ssr_fault::clear();
+    guard.disarm();
     assert_injected(result, "snapshot.rename");
     assert_eq!(std::fs::read(&path).unwrap(), old);
     // The fully-written temp file was left behind, as a real crash would.
@@ -154,8 +149,7 @@ fn crash_before_rename_preserves_the_old_snapshot() {
 /// never-armed.
 #[test]
 fn disarmed_failpoints_do_not_alter_behavior() {
-    let _guard = serialize();
-    ssr_fault::clear();
+    let guard = FailpointGuard::disarmed();
     assert!(!ssr_fault::armed());
     let run = |tag: &str| -> Vec<u8> {
         let path = temp_path(&format!("disarmed-{tag}.wal"));
@@ -169,8 +163,8 @@ fn disarmed_failpoints_do_not_alter_behavior() {
         bytes
     };
     let baseline = run("a");
-    // Arm an unrelated site, clear, run again: identical bytes.
-    ssr_fault::configure_str("some.other.site=always:error").unwrap();
-    ssr_fault::clear();
+    // Arm an unrelated site, disarm, run again: identical bytes.
+    guard.rearm("some.other.site=always:error").unwrap();
+    guard.disarm();
     assert_eq!(run("b"), baseline);
 }
